@@ -1,0 +1,178 @@
+// A1 — Ablations of the stack's key design choices (DESIGN.md §4).
+//
+// Three knobs the protocols depend on, each swept in isolation:
+//   1. Trickle redundancy constant k — suppression vs. repair speed.
+//   2. RPL parent-switch hysteresis — route stability vs. path quality.
+//   3. LPL wake interval — the energy/latency trade that underlies every
+//      duty-cycling result in E1/E2.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace iiot;
+using namespace iiot::sim;  // NOLINT
+
+// ---------------------------------------------------------- 1: trickle k
+
+void ablate_trickle_k() {
+  std::printf("\n-- ablation 1: Trickle redundancy constant k "
+              "(16-node grid, 10 min + global repair) --\n");
+  std::printf("%4s %14s %20s\n", "k", "DIO tx total",
+              "repair settle [s]");
+  for (int k : {1, 2, 3, 5, 100}) {
+    Scheduler sched;
+    radio::Medium medium(sched, bench::default_radio(), 21);
+    auto cfg = bench::node_config(core::MacKind::kCsma);
+    cfg.rpl.trickle.redundancy_k = k;
+    cfg.rpl.downward_routes = false;
+    core::MeshNetwork mesh(sched, medium, Rng(21), cfg);
+    mesh.build_grid(16, 22.0);
+    mesh.start();
+    sched.run_until(600_s);
+    // Global repair: how long until everyone adopts the new version?
+    mesh.root().routing->global_repair();
+    Time settled = 0;
+    for (Duration t = 500'000; t < 120_s; t += 500'000) {
+      sched.schedule_at(600_s + t, [&, t] {
+        if (settled != 0) return;
+        bool all = true;
+        for (std::size_t i = 0; i < mesh.size(); ++i) {
+          if (mesh.node(i).routing->version() != 1 ||
+              !mesh.node(i).routing->joined()) {
+            all = false;
+            break;
+          }
+        }
+        if (all) settled = t;
+      });
+    }
+    sched.run_until(600_s + 120_s);
+    std::uint64_t dio = 0;
+    for (std::size_t i = 0; i < mesh.size(); ++i) {
+      dio += mesh.node(i).routing->stats().dio_tx;
+    }
+    std::printf("%4d %14llu %20.1f\n", k,
+                static_cast<unsigned long long>(dio),
+                to_seconds(settled));
+  }
+  std::printf("takeaway: repair settles in ~1 interval at every k on this\n"
+              "dense grid, while control cost grows ~4x from k=1 to\n"
+              "k=infinity — suppression is nearly free here, which is why\n"
+              "Trickle defaults keep k small.\n");
+}
+
+// ------------------------------------------------------- 2: hysteresis
+
+void ablate_hysteresis() {
+  std::printf("\n-- ablation 2: parent-switch hysteresis "
+              "(25-node grid with shadowing, 10 min of traffic) --\n");
+  std::printf("%12s %16s %14s %12s\n", "threshold", "parent changes",
+              "delivery", "mean hops");
+  for (net::Rank thr : {net::Rank{0}, net::Rank{64}, net::Rank{192},
+                        net::Rank{512}, net::Rank{1024}}) {
+    Scheduler sched;
+    radio::PropagationConfig prop;
+    prop.shadowing_sigma_db = 4.0;  // rough links: ETX jitters
+    radio::Medium medium(sched, prop, 77);
+    auto cfg = bench::node_config(core::MacKind::kCsma);
+    cfg.rpl.parent_switch_threshold = thr;
+    cfg.rpl.downward_routes = false;
+    core::MeshNetwork mesh(sched, medium, Rng(77), cfg);
+    mesh.build_grid(25, 20.0);
+    mesh.start();
+    sched.run_until(30_s);
+
+    int sent = 0, delivered = 0;
+    std::uint64_t hop_sum = 0;
+    mesh.root().routing->set_delivery_handler(
+        [&](NodeId, BytesView, std::uint8_t hops) {
+          ++delivered;
+          hop_sum += hops;
+        });
+    Rng traffic(1);
+    for (int round = 0; round < 120; ++round) {
+      for (std::size_t i = 1; i < mesh.size(); ++i) {
+        sched.schedule_at(
+            30_s + static_cast<Time>(round) * 5_s + traffic.below(4'000'000),
+            [&, i] {
+              if (mesh.node(i).routing->send_up(to_buffer("x"))) ++sent;
+            });
+      }
+    }
+    sched.run_until(30_s + 120 * 5_s + 10_s);
+    std::uint64_t changes = 0;
+    for (std::size_t i = 0; i < mesh.size(); ++i) {
+      changes += mesh.node(i).routing->stats().parent_changes;
+    }
+    std::printf("%12u %16llu %13.1f%% %12.2f\n", thr,
+                static_cast<unsigned long long>(changes),
+                sent ? 100.0 * delivered / sent : 0.0,
+                delivered ? static_cast<double>(hop_sum) / delivered : 0.0);
+  }
+  std::printf("takeaway: zero hysteresis flaps on every ETX wiggle (churn\n"
+              "without payoff); very large hysteresis freezes suboptimal\n"
+              "parents (longer paths). The 192 default damps churn while\n"
+              "keeping routes near-optimal.\n");
+}
+
+// ---------------------------------------------------- 3: wake interval
+
+void ablate_wake_interval() {
+  std::printf("\n-- ablation 3: LPL wake interval (4-hop line, periodic "
+              "reports) --\n");
+  std::printf("%12s %14s %14s %16s\n", "wake [ms]", "median e2e [ms]",
+              "relay duty", "lifetime [d]");
+  for (Duration wake : {125'000, 250'000, 500'000, 1'000'000, 2'000'000}) {
+    Scheduler sched;
+    radio::Medium medium(sched, bench::default_radio(), 31);
+    core::MeshNetwork mesh(sched, medium, Rng(31),
+                           bench::node_config(core::MacKind::kLpl, wake));
+    mesh.build_line(5, 25.0);
+    mesh.start();
+    const Duration form = 120_s + 100 * wake;
+    sched.run_until(form);
+    std::vector<double> latencies;
+    Time sent_at = 0;
+    mesh.root().routing->set_delivery_handler(
+        [&](NodeId, BytesView, std::uint8_t) {
+          latencies.push_back(to_millis(sched.now() - sent_at));
+        });
+    for (int pkt = 0; pkt < 20; ++pkt) {
+      sched.schedule_at(form + static_cast<Time>(pkt) * 30_s, [&] {
+        sent_at = sched.now();
+        mesh.node(4).routing->send_up(to_buffer("r"));
+      });
+    }
+    const Time t0 = sched.now();
+    mesh.node(2).meter.reset(t0);
+    sched.run_until(form + 21 * 30_s);
+    mesh.node(2).meter.settle(sched.now());
+    std::printf("%12.0f %14.1f %13.2f%% %16.0f\n", to_millis(wake),
+                iiot::bench::percentile(latencies, 50),
+                mesh.node(2).meter.duty_cycle() * 100.0,
+                mesh.node(2).meter.projected_lifetime_days(20'000.0));
+  }
+  std::printf("takeaway: a U-curve, not a line — short intervals burn\n"
+              "energy on idle sampling, long intervals burn it on strobe\n"
+              "trains (sender cost ~ wake/2 per packet), so the optimal\n"
+              "interval depends on traffic rate. At one report per 30 s\n"
+              "the knee is ~250-500 ms; latency grows ~hops*wake/2\n"
+              "throughout. This is the classic LPL provisioning trade.\n");
+}
+
+}  // namespace
+
+int main() {
+  iiot::bench::print_header(
+      "A1: ablations of the stack's design choices",
+      "each knob swept in isolation: Trickle k, parent hysteresis, LPL "
+      "wake interval");
+  ablate_trickle_k();
+  ablate_hysteresis();
+  ablate_wake_interval();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// E11 — Incremental deployment across orders of magnitude
+// (paper §IV intro).
+//
+// Claim: deployments "proceed incrementally ... it means that the system
+// has to tolerate a growth even by several orders of magnitude", without
+// redesign and without overprovisioning. We grow one mesh 5 → 50 → 500
+// nodes through DeploymentPlan stages and check that the same protocol
+// stack keeps (re-)forming: time to 95 % joined after each growth burst,
+// route depth, control-message totals, and end-to-end delivery at the
+// final size.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/deployment.hpp"
+
+namespace {
+
+using namespace iiot;
+using namespace iiot::sim;  // NOLINT
+
+}  // namespace
+
+int main() {
+  iiot::bench::print_header(
+      "E11: staged rollout 5 -> 50 -> 500 nodes on an unchanged stack",
+      "the design must absorb two orders of magnitude of growth without "
+      "redesign: formation after each stage stays fast and delivery holds");
+
+  Scheduler sched;
+  radio::Medium medium(sched, iiot::bench::default_radio(), 17);
+  auto cfg = iiot::bench::node_config(core::MacKind::kCsma);
+  cfg.rpl.downward_routes = false;
+  core::MeshNetwork mesh(sched, medium, Rng(17), cfg);
+
+  // Snake layout, 20 nodes per row: each stage extends the same site.
+  auto positions = [](std::size_t i) {
+    const std::size_t row = i / 20;
+    const std::size_t col = i % 20;
+    return radio::Position{static_cast<double>(col) * 22.0,
+                           static_cast<double>(row) * 22.0};
+  };
+
+  std::printf("%6s %7s %16s %9s %9s %10s\n", "stage", "nodes",
+              "formation[s]", "joined", "depth", "ctrl msgs");
+  std::vector<core::StageReport> reports;
+  core::DeploymentPlan plan(mesh, positions);
+  plan.stage(5, 60_s).stage(50, 120_s).stage(500, 300_s);
+  plan.execute([&](const core::StageReport& r) {
+    reports.push_back(r);
+    std::printf("%6zu %7zu %16.1f %8.0f%% %9d %10llu\n", r.stage,
+                r.nodes_total, to_seconds(r.formation_time),
+                r.joined_fraction * 100.0, r.max_depth,
+                static_cast<unsigned long long>(r.control_messages));
+  });
+  sched.run_until(60_s + 120_s + 300_s + 5_s);
+
+  // Delivery check at the final size: 100 reports from random nodes.
+  Rng rng(4711);
+  int sent = 0, delivered = 0;
+  mesh.root().routing->set_delivery_handler(
+      [&](NodeId, BytesView, std::uint8_t) { ++delivered; });
+  const Time t0 = sched.now();
+  for (int i = 0; i < 100; ++i) {
+    const auto idx = 1 + rng.below(static_cast<std::uint32_t>(
+                             mesh.size() - 1));
+    sched.schedule_at(t0 + static_cast<Time>(i) * 300'000, [&mesh, idx,
+                                                            &sent] {
+      if (mesh.node(idx).routing->send_up(to_buffer("r"))) ++sent;
+    });
+  }
+  sched.run_until(t0 + 60_s);
+  std::printf("\nfinal-size delivery: %d/%d (%.0f%%)\n", delivered, sent,
+              sent > 0 ? 100.0 * delivered / sent : 0.0);
+  std::printf(
+      "\nShape check: each stage reaches >=95%% joined within its settle\n"
+      "window; formation time grows far slower than size (Trickle-paced\n"
+      "control traffic grows ~linearly in nodes, not quadratically);\n"
+      "delivery at 500 nodes stays high. The same binaries, parameters\n"
+      "and protocols serve every stage — growth without redesign.\n");
+  return 0;
+}

@@ -1,0 +1,194 @@
+// E2 — Tightly coordinated (staggered) schedules minimize end-to-end
+// latency (paper §IV-B, refs [28]-[30]).
+//
+// Claim: "by employing highly synchronous end-to-end communication
+// involving tight coordination of multiple devices, one can minimize the
+// end-to-end latency" — a Dozer-style staggered TDMA tree forwards a
+// sample across ALL hops within one epoch (latency ≈ wait-for-own-slot,
+// independent of depth), whereas uncoordinated duty cycling pays
+// ~interval/2 per hop, and an unaligned TDMA pays ~epoch/2 per hop.
+//
+// All three sleep-mode configurations run at comparable radio duty
+// cycles; CSMA is included as the energy-unconstrained lower bound.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mac/tdma.hpp"
+
+namespace {
+
+using namespace iiot;
+using namespace iiot::sim;  // NOLINT
+
+struct Row {
+  double median_ms = 0;
+  double p90_ms = 0;
+  double delivery = 0;
+  double duty = 0;
+};
+
+/// TDMA line with hop-by-hop forwarding installed at the MAC level.
+Row run_tdma(int hops, bool staggered, std::uint64_t seed) {
+  Scheduler sched;
+  radio::Medium medium(sched, bench::default_radio(), seed);
+  Rng rng(seed);
+  const std::size_t n = static_cast<std::size_t>(hops) + 1;
+
+  mac::TdmaConfig cfg;
+  cfg.epoch = 2'000'000;  // 2 s
+  cfg.slot = 50'000;
+  cfg.staggered = staggered;
+
+  struct Node {
+    std::unique_ptr<energy::Meter> meter;
+    std::unique_ptr<radio::Radio> radio;
+    std::unique_ptr<mac::TdmaMac> mac;
+  };
+  std::vector<Node> nodes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes[i].meter = std::make_unique<energy::Meter>();
+    nodes[i].radio = std::make_unique<radio::Radio>(
+        medium, sched, static_cast<NodeId>(i),
+        radio::Position{static_cast<double>(i) * 25.0, 0.0},
+        *nodes[i].meter);
+    nodes[i].mac = std::make_unique<mac::TdmaMac>(
+        *nodes[i].radio, sched, rng.fork(i + 1), 0, cfg);
+  }
+  // Random per-node phases for the unaligned mode.
+  std::vector<Duration> phases(n);
+  for (auto& p : phases) {
+    p = rng.below(static_cast<std::uint32_t>(cfg.epoch - 2 * cfg.slot));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    mac::TdmaSchedule s;
+    s.parent = i == 0 ? kInvalidNode : static_cast<NodeId>(i - 1);
+    s.depth = static_cast<int>(i);
+    s.max_depth = hops;
+    s.has_children = i + 1 < n;
+    s.phase = phases[i];
+    s.parent_phase = i == 0 ? 0 : phases[i - 1];
+    nodes[i].mac->configure(s);
+  }
+
+  int delivered = 0;
+  Time sent_at = 0;
+  std::vector<double> latencies;
+  nodes[0].mac->set_receive_handler([&](NodeId, BytesView, double) {
+    ++delivered;
+    latencies.push_back(to_millis(sched.now() - sent_at));
+  });
+  for (std::size_t i = 1; i < n; ++i) {
+    auto* m = nodes[i].mac.get();
+    const NodeId parent = static_cast<NodeId>(i - 1);
+    m->set_receive_handler([m, parent](NodeId, BytesView p, double) {
+      m->send(parent, Buffer(p.begin(), p.end()));
+    });
+  }
+  for (auto& nd : nodes) nd.mac->start();
+
+  int sent = 0;
+  for (int pkt = 0; pkt < 15; ++pkt) {
+    // Inject at a time uncorrelated with the epoch grid.
+    sched.schedule_at(10_s + static_cast<Time>(pkt) * 21'321'000, [&] {
+      sent_at = sched.now();
+      ++sent;
+      nodes.back().mac->send(static_cast<NodeId>(n - 2),
+                             to_buffer("sample"));
+    });
+  }
+  sched.run_until(10_s + 26 * 21'321'000);
+
+  Row row;
+  row.median_ms = bench::percentile(latencies, 50);
+  row.p90_ms = bench::percentile(latencies, 90);
+  row.delivery = sent > 0 ? static_cast<double>(delivered) / sent : 0;
+  nodes[1].meter->settle(sched.now());
+  row.duty = nodes[1].meter->duty_cycle();
+  return row;
+}
+
+/// LPL line using the full routing stack (uncoordinated duty cycling).
+Row run_lpl(int hops, std::uint64_t seed) {
+  Scheduler sched;
+  radio::Medium medium(sched, bench::default_radio(), seed);
+  core::MeshNetwork mesh(sched, medium, Rng(seed),
+                         bench::node_config(core::MacKind::kLpl, 500'000));
+  mesh.build_line(static_cast<std::size_t>(hops) + 1, 25.0);
+  mesh.start();
+  sched.run_until(240_s);
+
+  int sent = 0, delivered = 0;
+  Time sent_at = 0;
+  std::vector<double> latencies;
+  mesh.root().routing->set_delivery_handler(
+      [&](NodeId, BytesView, std::uint8_t) {
+        ++delivered;
+        latencies.push_back(to_millis(sched.now() - sent_at));
+      });
+  for (int pkt = 0; pkt < 15; ++pkt) {
+    sched.schedule_at(240_s + static_cast<Time>(pkt) * 21'321'000, [&] {
+      sent_at = sched.now();
+      ++sent;
+      mesh.node(static_cast<std::size_t>(hops))
+          .routing->send_up(to_buffer("sample"));
+    });
+  }
+  sched.run_until(240_s + 26 * 21'321'000);
+  Row row;
+  row.median_ms = bench::percentile(latencies, 50);
+  row.p90_ms = bench::percentile(latencies, 90);
+  row.delivery = sent > 0 ? static_cast<double>(delivered) / sent : 0;
+  mesh.node(1).meter.settle(sched.now());
+  row.duty = mesh.node(1).meter.duty_cycle();
+  return row;
+}
+
+void print_row(const char* scheme, int hops, const Row& r) {
+  std::printf("%-16s %5d %12.1f %12.1f %8.0f%% %6.2f%%\n", scheme, hops,
+              r.median_ms, r.p90_ms, r.delivery * 100.0, r.duty * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  iiot::bench::print_header(
+      "E2: end-to-end latency of coordinated vs uncoordinated duty cycling",
+      "a staggered (Dozer-style) schedule crosses all hops within one "
+      "epoch; unaligned schedules and LPL pay per-hop rendezvous waits");
+
+  std::printf("%-16s %5s %12s %12s %9s %7s\n", "scheme", "hops",
+              "median[ms]", "p90[ms]", "delivery", "duty");
+  // The unaligned scheme's end-to-end wait is the sum of fixed random
+  // phase gaps of one deployment, so every scheme is averaged over
+  // several topology seeds.
+  auto averaged = [](auto&& fn) {
+    Row sum;
+    constexpr int kSeeds = 4;
+    for (std::uint64_t seed = 7; seed < 7 + kSeeds; ++seed) {
+      Row r = fn(seed);
+      sum.median_ms += r.median_ms / kSeeds;
+      sum.p90_ms += r.p90_ms / kSeeds;
+      sum.delivery += r.delivery / kSeeds;
+      sum.duty += r.duty / kSeeds;
+    }
+    return sum;
+  };
+  for (int hops : {2, 4, 6, 8}) {
+    print_row("tdma-staggered", hops, averaged([hops](std::uint64_t s) {
+                return run_tdma(hops, true, s);
+              }));
+    print_row("tdma-unaligned", hops, averaged([hops](std::uint64_t s) {
+                return run_tdma(hops, false, s);
+              }));
+    print_row("lpl-routing", hops, averaged([hops](std::uint64_t s) {
+                return run_lpl(hops, s);
+              }));
+  }
+  std::printf(
+      "\nShape check: staggered latency stays ~1 epoch (<= ~2 s) regardless\n"
+      "of depth; unaligned grows ~epoch/2 per hop; LPL grows ~wake/2 per\n"
+      "hop — coordination wins by a growing factor as the network deepens.\n");
+  return 0;
+}

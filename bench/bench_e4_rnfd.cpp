@@ -1,0 +1,256 @@
+// E4 — Parallel border-router failure detection (paper §IV-B, ref [32]).
+//
+// Claim: "by exploiting parallelism, one can improve the efficiency of
+// border router failure detection by orders of magnitude."
+//
+// Every node in the network needs to learn that the border router died
+// (to trigger repair / failover). Two designs:
+//
+//   * end-to-end probing (baseline): each node independently verifies the
+//     root by sending a ping up the DODAG and expecting a pong down it;
+//     k consecutive missed pongs ⇒ declare. Every probe costs ~2×depth
+//     frames, and every node pays it — network cost scales with
+//     n × depth.
+//   * RNFD: only the handful of root-adjacent sentinels probe (1-hop),
+//     votes are shared in a conflict-free replicated counter (CFRC)
+//     gossiped network-wide; a quorum of suspecting sentinels yields the
+//     verdict everywhere.
+//
+// We report the steady-state monitoring cost (frames/hour while the root
+// is alive), the network-wide detection latency after the root dies, and
+// the fraction of nodes that learn the verdict.
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "net/rnfd.hpp"
+
+namespace {
+
+using namespace iiot;
+using namespace iiot::sim;  // NOLINT
+
+constexpr Duration kProbeInterval = 30_s;
+constexpr int kMissesToDeclare = 3;
+
+/// Baseline: end-to-end root liveness probing from every node.
+class EndToEndProbe {
+ public:
+  EndToEndProbe(net::RplRouting& routing, Scheduler& sched, Rng rng)
+      : routing_(routing), sched_(sched), rng_(rng) {}
+
+  void start() {
+    running_ = true;
+    arm();
+  }
+  [[nodiscard]] bool declared_dead() const { return declared_; }
+  [[nodiscard]] static Buffer ping_payload() { return to_buffer("P"); }
+
+  void on_pong() {
+    misses_ = 0;
+    awaiting_ = false;
+  }
+
+ private:
+  void arm() {
+    const auto jitter = static_cast<Duration>(
+        rng_.below(static_cast<std::uint32_t>(kProbeInterval / 2)));
+    timer_ = sched_.schedule_after(kProbeInterval / 2 + jitter, [this] {
+      if (!running_) return;
+      if (awaiting_) {
+        // Previous ping went unanswered.
+        if (++misses_ >= kMissesToDeclare) declared_ = true;
+      }
+      awaiting_ = true;
+      routing_.send_up(ping_payload());
+      arm();
+    });
+  }
+
+  net::RplRouting& routing_;
+  Scheduler& sched_;
+  Rng rng_;
+  bool running_ = false;
+  bool awaiting_ = false;
+  bool declared_ = false;
+  int misses_ = 0;
+  sim::EventHandle timer_;
+};
+
+struct Outcome {
+  double frames_per_hour = 0;   // steady-state monitoring cost
+  double detect_p50_s = 0;      // node-level detection latency
+  double detect_p95_s = 0;
+  double aware_fraction = 0;    // nodes that learned within the window
+  double false_positives = 0;   // declared dead while the root was alive
+  int sentinels = 0;
+};
+
+std::uint64_t total_frames(core::MeshNetwork& mesh) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < mesh.size(); ++i) {
+    sum += mesh.node(i).radio.frames_sent();
+  }
+  return sum;
+}
+
+Outcome run(std::size_t n, bool use_rnfd, std::uint64_t seed) {
+  Scheduler sched;
+  radio::Medium medium(sched, bench::default_radio(), seed);
+  auto cfg = bench::node_config(core::MacKind::kCsma);
+  cfg.rpl.downward_routes = !use_rnfd;  // baseline needs pongs
+  core::MeshNetwork mesh(sched, medium, Rng(seed), cfg);
+  mesh.build_grid(n, 22.0);
+  // Root at the grid center: realistic border-router placement.
+  mesh.start(n / 2 + static_cast<std::size_t>(std::sqrt(double(n))) / 2);
+  sched.run_until(60_s);
+
+  Outcome out;
+  std::vector<std::unique_ptr<net::RnfdDetector>> detectors;
+  std::vector<std::unique_ptr<EndToEndProbe>> probes;
+  Rng rng(seed ^ 0xE4);
+  auto& root = mesh.root();
+
+  if (use_rnfd) {
+    net::RnfdConfig rcfg;
+    rcfg.probe_interval = kProbeInterval;
+    rcfg.probe_jitter = kProbeInterval / 4;
+    rcfg.gossip_interval = 2_s;
+    rcfg.quorum_min = 2;
+    rcfg.quorum_ratio = 0.5;
+    for (std::size_t i = 0; i < mesh.size(); ++i) {
+      if (&mesh.node(i) == &root) continue;
+      detectors.push_back(std::make_unique<net::RnfdDetector>(
+          *mesh.node(i).routing, sched, rng.fork(i), rcfg));
+      detectors.back()->start();
+    }
+  } else {
+    // Root answers pings with pongs down stored routes.
+    root.routing->set_delivery_handler(
+        [&root](NodeId origin, BytesView p, std::uint8_t) {
+          if (!p.empty() && p[0] == 'P') {
+            root.routing->send_down(origin, to_buffer("Q"));
+          }
+        });
+    for (std::size_t i = 0; i < mesh.size(); ++i) {
+      if (&mesh.node(i) == &root) continue;
+      probes.push_back(std::make_unique<EndToEndProbe>(
+          *mesh.node(i).routing, sched, rng.fork(i)));
+      auto* probe = probes.back().get();
+      mesh.node(i).routing->set_delivery_handler(
+          [probe](NodeId, BytesView p, std::uint8_t) {
+            if (!p.empty() && p[0] == 'Q') probe->on_pong();
+          });
+      probe->start();
+    }
+  }
+
+  // Steady-state monitoring cost, scaled to one simulated hour.
+  sched.run_until(120_s);  // detectors settle (DAOs, sentinel census)
+  const std::uint64_t frames_before = total_frames(mesh);
+  sched.run_until(120_s + 1800_s);
+  out.frames_per_hour =
+      2.0 * static_cast<double>(total_frames(mesh) - frames_before);
+
+  if (use_rnfd) {
+    for (auto& d : detectors) {
+      if (d->is_sentinel()) ++out.sentinels;
+    }
+  }
+
+  // False positives: anyone already convinced while the root is alive?
+  std::size_t fp = 0;
+  if (use_rnfd) {
+    for (auto& d : detectors) {
+      if (d->root_declared_dead()) ++fp;
+    }
+  } else {
+    for (auto& p : probes) {
+      if (p->declared_dead()) ++fp;
+    }
+  }
+  out.false_positives =
+      static_cast<double>(fp) / static_cast<double>(mesh.size() - 1);
+
+  // Kill the root; measure per-node detection times.
+  const Time death = sched.now();
+  root.mac->stop();
+  root.routing->stop();
+  const Duration window = 30 * kProbeInterval;
+  std::vector<double> latencies;
+  std::size_t aware = 0;
+  // Poll each second for newly-declared nodes.
+  std::map<const void*, bool> seen;
+  for (Duration t = 1_s; t <= window; t += 1_s) {
+    sched.schedule_at(death + t, [&, t] {
+      if (use_rnfd) {
+        for (auto& d : detectors) {
+          if (d->root_declared_dead() && !seen[d.get()]) {
+            seen[d.get()] = true;
+            latencies.push_back(to_seconds(t));
+          }
+        }
+      } else {
+        for (auto& p : probes) {
+          if (p->declared_dead() && !seen[p.get()]) {
+            seen[p.get()] = true;
+            latencies.push_back(to_seconds(t));
+          }
+        }
+      }
+    });
+  }
+  sched.run_until(death + window + 1_s);
+  aware = latencies.size();
+  out.aware_fraction = static_cast<double>(aware) /
+                       static_cast<double>(mesh.size() - 1);
+  out.detect_p50_s = iiot::bench::percentile(latencies, 50);
+  out.detect_p95_s = iiot::bench::percentile(latencies, 95);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  iiot::bench::print_header(
+      "E4: border-router failure detection — RNFD vs end-to-end probing",
+      "collaborative sentinel probing with CFRC verdict sharing detects "
+      "root death network-wide at a small fraction of the monitoring "
+      "cost of per-node end-to-end probing (parallelism => orders of "
+      "magnitude, growing with network size)");
+
+  std::printf("%6s %-10s %6s %14s %12s %12s %8s %8s %9s\n", "nodes",
+              "scheme", "sentl", "frames/hour", "p50 det[s]", "p95 det[s]",
+              "aware", "falsepos", "cost rat");
+  for (std::size_t n : {25, 64, 121, 225}) {
+    const Outcome base = run(n, false, 11);
+    const Outcome rnfd = run(n, true, 11);
+    std::printf("%6zu %-10s %6s %14.0f %12.1f %12.1f %7.0f%% %7.0f%% %9s\n",
+                n, "e2e-probe", "-", base.frames_per_hour,
+                base.detect_p50_s, base.detect_p95_s,
+                base.aware_fraction * 100.0, base.false_positives * 100.0,
+                "");
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.0fx",
+                  rnfd.frames_per_hour > 0
+                      ? base.frames_per_hour / rnfd.frames_per_hour
+                      : 0.0);
+    std::printf("%6zu %-10s %6d %14.0f %12.1f %12.1f %7.0f%% %7.0f%% %9s\n",
+                n, "rnfd", rnfd.sentinels, rnfd.frames_per_hour,
+                rnfd.detect_p50_s, rnfd.detect_p95_s,
+                rnfd.aware_fraction * 100.0, rnfd.false_positives * 100.0,
+                ratio);
+  }
+  std::printf(
+      "\nShape check: the steady-state cost ratio grows with network size\n"
+      "(every extra node adds multi-hop probes to the baseline but only\n"
+      "cheap gossip to RNFD), reaching orders of magnitude at hundreds of\n"
+      "nodes, with comparable or better detection latency and full\n"
+      "network awareness. At 121+ nodes the baseline's own probe storm\n"
+      "congests the mesh so badly that nodes declare the router dead\n"
+      "while it is still alive (false positives) — per-node end-to-end\n"
+      "monitoring does not merely cost more, it stops working.\n");
+  return 0;
+}

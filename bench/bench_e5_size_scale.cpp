@@ -1,0 +1,92 @@
+// E5 — Size scalability of a backend service (paper §IV-A).
+//
+// Claim: centralized services degrade as the system grows; partitioning/
+// replication restores headroom; fully decentralized placement (clients
+// compute the owner locally via consistent hashing) removes the
+// directory bottleneck entirely. "Such a redesign typically boils down
+// to replacing centralized services or algorithms with decentralized
+// counterparts."
+//
+// Workload: N clients, each looking up services at 100 req/s total per
+// client group; p50/p99 lookup latency per architecture.
+#include <cstdio>
+#include <vector>
+
+#include "backend/registry.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace iiot;
+using namespace iiot::sim;  // NOLINT
+using backend::Directory;
+using backend::DirectoryConfig;
+using backend::DirectoryMode;
+
+struct Latency {
+  double p50_us = 0;
+  double p99_us = 0;
+  double timeout_frac = 0;
+};
+
+Latency run(DirectoryMode mode, int clients, std::uint64_t seed) {
+  Scheduler sched;
+  DirectoryConfig cfg;
+  cfg.rtt = 2'000;
+  cfg.service_time = 150;
+  cfg.server_count = 8;
+  Directory dir(sched, mode, cfg);
+  for (int i = 0; i < 500; ++i) {
+    dir.register_service("svc-" + std::to_string(i), "10.0.0.1");
+  }
+  Rng rng(seed);
+  std::vector<double> latencies;
+  // Each client issues one lookup per millisecond for 200 ms.
+  for (int c = 0; c < clients; ++c) {
+    for (int t = 0; t < 200; ++t) {
+      const Time at = static_cast<Time>(t) * 1'000 +
+                      rng.below(900);
+      const int key = static_cast<int>(rng.below(500));
+      sched.schedule_at(at, [&dir, &latencies, key] {
+        dir.lookup("svc-" + std::to_string(key),
+                   [&latencies](Duration d, std::optional<std::string>) {
+                     latencies.push_back(static_cast<double>(d));
+                   });
+      });
+    }
+  }
+  sched.run_all();
+  Latency out;
+  out.p50_us = iiot::bench::percentile(latencies, 50);
+  out.p99_us = iiot::bench::percentile(latencies, 99);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  iiot::bench::print_header(
+      "E5: service-directory lookup latency vs client count per architecture",
+      "a centralized directory saturates as the deployment grows; a "
+      "partitioned one postpones the wall by its server count; a "
+      "decentralized (consistent-hash) design keeps per-lookup work "
+      "constant");
+
+  std::printf("%8s %-14s %12s %12s\n", "clients", "architecture",
+              "p50[us]", "p99[us]");
+  for (int clients : {1, 4, 8, 16, 32, 64}) {
+    for (DirectoryMode mode :
+         {DirectoryMode::kCentral, DirectoryMode::kPartitioned,
+          DirectoryMode::kDecentralized}) {
+      const Latency l = run(mode, clients, 5);
+      std::printf("%8d %-14s %12.0f %12.0f\n", clients,
+                  backend::to_string(mode), l.p50_us, l.p99_us);
+    }
+  }
+  std::printf(
+      "\nShape check: the central architecture's p99 explodes once the\n"
+      "offered load (clients/ms) crosses 1/service_time (~6.6 req/ms =\n"
+      "~7 clients); partitioned holds to ~8x that; decentralized stays\n"
+      "near the 2 ms RTT floor throughout (crossovers at ~server count).\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// E6 — Administrative scalability: co-located tenants competing for
+// spectrum (paper §IV-C, refs [35], [36]).
+//
+// Claim: "Sensors and actuators managed by different entities can be
+// sharing the same physical space ... they will likely compete for
+// resources, notably wireless communication channels."
+//
+// Setup: 1..6 administratively independent networks (tenants) deployed
+// over the SAME construction-site area, each collecting periodic data to
+// its own border router. Channel plans: all tenants forced onto one
+// shared channel, versus coordinated assignment over 4 channels.
+// Metrics: per-tenant delivery ratio, cross-tenant frames overheard
+// (energy wasted on other administrations' traffic), collisions.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/tenant.hpp"
+
+namespace {
+
+using namespace iiot;
+using namespace iiot::sim;  // NOLINT
+
+struct Outcome {
+  double delivery = 0;        // mean across tenants
+  double worst_delivery = 1;  // weakest tenant
+  double foreign_per_node = 0;
+  std::uint64_t collisions = 0;
+};
+
+Outcome run(int tenants, int channels, std::uint64_t seed) {
+  Scheduler sched;
+  radio::Medium medium(sched, bench::default_radio(), seed);
+  core::TenantManager mgr(sched, medium, Rng(seed));
+  std::vector<ChannelId> plan;
+  for (int c = 0; c < channels; ++c) {
+    plan.push_back(static_cast<ChannelId>(11 + c));
+  }
+  for (int t = 0; t < tenants; ++t) {
+    core::TenantSpec spec;
+    spec.id = static_cast<TenantId>(t + 1);
+    spec.nodes = 12;
+    spec.node_cfg = bench::node_config(core::MacKind::kCsma);
+    spec.node_cfg.rpl.downward_routes = false;
+    mgr.add_tenant(spec, /*side=*/70.0, plan);
+  }
+  mgr.start_all();
+  sched.run_until(40_s);
+
+  // Each tenant's nodes report every 5 s for 5 minutes.
+  std::vector<int> delivered(static_cast<std::size_t>(tenants), 0);
+  int per_tenant_sent = 0;
+  Rng traffic_rng(seed ^ 0x6);
+  for (int t = 0; t < tenants; ++t) {
+    auto& net = mgr.network(static_cast<std::size_t>(t));
+    net.root().routing->set_delivery_handler(
+        [&delivered, t](NodeId, BytesView, std::uint8_t) {
+          ++delivered[static_cast<std::size_t>(t)];
+        });
+  }
+  constexpr int kRounds = 120;
+  for (int round = 0; round < kRounds; ++round) {
+    for (int t = 0; t < tenants; ++t) {
+      auto& net = mgr.network(static_cast<std::size_t>(t));
+      for (std::size_t i = 1; i < net.size(); ++i) {
+        const Time at = 40_s + static_cast<Time>(round) * 1_s +
+                        traffic_rng.below(900'000);
+        sched.schedule_at(at, [&net, i] {
+          net.node(i).routing->send_up(Buffer(48, 0x6D));
+        });
+      }
+    }
+  }
+  per_tenant_sent = kRounds * 11;
+  sched.run_until(40_s + kRounds * 1_s + 10_s);
+
+  Outcome out;
+  std::uint64_t foreign = 0;
+  std::size_t node_count = 0;
+  for (int t = 0; t < tenants; ++t) {
+    auto& net = mgr.network(static_cast<std::size_t>(t));
+    const double d = static_cast<double>(
+                         delivered[static_cast<std::size_t>(t)]) /
+                     per_tenant_sent;
+    out.delivery += d / tenants;
+    out.worst_delivery = std::min(out.worst_delivery, d);
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      foreign += static_cast<mac::MacBase&>(*net.node(i).mac)
+                     .stats()
+                     .rx_foreign;
+      ++node_count;
+    }
+  }
+  out.foreign_per_node =
+      static_cast<double>(foreign) / static_cast<double>(node_count);
+  out.collisions = medium.stats().collisions;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  iiot::bench::print_header(
+      "E6: multi-tenant coexistence in one physical space",
+      "independent administrations sharing a site compete for the "
+      "wireless channel; a coordinated channel plan recovers most of the "
+      "lost delivery, but with fewer channels than tenants contention is "
+      "unavoidable");
+
+  std::printf("%8s %9s | %9s %10s %12s %11s\n", "tenants", "channels",
+              "delivery", "worst", "foreign/node", "collisions");
+  for (int tenants : {1, 2, 4, 6}) {
+    for (int channels : {1, 4}) {
+      if (tenants == 1 && channels == 4) continue;
+      const Outcome o = run(tenants, channels, 99);
+      std::printf("%8d %9d | %8.1f%% %9.1f%% %12.0f %11llu\n", tenants,
+                  channels, o.delivery * 100.0, o.worst_delivery * 100.0,
+                  o.foreign_per_node,
+                  static_cast<unsigned long long>(o.collisions));
+    }
+  }
+  std::printf(
+      "\nShape check: on one shared channel, delivery and the weakest\n"
+      "tenant degrade as tenants are added while foreign traffic and\n"
+      "collisions climb; spreading the same tenants over 4 channels\n"
+      "restores delivery until tenants outnumber channels again.\n");
+  return 0;
+}

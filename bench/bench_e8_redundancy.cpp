@@ -1,0 +1,211 @@
+// E8 — The three redundancy types and their limits (paper §V-A, [42]).
+//
+// Claims: (a) information redundancy (FEC) buys delivery on lossy links
+// at a fixed byte overhead, bounded by device resources; (b) time
+// redundancy (ARQ) buys delivery at a latency cost, "sometimes at odds
+// with soft-realtime requirements"; (c) physical redundancy (k-of-n
+// replicas + voting) masks node faults, but is limited where sensing
+// points are fixed; all three compose.
+//
+// Part 1: a lossy channel swept over bit-error rates, comparing plain /
+// Hamming / Hamming+interleave / repetition-3 on delivery and overhead,
+// plus ARQ attempts/latency at equal target delivery.
+// Part 2: crashing sensor replicas with a 2-of-3 median voter vs a
+// single sensor — availability of a valid reading over time.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "dependability/coding.hpp"
+#include "dependability/faults.hpp"
+#include "dependability/redundancy.hpp"
+
+namespace {
+
+using namespace iiot;
+using namespace iiot::dependability;
+using namespace iiot::sim;  // NOLINT
+
+struct FecRow {
+  double delivery = 0;
+  double overhead = 0;  // coded bytes / payload bytes
+};
+
+enum class Scheme { kPlain, kHamming, kHammingInterleaved, kRepetition3 };
+
+const char* name_of(Scheme s) {
+  switch (s) {
+    case Scheme::kPlain: return "plain";
+    case Scheme::kHamming: return "hamming(7,4)";
+    case Scheme::kHammingInterleaved: return "hamming+il16";
+    case Scheme::kRepetition3: return "repeat-3";
+  }
+  return "?";
+}
+
+FecRow run_fec(Scheme scheme, double ber, bool bursts, Rng& rng) {
+  constexpr int kTrials = 400;
+  constexpr std::size_t kPayload = 24;
+  HammingCode plain_code(1), inter_code(16);
+  RepetitionCode rep(3);
+  int ok = 0;
+  std::size_t coded_size = kPayload;
+  for (int t = 0; t < kTrials; ++t) {
+    Buffer data(kPayload);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u32());
+    Buffer coded;
+    switch (scheme) {
+      case Scheme::kPlain: coded = data; break;
+      case Scheme::kHamming: coded = plain_code.encode(data); break;
+      case Scheme::kHammingInterleaved:
+        coded = inter_code.encode(data);
+        break;
+      case Scheme::kRepetition3: coded = rep.encode(data); break;
+    }
+    coded_size = coded.size();
+    inject_bit_errors(coded, ber, rng);
+    if (bursts) inject_burst(coded, 8, rng);
+    Buffer decoded;
+    switch (scheme) {
+      case Scheme::kPlain: decoded = coded; break;
+      case Scheme::kHamming:
+        decoded = plain_code.decode(coded, kPayload).data;
+        break;
+      case Scheme::kHammingInterleaved:
+        decoded = inter_code.decode(coded, kPayload).data;
+        break;
+      case Scheme::kRepetition3:
+        decoded = rep.decode(coded, kPayload);
+        break;
+    }
+    if (decoded == data) ++ok;
+  }
+  return FecRow{static_cast<double>(ok) / kTrials,
+                static_cast<double>(coded_size) / kPayload};
+}
+
+void part1_information_redundancy() {
+  std::printf("\n-- information redundancy: packet delivery vs BER "
+              "(24-byte payloads%s) --\n",
+              "");
+  std::printf("%-14s %9s |", "scheme", "overhead");
+  for (double ber : {0.001, 0.003, 0.01, 0.03}) {
+    std::printf(" ber=%.3f |", ber);
+  }
+  std::printf("  +8b burst\n");
+  Rng rng(8);
+  for (Scheme s : {Scheme::kPlain, Scheme::kHamming,
+                   Scheme::kHammingInterleaved, Scheme::kRepetition3}) {
+    double overhead = 0;
+    std::printf("%-14s", name_of(s));
+    std::vector<double> cells;
+    for (double ber : {0.001, 0.003, 0.01, 0.03}) {
+      FecRow r = run_fec(s, ber, false, rng);
+      overhead = r.overhead;
+      cells.push_back(r.delivery);
+    }
+    FecRow burst = run_fec(s, 0.001, true, rng);
+    std::printf(" %8.2fx |", overhead);
+    for (double d : cells) std::printf("    %5.1f%% |", d * 100.0);
+    std::printf("     %5.1f%%\n", burst.delivery * 100.0);
+  }
+}
+
+void part2_time_redundancy() {
+  std::printf("\n-- time redundancy: ARQ delivery & latency vs per-try "
+              "loss (2 ms/attempt, 50 ms spacing) --\n");
+  std::printf("%-10s |", "max tries");
+  for (double loss : {0.1, 0.3, 0.5, 0.7}) {
+    std::printf(" loss=%.1f       |", loss);
+  }
+  std::printf("\n");
+  Rng rng(88);
+  for (int tries : {1, 2, 4, 8}) {
+    ArqPolicy arq;
+    arq.max_attempts = tries;
+    std::printf("%-10d |", tries);
+    for (double loss : {0.1, 0.3, 0.5, 0.7}) {
+      int ok = 0;
+      double lat = 0;
+      constexpr int kN = 2000;
+      for (int i = 0; i < kN; ++i) {
+        auto o = arq.run(1.0 - loss, rng, 2'000);
+        if (o.success) ++ok;
+        lat += to_millis(o.latency) / kN;
+      }
+      std::printf(" %5.1f%% %5.1fms |", 100.0 * ok / kN, lat);
+    }
+    std::printf("\n");
+  }
+}
+
+void part3_physical_redundancy() {
+  std::printf("\n-- physical redundancy: valid-reading availability with "
+              "crashing sensors (MTTF 1 h, MTTR 15 min, 30 days) --\n");
+  std::printf("%-22s %14s %16s\n", "configuration", "availability",
+              "wrong readings");
+  for (int replicas : {1, 3, 5}) {
+    Scheduler sched;
+    Rng rng(123);
+    std::vector<std::unique_ptr<CrashProcess>> procs;
+    FaultConfig fcfg;
+    fcfg.mttf_seconds = 3600.0;
+    fcfg.mttr_seconds = 900.0;
+    for (int r = 0; r < replicas; ++r) {
+      procs.push_back(std::make_unique<CrashProcess>(
+          sched, rng.fork(r + 1), fcfg, nullptr, nullptr));
+      procs.back()->start();
+    }
+    // Sample once a minute: each up replica reports truth+noise; a down
+    // replica reports nothing. A stuck (faulty-but-up) replica is also
+    // modelled: replica 0 reads garbage while "up" 5% of the time.
+    std::int64_t valid = 0, total = 0, wrong = 0;
+    Rng noise(77);
+    for (Duration t = 60_s; t < 30 * 24 * 3600_s; t += 60_s) {
+      sched.run_until(t);
+      ++total;
+      std::vector<double> readings;
+      for (int r = 0; r < replicas; ++r) {
+        if (!procs[static_cast<std::size_t>(r)]->up()) continue;
+        double v = 20.0 + noise.normal(0.0, 0.1);
+        if (r == 0 && noise.chance(0.05)) v = 99.9;  // stuck-at fault
+        readings.push_back(v);
+      }
+      auto vote = median_vote(readings, replicas == 1 ? 1u : 2u);
+      if (vote.has_value()) {
+        if (std::abs(*vote - 20.0) < 1.0) {
+          ++valid;
+        } else {
+          ++wrong;
+        }
+      }
+    }
+    char cfg_name[32];
+    std::snprintf(cfg_name, sizeof(cfg_name), "%d sensor%s%s", replicas,
+                  replicas > 1 ? "s" : "",
+                  replicas > 1 ? " + median vote" : "");
+    std::printf("%-22s %13.2f%% %15.2f%%\n", cfg_name,
+                100.0 * static_cast<double>(valid) / static_cast<double>(total),
+                100.0 * static_cast<double>(wrong) / static_cast<double>(total));
+  }
+}
+
+}  // namespace
+
+int main() {
+  iiot::bench::print_header(
+      "E8: information vs time vs physical redundancy",
+      "each redundancy type buys dependability in its own currency — "
+      "bytes, latency, or hardware — and each has the limits §V-A "
+      "describes");
+  part1_information_redundancy();
+  part2_time_redundancy();
+  part3_physical_redundancy();
+  std::printf(
+      "\nShape check: FEC holds delivery to high BER at a fixed 1.75-3x\n"
+      "byte cost (interleaving rescues bursts); ARQ latency grows with\n"
+      "attempts while delivery saturates at 1-(loss^tries); replicated\n"
+      "sensors with median voting push availability toward 100%% and\n"
+      "suppress the stuck-at readings a single sensor passes through.\n");
+  return 0;
+}

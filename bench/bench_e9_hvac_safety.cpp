@@ -1,0 +1,88 @@
+// E9 — Continuous safety and the comfort/energy/revenue trade
+// (paper §V-B).
+//
+// Claims: "safety need not be considered only binary: it can be
+// continuous"; "the (soft) safety margins may vary, depending on who
+// occupies a given space at a given time"; "the system may deliberately
+// violate these margins to minimize energy consumption"; "the revenue
+// the system provider receives (or the penalties ...) can be made
+// dependent on the comfort and energy savings."
+//
+// Setup: an 8-zone office building over 7 days of weather with diurnal
+// and sub-diurnal cycles, four controllers from rigid to price-aware.
+// Output: energy, cost, comfort violations, and provider revenue.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "safety/building.hpp"
+
+namespace {
+
+using namespace iiot;
+using namespace iiot::safety;
+
+void run_season(const char* label, WeatherModel::Params weather,
+                std::uint64_t seed) {
+  std::printf("\n-- %s --\n", label);
+  std::printf("%-14s %10s %10s %12s %12s %10s %10s\n", "controller",
+              "kWh", "cost[EUR]", "viol[K*h]", "worst[K]", "pay[EUR]",
+              "net[EUR]");
+  BuildingConfig cfg;
+  cfg.zones = 8;
+  struct Entry {
+    const char* name;
+    BuildingSim::ControllerFactory factory;
+  };
+  const Entry entries[] = {
+      {"bang-bang",
+       [] { return std::make_unique<BangBangController>(22.0, 0.5); }},
+      {"pi-fixed", [] { return std::make_unique<PiController>(22.0); }},
+      {"comfort-band",
+       [] { return std::make_unique<ComfortBandController>(); }},
+      {"price-aware",
+       [] { return std::make_unique<PriceAwareController>(); }},
+  };
+  for (const auto& e : entries) {
+    BuildingSim sim(cfg, weather, seed);
+    const SafetyMetrics m = sim.run(7.0, e.factory);
+    std::printf("%-14s %10.1f %10.2f %12.2f %12.2f %10.2f %10.2f\n",
+                e.name, m.energy_kwh, m.energy_cost,
+                m.violation_degree_hours, m.worst_violation_c,
+                m.comfort_payment, m.revenue());
+  }
+}
+
+}  // namespace
+
+int main() {
+  iiot::bench::print_header(
+      "E9: HVAC safety as a continuum — comfort, energy, and revenue",
+      "occupancy-aware soft margins save energy over rigid setpoints; "
+      "deliberate, price-aware margin violations can raise net revenue "
+      "if the penalty schedule prices comfort correctly");
+
+  WeatherModel::Params winter;
+  winter.mean_c = 2.0;
+  winter.diurnal_amplitude_c = 6.0;
+  winter.subdiurnal_amplitude_c = 3.0;
+  run_season("cold week (mean 2 C, sub-diurnal swings)", winter, 9);
+
+  WeatherModel::Params shoulder;
+  shoulder.mean_c = 12.0;
+  run_season("shoulder-season week (mean 12 C)", shoulder, 9);
+
+  WeatherModel::Params summer;
+  summer.mean_c = 26.0;
+  summer.diurnal_amplitude_c = 7.0;
+  run_season("hot week (mean 26 C, cooling-dominated)", summer, 9);
+
+  std::printf(
+      "\nShape check: comfort-band cuts energy versus bang-bang/PI by\n"
+      "setting back empty zones while keeping violations small (pre-\n"
+      "heating before occupancy); price-aware trades a bounded comfort\n"
+      "penalty during peak tariff for lower energy cost — whether its\n"
+      "net revenue beats comfort-band depends on the season and penalty\n"
+      "rate, which is exactly the coupling §V-B describes.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Shared helpers for the experiment harnesses (bench_e1 ... bench_e12).
+//
+// Each bench binary regenerates one experiment from DESIGN.md §3: it
+// sweeps the experiment's parameter axis, prints a table of the series
+// the paper's claim concerns, and states the claim being checked so the
+// output is self-describing. EXPERIMENTS.md records the measured shapes.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "sim/time.hpp"
+
+namespace iiot::bench {
+
+inline void print_header(const char* experiment, const char* claim) {
+  std::printf("\n==================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Claim under test: %s\n", claim);
+  std::printf("==================================================================\n");
+}
+
+inline double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) / 100.0 + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+inline double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+/// RPL configuration paced for the chosen MAC: duty-cycled MACs need a
+/// Trickle Imin no shorter than the wake interval.
+inline core::NodeConfig node_config(core::MacKind mac,
+                                    sim::Duration wake_interval = 500'000) {
+  core::NodeConfig cfg;
+  cfg.mac = mac;
+  cfg.lpl.wake_interval = wake_interval;
+  cfg.rimac.wake_interval = wake_interval;
+  if (mac == core::MacKind::kCsma) {
+    cfg.rpl.trickle = net::TrickleConfig{500'000, 8, 3};
+    cfg.rpl.dao_interval = 30'000'000;
+  } else {
+    // Control traffic is expensive on duty-cycled MACs (a broadcast
+    // occupies a full wake interval), so pace it accordingly.
+    cfg.rpl.trickle =
+        net::TrickleConfig{std::max<sim::Duration>(4 * wake_interval,
+                                                   2'000'000),
+                           8, 2};
+    cfg.rpl.dao_interval = 90'000'000;
+    cfg.rpl.dis_interval = 15'000'000;
+    // Contention bursts cause correlated ack losses; evicting the parent
+    // after only 3 of them causes repair storms whose broadcasts are
+    // ruinously expensive on duty-cycled MACs.
+    cfg.rpl.max_parent_failures = 6;
+  }
+  return cfg;
+}
+
+inline radio::PropagationConfig default_radio() {
+  radio::PropagationConfig cfg;
+  cfg.shadowing_sigma_db = 0.0;  // benches sweep seeds where it matters
+  return cfg;
+}
+
+}  // namespace iiot::bench

@@ -1,0 +1,66 @@
+// Building HVAC: the paper's continuous-safety scenario (§V-B).
+//
+// An 8-zone office building over one week: compares a rigid thermostat
+// with an occupancy-aware comfort-band controller and a price-aware one
+// that deliberately violates soft margins during peak tariff, and prints
+// the comfort / energy / revenue ledger that couples them.
+//
+// Run: ./example_building_hvac
+#include <cstdio>
+#include <memory>
+
+#include "safety/building.hpp"
+
+using namespace iiot::safety;  // NOLINT
+
+namespace {
+
+void print_ledger(const char* name, const SafetyMetrics& m) {
+  std::printf("%-14s | %8.1f kWh | %8.2f EUR energy | %7.2f K*h "
+              "violations (worst %.2f K) | pay %8.2f | net %8.2f EUR\n",
+              name, m.energy_kwh, m.energy_cost, m.violation_degree_hours,
+              m.worst_violation_c, m.comfort_payment, m.revenue());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("building HVAC: 8 zones, 7 winter days, sub-diurnal "
+              "weather cycles\n\n");
+
+  WeatherModel::Params weather;
+  weather.mean_c = 4.0;
+  weather.diurnal_amplitude_c = 7.0;
+  weather.subdiurnal_amplitude_c = 3.0;
+
+  BuildingConfig cfg;
+  cfg.zones = 8;
+
+  {
+    BuildingSim sim(cfg, weather, 2024);
+    print_ledger("bang-bang", sim.run(7.0, [] {
+      return std::make_unique<BangBangController>(22.0, 0.5);
+    }));
+  }
+  {
+    BuildingSim sim(cfg, weather, 2024);
+    print_ledger("comfort-band", sim.run(7.0, [] {
+      return std::make_unique<ComfortBandController>();
+    }));
+  }
+  {
+    BuildingSim sim(cfg, weather, 2024);
+    print_ledger("price-aware", sim.run(7.0, [] {
+      return std::make_unique<PriceAwareController>();
+    }));
+  }
+
+  std::printf(
+      "\nReading the ledger: the comfort-band controller saves energy by\n"
+      "setting back empty zones and pre-heating before occupancy; the\n"
+      "price-aware one additionally sheds load during peak tariff at the\n"
+      "cost of deliberate, bounded comfort violations. Whether that is\n"
+      "worth it depends entirely on how the contract prices comfort\n"
+      "versus energy — safety as a continuous, monetized quantity.\n");
+  return 0;
+}

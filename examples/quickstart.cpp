@@ -1,0 +1,75 @@
+// Quickstart: the smallest complete iiot system.
+//
+// Builds the paper's three tiers in ~60 lines of user code:
+//  - a 6-node low-power mesh (sensing-and-actuation tier),
+//  - a rule engine on the topic bus (application-logic tier),
+//  - a time-series store (data-storage tier),
+// then closes the loop: a temperature sensor on node 5 trips a rule that
+// actuates a fan on node 3, all over the simulated radio.
+//
+// Run: ./example_quickstart
+#include <cstdio>
+
+#include "core/system.hpp"
+
+using namespace iiot;        // NOLINT
+using namespace iiot::sim;   // NOLINT
+
+int main() {
+  Scheduler sched;
+  core::SystemConfig scfg;
+  scfg.propagation.shadowing_sigma_db = 0.0;
+  core::System system(sched, /*seed=*/42, scfg);
+
+  // Sensing-and-actuation tier: a 6-node line, node 0 is the border
+  // router ("root"), CSMA MAC + RPL routing by default.
+  core::NodeConfig node_cfg;
+  node_cfg.rpl.trickle = net::TrickleConfig{250'000, 8, 3};
+  node_cfg.rpl.dao_interval = 5'000'000;
+  auto& mesh = system.add_mesh("demo", node_cfg);
+  mesh.build_line(6, 25.0);
+  mesh.start();
+  system.bridge("demo", mesh);  // root -> topic bus -> time-series store
+
+  // A temperature sensor on node 5, reporting every 10 s.
+  double temperature = 21.0;
+  system.add_periodic_sensor(mesh.node(5), 3303, 10'000'000,
+                             [&temperature] { return temperature += 0.8; });
+
+  // A fan actuator on node 3.
+  system.add_actuator(mesh.node(3), 3306, [&](double percent) {
+    std::printf("[%8.1fs] node 3: fan set to %.0f%%\n",
+                to_seconds(sched.now()), percent);
+    temperature -= 5.0;  // the fan works
+  });
+
+  // Application logic: when node 5 reports >30 C, drive the fan.
+  backend::Condition cond;
+  cond.topic_filter = "demo/5/3303";
+  cond.op = backend::CmpOp::kGreater;
+  cond.threshold = 30.0;
+  backend::Action action;
+  action.callback = [&](const backend::RuleFiring& f) {
+    std::printf("[%8.1fs] rule '%s' fired: %s = %.1f C\n",
+                to_seconds(sched.now()), f.rule_id.c_str(),
+                f.topic.c_str(), f.value);
+    system.actuate(mesh, /*target=*/3, /*object=*/3306, 100.0);
+  };
+  system.rules().add_rule("overheat", cond, action);
+
+  std::printf("quickstart: forming the mesh and running 5 minutes...\n");
+  sched.run_until(300'000'000ULL);  // 5 simulated minutes
+
+  // Inspect the data-storage tier.
+  const auto points = system.store().query("demo/5/3303", 0, sched.now());
+  std::printf("\ntime-series 'demo/5/3303': %zu points stored\n",
+              points.size());
+  for (std::size_t i = 0; i < points.size(); i += 6) {
+    std::printf("  t=%6.1fs  %.1f C\n", to_seconds(points[i].at),
+                points[i].value);
+  }
+  std::printf("\nmesh: %zu nodes, %.0f%% joined, %.1f mJ total energy\n",
+              mesh.size(), mesh.joined_fraction() * 100.0,
+              mesh.total_energy_mj());
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Decomposable partial aggregates (TinyDB-class [31]).
+//
+// MIN/MAX/SUM/COUNT/AVG are all decomposable: partial states merge
+// associatively, so each hop of the collection tree can combine its
+// subtree into a constant-size record. That constant size — versus the
+// O(subtree) cost of raw collection — is the whole point of bench E3.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace iiot::agg {
+
+enum class AggFn : std::uint8_t { kMin, kMax, kSum, kCount, kAvg };
+
+struct PartialAggregate {
+  std::uint32_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void add_sample(double v) {
+    ++count;
+    sum += v;
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+
+  void merge(const PartialAggregate& o) {
+    count += o.count;
+    sum += o.sum;
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+  }
+
+  [[nodiscard]] bool empty() const { return count == 0; }
+
+  [[nodiscard]] double evaluate(AggFn fn) const {
+    switch (fn) {
+      case AggFn::kMin: return min;
+      case AggFn::kMax: return max;
+      case AggFn::kSum: return sum;
+      case AggFn::kCount: return static_cast<double>(count);
+      case AggFn::kAvg:
+        return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+    return 0.0;
+  }
+
+  /// 28 bytes on the wire, independent of subtree size.
+  void encode(BufWriter& w) const {
+    w.u32(count);
+    w.f64(sum);
+    w.f64(min);
+    w.f64(max);
+  }
+
+  static std::optional<PartialAggregate> decode(BufReader& r) {
+    auto c = r.u32();
+    auto s = r.f64();
+    auto mn = r.f64();
+    auto mx = r.f64();
+    if (!c || !s || !mn || !mx) return std::nullopt;
+    PartialAggregate p;
+    p.count = *c;
+    p.sum = *s;
+    p.min = *mn;
+    p.max = *mx;
+    return p;
+  }
+};
+
+}  // namespace iiot::agg

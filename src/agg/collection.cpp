@@ -1,0 +1,184 @@
+#include "agg/collection.hpp"
+
+#include <algorithm>
+
+#include <utility>
+
+namespace iiot::agg {
+
+namespace {
+constexpr std::uint8_t kTagRaw = 'R';
+constexpr std::uint8_t kTagAgg = 'A';
+}  // namespace
+
+// ------------------------------------------------------------------- raw
+
+RawCollection::RawCollection(net::RplRouting& routing, sim::Scheduler& sched,
+                             Rng rng, CollectionConfig cfg)
+    : routing_(routing), sched_(sched), rng_(rng), cfg_(cfg) {}
+
+void RawCollection::start(SampleFn sample) {
+  running_ = true;
+  sample_ = std::move(sample);
+  const sim::Time next =
+      ((sched_.now() / cfg_.epoch) + 1) * cfg_.epoch +
+      rng_.below(static_cast<std::uint32_t>(cfg_.sample_jitter));
+  timer_ = sched_.schedule_at(next, [this] { on_epoch(); });
+}
+
+void RawCollection::start_sink(RootHandler handler) {
+  running_ = true;
+  handler_ = std::move(handler);
+  routing_.set_delivery_handler(
+      [this](NodeId origin, BytesView payload, std::uint8_t) {
+        BufReader r(payload);
+        auto tag = r.u8();
+        auto epoch = r.u32();
+        auto value = r.f64();
+        if (!tag || *tag != kTagRaw || !epoch || !value) return;
+        if (handler_) handler_(*epoch, origin, *value);
+      });
+}
+
+void RawCollection::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+void RawCollection::on_epoch() {
+  if (!running_) return;
+  const sim::Time next =
+      ((sched_.now() / cfg_.epoch) + 1) * cfg_.epoch +
+      rng_.below(static_cast<std::uint32_t>(cfg_.sample_jitter));
+  timer_ = sched_.schedule_at(next, [this] { on_epoch(); });
+
+  epoch_no_ = static_cast<std::uint32_t>(sched_.now() / cfg_.epoch);
+  Buffer out;
+  BufWriter w(out);
+  w.u8(kTagRaw);
+  w.u32(epoch_no_);
+  w.f64(sample_ ? sample_() : 0.0);
+  if (routing_.send_up(std::move(out))) ++sent_;
+}
+
+// ----------------------------------------------------------- aggregation
+
+TreeAggregation::TreeAggregation(net::RplRouting& routing,
+                                 sim::Scheduler& sched, Rng rng,
+                                 CollectionConfig cfg)
+    : routing_(routing), sched_(sched), rng_(rng), cfg_(cfg) {}
+
+void TreeAggregation::start(SampleFn sample) {
+  running_ = true;
+  is_sink_ = false;
+  sample_ = std::move(sample);
+  routing_.set_forward_interceptor(
+      [this](NodeId origin, BytesView p) { return intercept(origin, p); });
+  const sim::Time next = ((sched_.now() / cfg_.epoch) + 1) * cfg_.epoch;
+  timer_ = sched_.schedule_at(next, [this] { on_epoch_boundary(); });
+}
+
+void TreeAggregation::start_sink(RootHandler handler) {
+  running_ = true;
+  is_sink_ = true;
+  handler_ = std::move(handler);
+  routing_.set_forward_interceptor(
+      [this](NodeId origin, BytesView p) { return intercept(origin, p); });
+  const sim::Time next = ((sched_.now() / cfg_.epoch) + 1) * cfg_.epoch;
+  timer_ = sched_.schedule_at(next, [this] { on_epoch_boundary(); });
+}
+
+void TreeAggregation::stop() {
+  running_ = false;
+  timer_.cancel();
+  for (auto& [_, h] : holddowns_) h.cancel();
+  holddowns_.clear();
+}
+
+void TreeAggregation::on_epoch_boundary() {
+  if (!running_) return;
+  const sim::Time boundary = sched_.now();
+  timer_ =
+      sched_.schedule_at(boundary + cfg_.epoch, [this] { on_epoch_boundary(); });
+  const auto epoch = static_cast<std::uint32_t>(boundary / cfg_.epoch);
+  epoch_no_ = epoch;
+
+  if (is_sink_) {
+    // Report with one full epoch of grace: stragglers that missed their
+    // own epoch's flush ride the next one, so epoch k is complete by the
+    // end of epoch k+1.
+    sched_.schedule_after(cfg_.flush_slack, [this, epoch] {
+      if (!running_ || epoch < 2) return;
+      const std::uint32_t target = epoch - 2;
+      auto it = pending_.find(target);
+      PartialAggregate result;
+      if (it != pending_.end()) {
+        result = it->second;
+        pending_.erase(it);
+      }
+      if (handler_) handler_(target, result);
+    });
+    return;
+  }
+
+  // Sensor node: sample early in the epoch...
+  const auto jitter = static_cast<sim::Duration>(
+      rng_.below(static_cast<std::uint32_t>(cfg_.sample_jitter)));
+  sched_.schedule_after(jitter, [this, epoch] {
+    if (!running_) return;
+    pending_[epoch].add_sample(sample_ ? sample_() : 0.0);
+  });
+  // ... and flush near the epoch's end, staggered by *true* hop depth
+  // (advertised in DIOs) so children flush one slack before their
+  // parents and partials pipeline to the root within the same epoch.
+  const std::uint8_t depth =
+      routing_.hop_depth() == 0xFF ? 1 : routing_.hop_depth();
+  const sim::Duration before_end = std::min<sim::Duration>(
+      cfg_.flush_slack * static_cast<sim::Duration>(depth + 1),
+      cfg_.epoch / 2);
+  // Jitter within the tier: all depth-d nodes share a flush tier, and
+  // without jitter they would transmit at the same instant and collide.
+  const auto flush_jitter = static_cast<sim::Duration>(
+      rng_.below(static_cast<std::uint32_t>(
+          std::max<sim::Duration>(cfg_.flush_slack / 2, 1))));
+  holddowns_[epoch] =
+      sched_.schedule_at(boundary + cfg_.epoch - before_end + flush_jitter,
+                         [this, epoch] { flush(epoch); });
+}
+
+void TreeAggregation::flush(std::uint32_t epoch) {
+  if (!running_ || is_sink_) return;
+  holddowns_.erase(epoch);
+  // Ship everything at or before this epoch: late child partials ride
+  // the next flush instead of being dropped.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->first > epoch || it->second.empty()) {
+      ++it;
+      continue;
+    }
+    Buffer out;
+    BufWriter w(out);
+    w.u8(kTagAgg);
+    w.u32(it->first);
+    it->second.encode(w);
+    it = pending_.erase(it);
+    if (routing_.send_up(std::move(out))) ++sent_;
+  }
+}
+
+bool TreeAggregation::intercept(NodeId origin, BytesView payload) {
+  (void)origin;
+  if (!running_) return false;
+  BufReader r(payload);
+  auto tag = r.u8();
+  if (!tag || *tag != kTagAgg) return false;  // not ours: forward normally
+  auto epoch = r.u32();
+  if (!epoch) return true;  // malformed aggregation record: drop
+  auto partial = PartialAggregate::decode(r);
+  if (!partial) return true;
+  pending_[*epoch].merge(*partial);
+  ++merged_;
+  return true;  // consumed at this hop
+}
+
+}  // namespace iiot::agg

@@ -1,0 +1,99 @@
+// Epoch-based data collection over the RPL DODAG: raw vs in-network
+// aggregated, the two sides of experiment E3 (§IV-B: "by utilizing
+// in-network aggregation ... it is possible to alleviate the effects of
+// the heavy load in the vicinity of border routers").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "agg/aggregate.hpp"
+#include "net/rpl.hpp"
+#include "sim/scheduler.hpp"
+
+namespace iiot::agg {
+
+/// Produces the node's sensor reading for the current epoch.
+using SampleFn = std::function<double()>;
+
+struct CollectionConfig {
+  sim::Duration epoch = 30'000'000;   // 30 s sampling epoch
+  /// Holddown: a node that has data for an epoch waits this long for
+  /// more children's partials to merge before forwarding one hop.
+  sim::Duration flush_slack = 400'000;
+  sim::Duration sample_jitter = 2'000'000;
+};
+
+/// Baseline: every node ships its raw reading to the root each epoch.
+/// Root-side handler receives (epoch, origin, value).
+class RawCollection {
+ public:
+  using RootHandler =
+      std::function<void(std::uint32_t epoch, NodeId origin, double value)>;
+
+  RawCollection(net::RplRouting& routing, sim::Scheduler& sched, Rng rng,
+                CollectionConfig cfg = {});
+
+  void start(SampleFn sample);          // on sensor nodes
+  void start_sink(RootHandler handler); // on the root
+  void stop();
+
+  [[nodiscard]] std::uint64_t samples_sent() const { return sent_; }
+
+ private:
+  void on_epoch();
+
+  net::RplRouting& routing_;
+  sim::Scheduler& sched_;
+  Rng rng_;
+  CollectionConfig cfg_;
+  SampleFn sample_;
+  RootHandler handler_;
+  bool running_ = false;
+  std::uint32_t epoch_no_ = 0;
+  std::uint64_t sent_ = 0;
+  sim::EventHandle timer_;
+};
+
+/// In-network aggregation: each node merges its subtree's partials and
+/// emits one constant-size record per epoch. Root-side handler receives
+/// the network-wide aggregate.
+class TreeAggregation {
+ public:
+  using RootHandler =
+      std::function<void(std::uint32_t epoch, const PartialAggregate&)>;
+
+  TreeAggregation(net::RplRouting& routing, sim::Scheduler& sched, Rng rng,
+                  CollectionConfig cfg = {});
+
+  void start(SampleFn sample);
+  void start_sink(RootHandler handler);
+  void stop();
+
+  [[nodiscard]] std::uint64_t partials_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t partials_merged() const { return merged_; }
+
+ private:
+  void on_epoch_boundary();
+  void flush(std::uint32_t epoch);
+  bool intercept(NodeId origin, BytesView payload);
+
+  net::RplRouting& routing_;
+  sim::Scheduler& sched_;
+  Rng rng_;
+  CollectionConfig cfg_;
+  SampleFn sample_;
+  RootHandler handler_;
+  bool running_ = false;
+  bool is_sink_ = false;
+  std::uint32_t epoch_no_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t merged_ = 0;
+  std::map<std::uint32_t, PartialAggregate> pending_;  // epoch -> partial
+  std::map<std::uint32_t, sim::EventHandle> holddowns_;
+  sim::EventHandle timer_;
+};
+
+}  // namespace iiot::agg

@@ -1,0 +1,109 @@
+#include "backend/registry.hpp"
+
+namespace iiot::backend {
+
+std::uint64_t ConsistentHashRing::hash(const std::string& s) {
+  // FNV-1a 64, then a SplitMix finalizer for avalanche.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+void ConsistentHashRing::add_node(const std::string& node) {
+  for (int v = 0; v < vnodes_; ++v) {
+    ring_[hash(node + "#" + std::to_string(v))] = node;
+  }
+  ++nodes_;
+}
+
+void ConsistentHashRing::remove_node(const std::string& node) {
+  bool removed = false;
+  for (int v = 0; v < vnodes_; ++v) {
+    removed |= ring_.erase(hash(node + "#" + std::to_string(v))) > 0;
+  }
+  if (removed && nodes_ > 0) --nodes_;
+}
+
+std::optional<std::string> ConsistentHashRing::owner(
+    const std::string& key) const {
+  if (ring_.empty()) return std::nullopt;
+  auto it = ring_.lower_bound(hash(key));
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+Directory::Directory(sim::Scheduler& sched, DirectoryMode mode,
+                     DirectoryConfig cfg)
+    : sched_(sched), mode_(mode), cfg_(cfg), ring_(cfg.vnodes) {
+  const int n = mode == DirectoryMode::kCentral ? 1 : cfg.server_count;
+  if (mode == DirectoryMode::kPartitioned) {
+    frontend_ =
+        std::make_unique<QueuedServer>(sched_, cfg_.frontend_service_time);
+  }
+  for (int i = 0; i < n; ++i) {
+    servers_.push_back(
+        std::make_unique<QueuedServer>(sched_, cfg_.service_time));
+    shards_.emplace_back();
+    ring_.add_node("server-" + std::to_string(i));
+  }
+}
+
+std::size_t Directory::server_for(const std::string& name) const {
+  if (mode_ == DirectoryMode::kCentral) return 0;
+  // Both partitioned and decentralized place by consistent hashing; the
+  // difference is who pays the lookup hop (see lookup()).
+  const auto owner = ring_.owner(name);
+  if (!owner) return 0;
+  return static_cast<std::size_t>(
+      std::stoi(owner->substr(owner->find('-') + 1)));
+}
+
+void Directory::register_service(const std::string& name,
+                                 const std::string& addr) {
+  shards_[server_for(name)][name] = addr;
+}
+
+void Directory::lookup(const std::string& name, LookupCallback done) {
+  const std::size_t idx = server_for(name);
+  const sim::Time start = sched_.now();
+  auto serve = [this, idx, name, start,
+                done = std::move(done)]() mutable {
+    servers_[idx]->submit([this, idx, name, start,
+                           done = std::move(done)]() mutable {
+      std::optional<std::string> addr;
+      auto it = shards_[idx].find(name);
+      if (it != shards_[idx].end()) addr = it->second;
+      sched_.schedule_after(cfg_.rtt / 2,
+                            [this, start, addr = std::move(addr),
+                             done = std::move(done)] {
+                              done(sched_.now() - start, addr);
+                            });
+    });
+  };
+  sched_.schedule_after(
+      cfg_.rtt / 2, [this, serve = std::move(serve)]() mutable {
+        if (mode_ == DirectoryMode::kPartitioned) {
+          // Clients do not know the shard map: transit the front-end
+          // router first. Decentralized clients hit the owner directly.
+          frontend_->submit(std::move(serve));
+        } else {
+          serve();
+        }
+      });
+}
+
+std::size_t Directory::entries() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s.size();
+  return n;
+}
+
+}  // namespace iiot::backend

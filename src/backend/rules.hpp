@@ -1,0 +1,118 @@
+// Condition → actuation rule engine: the application-logic tier's
+// closed-loop path from sensed values back down to actuators.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "backend/topic_bus.hpp"
+
+namespace iiot::backend {
+
+enum class CmpOp { kLess, kLessEqual, kGreater, kGreaterEqual, kEqual };
+
+struct Condition {
+  std::string topic_filter;  // which measurements to watch
+  CmpOp op = CmpOp::kGreater;
+  double threshold = 0.0;
+  /// Consecutive matching samples required before firing (debounce).
+  int consecutive = 1;
+
+  [[nodiscard]] bool holds(double v) const {
+    switch (op) {
+      case CmpOp::kLess: return v < threshold;
+      case CmpOp::kLessEqual: return v <= threshold;
+      case CmpOp::kGreater: return v > threshold;
+      case CmpOp::kGreaterEqual: return v >= threshold;
+      case CmpOp::kEqual: return v == threshold;
+    }
+    return false;
+  }
+};
+
+struct RuleFiring {
+  std::string rule_id;
+  std::string topic;   // measurement topic that triggered
+  double value = 0.0;
+};
+
+/// Action: publishes a command on the bus and/or invokes a callback.
+struct Action {
+  std::string command_topic;  // empty = no publish
+  std::string command_payload;
+  std::function<void(const RuleFiring&)> callback;  // may be empty
+};
+
+class RuleEngine {
+ public:
+  explicit RuleEngine(TopicBus& bus) : bus_(bus) {}
+
+  /// Installs a rule; measurements must be numeric ASCII payloads.
+  void add_rule(std::string id, Condition cond, Action action) {
+    auto rule = std::make_shared<Rule>();
+    rule->id = id;
+    rule->cond = std::move(cond);
+    rule->action = std::move(action);
+    rule->sub = bus_.subscribe(
+        rule->cond.topic_filter,
+        [this, rule](const std::string& topic, BytesView payload) {
+          evaluate(*rule, topic, payload);
+        });
+    rules_[std::move(id)] = rule;
+  }
+
+  void remove_rule(const std::string& id) {
+    auto it = rules_.find(id);
+    if (it == rules_.end()) return;
+    bus_.unsubscribe(it->second->sub);
+    rules_.erase(it);
+  }
+
+  [[nodiscard]] std::size_t rule_count() const { return rules_.size(); }
+  [[nodiscard]] std::uint64_t firings() const { return firings_; }
+
+ private:
+  struct Rule {
+    std::string id;
+    Condition cond;
+    Action action;
+    TopicBus::SubId sub = 0;
+    std::map<std::string, int> streak;  // per-topic debounce state
+  };
+
+  void evaluate(Rule& rule, const std::string& topic, BytesView payload) {
+    const auto value = parse_number(payload);
+    if (!value) return;
+    int& streak = rule.streak[topic];
+    if (!rule.cond.holds(*value)) {
+      streak = 0;
+      return;
+    }
+    if (++streak < rule.cond.consecutive) return;
+    streak = 0;
+    ++firings_;
+    RuleFiring firing{rule.id, topic, *value};
+    if (!rule.action.command_topic.empty()) {
+      bus_.publish(rule.action.command_topic, rule.action.command_payload);
+    }
+    if (rule.action.callback) rule.action.callback(firing);
+  }
+
+  static std::optional<double> parse_number(BytesView payload) {
+    std::string s(payload.begin(), payload.end());
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str()) return std::nullopt;
+    return v;
+  }
+
+  TopicBus& bus_;
+  std::map<std::string, std::shared_ptr<Rule>> rules_;
+  std::uint64_t firings_ = 0;
+};
+
+}  // namespace iiot::backend

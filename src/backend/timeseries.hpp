@@ -1,0 +1,111 @@
+// In-memory time-series store — the data-storage tier of Fig. 1.
+// Append-only per-series logs with retention and bucketed downsampling.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace iiot::backend {
+
+struct Point {
+  sim::Time at = 0;
+  double value = 0.0;
+};
+
+struct RetentionPolicy {
+  sim::Duration max_age = 0;      // 0 = unlimited
+  std::size_t max_points = 0;     // 0 = unlimited
+};
+
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(RetentionPolicy retention = {})
+      : retention_(retention) {}
+
+  void append(const std::string& series, sim::Time at, double value) {
+    auto& log = series_[series];
+    // Enforce monotone time per series (out-of-order points are clamped).
+    if (!log.empty() && at < log.back().at) at = log.back().at;
+    log.push_back(Point{at, value});
+    ++appended_;
+    enforce_retention(log, at);
+  }
+
+  [[nodiscard]] std::optional<Point> latest(const std::string& series) const {
+    auto it = series_.find(series);
+    if (it == series_.end() || it->second.empty()) return std::nullopt;
+    return it->second.back();
+  }
+
+  /// Points with at in [from, to].
+  [[nodiscard]] std::vector<Point> query(const std::string& series,
+                                         sim::Time from, sim::Time to) const {
+    std::vector<Point> out;
+    auto it = series_.find(series);
+    if (it == series_.end()) return out;
+    for (const Point& p : it->second) {
+      if (p.at >= from && p.at <= to) out.push_back(p);
+    }
+    return out;
+  }
+
+  /// Average-downsampled view: one point per `bucket` of time.
+  [[nodiscard]] std::vector<Point> downsample(const std::string& series,
+                                              sim::Time from, sim::Time to,
+                                              sim::Duration bucket) const {
+    std::vector<Point> out;
+    if (bucket == 0) return out;
+    auto raw = query(series, from, to);
+    std::size_t i = 0;
+    while (i < raw.size()) {
+      const sim::Time start = raw[i].at - (raw[i].at - from) % bucket;
+      double sum = 0;
+      std::size_t n = 0;
+      while (i < raw.size() && raw[i].at < start + bucket) {
+        sum += raw[i].value;
+        ++n;
+        ++i;
+      }
+      out.push_back(Point{start, sum / static_cast<double>(n)});
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t series_count() const { return series_.size(); }
+  [[nodiscard]] std::size_t points(const std::string& series) const {
+    auto it = series_.find(series);
+    return it == series_.end() ? 0 : it->second.size();
+  }
+  [[nodiscard]] std::uint64_t total_appended() const { return appended_; }
+  [[nodiscard]] std::vector<std::string> series_names() const {
+    std::vector<std::string> out;
+    out.reserve(series_.size());
+    for (const auto& [name, _] : series_) out.push_back(name);
+    return out;
+  }
+
+ private:
+  void enforce_retention(std::deque<Point>& log, sim::Time now) {
+    if (retention_.max_age > 0) {
+      while (!log.empty() &&
+             log.front().at + retention_.max_age < now) {
+        log.pop_front();
+      }
+    }
+    if (retention_.max_points > 0) {
+      while (log.size() > retention_.max_points) log.pop_front();
+    }
+  }
+
+  RetentionPolicy retention_;
+  std::map<std::string, std::deque<Point>> series_;
+  std::uint64_t appended_ = 0;
+};
+
+}  // namespace iiot::backend

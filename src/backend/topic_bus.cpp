@@ -1,0 +1,29 @@
+#include "backend/topic_bus.hpp"
+
+namespace iiot::backend {
+
+bool topic_matches(std::string_view filter, std::string_view topic) {
+  std::size_t fi = 0, ti = 0;
+  while (fi <= filter.size() && ti <= topic.size()) {
+    // Extract next level of each.
+    const std::size_t fend = std::min(filter.find('/', fi), filter.size());
+    const std::size_t tend = std::min(topic.find('/', ti), topic.size());
+    const std::string_view flevel = filter.substr(fi, fend - fi);
+    const std::string_view tlevel = topic.substr(ti, tend - ti);
+
+    if (flevel == "#") return true;  // matches everything below
+    const bool last_f = fend >= filter.size();
+    const bool last_t = tend >= topic.size();
+    if (flevel != "+" && flevel != tlevel) return false;
+    if (last_f && last_t) return true;
+    if (last_f != last_t) {
+      // One ran out first; only "level/#" handles that, checked above.
+      return false;
+    }
+    fi = fend + 1;
+    ti = tend + 1;
+  }
+  return false;
+}
+
+}  // namespace iiot::backend

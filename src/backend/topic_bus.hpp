@@ -1,0 +1,71 @@
+// Topic-based publish/subscribe bus (MQTT-style wildcards) — the
+// application-logic tier's integration fabric (Fig. 1's middle layer).
+//
+// Topic filters support '+' (one level) and '#' (all remaining levels),
+// e.g. "site1/+/temperature" or "site1/floor2/#".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace iiot::backend {
+
+/// True iff `filter` matches `topic` under MQTT matching rules.
+[[nodiscard]] bool topic_matches(std::string_view filter,
+                                 std::string_view topic);
+
+class TopicBus {
+ public:
+  using Handler =
+      std::function<void(const std::string& topic, BytesView payload)>;
+  using SubId = std::uint64_t;
+
+  SubId subscribe(std::string filter, Handler handler) {
+    const SubId id = next_id_++;
+    subs_.emplace(id, Subscription{std::move(filter), std::move(handler)});
+    return id;
+  }
+
+  void unsubscribe(SubId id) { subs_.erase(id); }
+
+  /// Synchronous fan-out to every matching subscriber.
+  void publish(const std::string& topic, BytesView payload) {
+    ++published_;
+    for (auto& [id, sub] : subs_) {
+      if (topic_matches(sub.filter, topic)) {
+        ++delivered_;
+        sub.handler(topic, payload);
+      }
+    }
+  }
+
+  void publish(const std::string& topic, const std::string& payload) {
+    publish(topic, BytesView(reinterpret_cast<const std::uint8_t*>(
+                                 payload.data()),
+                             payload.size()));
+  }
+
+  [[nodiscard]] std::size_t subscription_count() const {
+    return subs_.size();
+  }
+  [[nodiscard]] std::uint64_t published() const { return published_; }
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+
+ private:
+  struct Subscription {
+    std::string filter;
+    Handler handler;
+  };
+  std::map<SubId, Subscription> subs_;
+  SubId next_id_ = 1;
+  std::uint64_t published_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace iiot::backend

@@ -1,0 +1,356 @@
+#include "coap/endpoint.hpp"
+
+#include <utility>
+
+namespace iiot::coap {
+
+Endpoint::Endpoint(NodeId self, sim::Scheduler& sched, Rng rng, SendFn send,
+                   CoapConfig cfg)
+    : self_(self),
+      sched_(sched),
+      rng_(rng),
+      send_(std::move(send)),
+      cfg_(cfg),
+      next_mid_(static_cast<std::uint16_t>(rng_.next_u32())) {}
+
+// ------------------------------------------------------------- client API
+
+void Endpoint::get(NodeId dst, std::string_view path, ResponseHandler h) {
+  request(dst, Code::kGet, path, {}, std::move(h), false);
+}
+void Endpoint::put(NodeId dst, std::string_view path, Buffer payload,
+                   ResponseHandler h) {
+  request(dst, Code::kPut, path, std::move(payload), std::move(h), false);
+}
+void Endpoint::post(NodeId dst, std::string_view path, Buffer payload,
+                    ResponseHandler h) {
+  request(dst, Code::kPost, path, std::move(payload), std::move(h), false);
+}
+void Endpoint::del(NodeId dst, std::string_view path, ResponseHandler h) {
+  request(dst, Code::kDelete, path, {}, std::move(h), false);
+}
+
+void Endpoint::observe(NodeId dst, std::string_view path,
+                       NotifyHandler on_notify) {
+  const Token token = next_token_++;
+  Observation obs;
+  obs.dst = dst;
+  obs.path = std::string(path);
+  obs.handler = std::move(on_notify);
+  observations_[token] = std::move(obs);
+
+  Message m;
+  m.type = Type::kConfirmable;
+  m.code = Code::kGet;
+  m.message_id = next_mid_++;
+  m.token = token;
+  m.add_option(Option::make_uint(OptionNumber::kObserve, 0));
+  m.set_uri_path(path);
+  transmit(dst, m, token);
+}
+
+void Endpoint::cancel_observe(NodeId dst, std::string_view path) {
+  for (auto it = observations_.begin(); it != observations_.end();) {
+    if (it->second.dst == dst && it->second.path == path) {
+      // RFC 7641 §3.6: GET with Observe=1 deregisters.
+      Message m;
+      m.type = Type::kNonConfirmable;
+      m.code = Code::kGet;
+      m.message_id = next_mid_++;
+      m.token = it->first;
+      m.add_option(Option::make_uint(OptionNumber::kObserve, 1));
+      m.set_uri_path(path);
+      transmit(dst, m, 0);
+      it = observations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Endpoint::request(NodeId dst, Code method, std::string_view path,
+                       Buffer payload, ResponseHandler h, bool observe_flag) {
+  const Token token = next_token_++;
+  pending_requests_[token] = PendingRequest{dst, std::move(h)};
+
+  Message m;
+  m.type = Type::kConfirmable;
+  m.code = method;
+  m.message_id = next_mid_++;
+  m.token = token;
+  if (observe_flag) {
+    m.add_option(Option::make_uint(OptionNumber::kObserve, 0));
+  }
+  m.set_uri_path(path);
+  m.payload = std::move(payload);
+  transmit(dst, m, token);
+}
+
+// --------------------------------------------------------- message layer
+
+void Endpoint::transmit(NodeId dst, const Message& m, Token request_token) {
+  Buffer wire = m.encode();
+  ++stats_.tx_messages;
+  stats_.tx_bytes += wire.size();
+  if (m.type == Type::kConfirmable) {
+    PendingCon pc;
+    pc.dst = dst;
+    pc.wire = wire;
+    pc.token = request_token;
+    pc.timeout = static_cast<sim::Duration>(
+        static_cast<double>(cfg_.ack_timeout) *
+        rng_.uniform(1.0, cfg_.ack_random_factor));
+    pending_cons_[m.message_id] = std::move(pc);
+    arm_retransmit(m.message_id);
+  }
+  send_(dst, std::move(wire));
+}
+
+void Endpoint::arm_retransmit(std::uint16_t mid) {
+  auto it = pending_cons_.find(mid);
+  if (it == pending_cons_.end()) return;
+  PendingCon& pc = it->second;
+  pc.timer = sched_.schedule_after(pc.timeout, [this, mid] {
+    auto pit = pending_cons_.find(mid);
+    if (pit == pending_cons_.end()) return;
+    PendingCon& p = pit->second;
+    if (p.retries >= cfg_.max_retransmit) {
+      ++stats_.timeouts;
+      const Token tok = p.token;
+      pending_cons_.erase(pit);
+      if (tok != 0) fail_request(tok, Error{Error::Code::kTimeout, "coap"});
+      return;
+    }
+    ++p.retries;
+    ++stats_.retransmissions;
+    p.timeout *= 2;  // exponential backoff
+    ++stats_.tx_messages;
+    stats_.tx_bytes += p.wire.size();
+    send_(p.dst, p.wire);
+    arm_retransmit(mid);
+  });
+}
+
+void Endpoint::fail_request(Token token, Error err) {
+  if (auto it = pending_requests_.find(token);
+      it != pending_requests_.end()) {
+    auto handler = std::move(it->second.handler);
+    pending_requests_.erase(it);
+    if (handler) handler(std::move(err));
+    return;
+  }
+  observations_.erase(token);  // dead observation
+}
+
+void Endpoint::on_datagram(NodeId src, BytesView bytes) {
+  auto decoded = Message::decode(bytes);
+  if (!decoded.ok()) return;
+  Message m = std::move(decoded).take();
+  ++stats_.rx_messages;
+
+  switch (m.type) {
+    case Type::kAck: {
+      if (auto it = pending_cons_.find(m.message_id);
+          it != pending_cons_.end()) {
+        it->second.timer.cancel();
+        pending_cons_.erase(it);
+      }
+      if (m.code != Code::kEmpty) handle_response(src, m);
+      return;
+    }
+    case Type::kReset: {
+      Token tok = 0;
+      if (auto it = pending_cons_.find(m.message_id);
+          it != pending_cons_.end()) {
+        tok = it->second.token;
+        it->second.timer.cancel();
+        pending_cons_.erase(it);
+      }
+      if (tok != 0) {
+        fail_request(tok, Error{Error::Code::kUnavailable, "coap: reset"});
+      }
+      return;
+    }
+    case Type::kConfirmable:
+    case Type::kNonConfirmable:
+      break;
+  }
+
+  if (is_request(m.code)) {
+    if (m.type == Type::kConfirmable && is_duplicate(src, m.message_id)) {
+      ++stats_.duplicates;
+      // Replay the cached reply, if any.
+      auto& cached = exchange_cache_[{src, m.message_id}];
+      if (!cached.empty()) {
+        ++stats_.tx_messages;
+        stats_.tx_bytes += cached.size();
+        send_(src, cached);
+      }
+      return;
+    }
+    handle_request(src, m);
+    return;
+  }
+  if (is_response(m.code)) {
+    if (m.type == Type::kConfirmable) {
+      // Separate response: acknowledge it.
+      Message ack;
+      ack.type = Type::kAck;
+      ack.code = Code::kEmpty;
+      ack.message_id = m.message_id;
+      transmit(src, ack, 0);
+    }
+    handle_response(src, m);
+  }
+}
+
+// ------------------------------------------------------------ server side
+
+void Endpoint::add_resource(std::string path, ResourceHandler h) {
+  resources_[std::move(path)] = std::move(h);
+}
+
+void Endpoint::remove_resource(const std::string& path) {
+  resources_.erase(path);
+  observers_.erase(path);
+}
+
+std::size_t Endpoint::observer_count(const std::string& path) const {
+  auto it = observers_.find(path);
+  return it == observers_.end() ? 0 : it->second.size();
+}
+
+void Endpoint::handle_request(NodeId src, const Message& m) {
+  ++stats_.requests_served;
+  Request req;
+  req.from = src;
+  req.method = m.code;
+  req.path = m.uri_path();
+  req.payload = m.payload;
+  req.raw = &m;
+
+  Response rsp;
+  auto rit = resources_.find(req.path);
+  if (rit == resources_.end()) {
+    rsp.code = Code::kNotFound;
+  } else {
+    rsp = rit->second(req);
+  }
+
+  // Observe registration / deregistration.
+  bool observing = false;
+  if (auto obs = m.observe(); obs && m.code == Code::kGet &&
+                              rit != resources_.end() &&
+                              is_success(rsp.code)) {
+    auto& list = observers_[req.path];
+    if (*obs == 0) {
+      bool exists = false;
+      for (auto& o : list) {
+        if (o.addr == src && o.token == m.token) exists = true;
+      }
+      if (!exists) list.push_back(Observer{src, m.token, 1, 0});
+      observing = true;
+      rsp.options.push_back(Option::make_uint(OptionNumber::kObserve, 1));
+    } else {
+      std::erase_if(list, [&](const Observer& o) {
+        return o.addr == src && o.token == m.token;
+      });
+    }
+  }
+  (void)observing;
+
+  Message reply;
+  reply.code = rsp.code;
+  reply.token = m.token;
+  reply.token_length = m.token_length;
+  reply.options = std::move(rsp.options);
+  reply.payload = std::move(rsp.payload);
+  if (m.type == Type::kConfirmable) {
+    reply.type = Type::kAck;  // piggybacked response
+    reply.message_id = m.message_id;
+    Buffer wire = reply.encode();
+    remember_exchange(src, m.message_id, wire);
+    ++stats_.tx_messages;
+    stats_.tx_bytes += wire.size();
+    send_(src, std::move(wire));
+  } else {
+    reply.type = Type::kNonConfirmable;
+    reply.message_id = next_mid_++;
+    transmit(src, reply, 0);
+  }
+}
+
+void Endpoint::notify_observers(const std::string& path) {
+  auto oit = observers_.find(path);
+  auto rit = resources_.find(path);
+  if (oit == observers_.end() || rit == resources_.end()) return;
+  for (auto& obs : oit->second) {
+    Request req;
+    req.from = obs.addr;
+    req.method = Code::kGet;
+    req.path = path;
+    Response rsp = rit->second(req);
+
+    Message m;
+    const bool confirmable =
+        cfg_.confirmable_notify_every > 0 &&
+        (obs.notifications % cfg_.confirmable_notify_every) ==
+            cfg_.confirmable_notify_every - 1;
+    m.type = confirmable ? Type::kConfirmable : Type::kNonConfirmable;
+    m.code = rsp.code;
+    m.message_id = next_mid_++;
+    m.token = obs.token;
+    m.add_option(Option::make_uint(OptionNumber::kObserve, ++obs.seq));
+    m.options.insert(m.options.end(), rsp.options.begin(),
+                     rsp.options.end());
+    m.payload = std::move(rsp.payload);
+    ++obs.notifications;
+    ++stats_.notifications_sent;
+    transmit(obs.addr, m, 0);
+  }
+}
+
+// ------------------------------------------------------------ client side
+
+void Endpoint::handle_response(NodeId src, const Message& m) {
+  (void)src;
+  // Observation notification?
+  if (auto it = observations_.find(m.token); it != observations_.end()) {
+    Response rsp;
+    rsp.code = m.code;
+    rsp.payload = m.payload;
+    rsp.options = m.options;
+    it->second.handler(rsp);
+    return;
+  }
+  if (auto it = pending_requests_.find(m.token);
+      it != pending_requests_.end()) {
+    auto handler = std::move(it->second.handler);
+    pending_requests_.erase(it);
+    Response rsp;
+    rsp.code = m.code;
+    rsp.payload = m.payload;
+    rsp.options = m.options;
+    if (handler) handler(std::move(rsp));
+  }
+}
+
+// ------------------------------------------------------- duplicate cache
+
+bool Endpoint::is_duplicate(NodeId src, std::uint16_t mid) {
+  return exchange_cache_.count({src, mid}) > 0;
+}
+
+void Endpoint::remember_exchange(NodeId src, std::uint16_t mid,
+                                 Buffer reply) {
+  auto key = std::make_pair(src, mid);
+  if (exchange_cache_.emplace(key, std::move(reply)).second) {
+    exchange_fifo_.push_back(key);
+    if (exchange_fifo_.size() > cfg_.dedup_capacity) {
+      exchange_cache_.erase(exchange_fifo_.front());
+      exchange_fifo_.pop_front();
+    }
+  }
+}
+
+}  // namespace iiot::coap

@@ -1,0 +1,161 @@
+// CoAP endpoint: message-layer reliability (CON retransmission with
+// exponential backoff, duplicate detection), request/response matching by
+// token, a server-side resource registry, and Observe (RFC 7641)
+// subscriptions. Transport-agnostic: plug any datagram carrier (the RPL
+// mesh, the backend loopback, a gateway adapter) via SendFn/on_datagram.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "coap/message.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/scheduler.hpp"
+
+namespace iiot::coap {
+
+struct CoapConfig {
+  sim::Duration ack_timeout = 2'000'000;   // RFC 7252 ACK_TIMEOUT
+  double ack_random_factor = 1.5;
+  int max_retransmit = 4;
+  std::size_t dedup_capacity = 128;
+  /// Every Nth observe notification is sent confirmable (liveness check);
+  /// 0 disables confirmable notifications entirely.
+  int confirmable_notify_every = 8;
+};
+
+struct Request {
+  NodeId from = kInvalidNode;
+  Code method = Code::kGet;
+  std::string path;
+  Buffer payload;
+  const Message* raw = nullptr;
+};
+
+struct Response {
+  Code code = Code::kContent;
+  Buffer payload;
+  std::vector<Option> options;
+};
+
+struct CoapStats {
+  std::uint64_t tx_messages = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_messages = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t requests_served = 0;
+  std::uint64_t notifications_sent = 0;
+};
+
+class Endpoint {
+ public:
+  using SendFn = std::function<bool(NodeId dst, Buffer bytes)>;
+  using ResponseHandler = std::function<void(Result<Response>)>;
+  using NotifyHandler = std::function<void(const Response&)>;
+  using ResourceHandler = std::function<Response(const Request&)>;
+
+  Endpoint(NodeId self, sim::Scheduler& sched, Rng rng, SendFn send,
+           CoapConfig cfg = {});
+
+  /// Feed an incoming datagram from the transport below.
+  void on_datagram(NodeId src, BytesView bytes);
+
+  // ---- client API ----------------------------------------------------
+  void get(NodeId dst, std::string_view path, ResponseHandler h);
+  void put(NodeId dst, std::string_view path, Buffer payload,
+           ResponseHandler h);
+  void post(NodeId dst, std::string_view path, Buffer payload,
+            ResponseHandler h);
+  void del(NodeId dst, std::string_view path, ResponseHandler h);
+  /// Registers an observation; `on_notify` fires on the initial response
+  /// and on every subsequent notification.
+  void observe(NodeId dst, std::string_view path, NotifyHandler on_notify);
+  void cancel_observe(NodeId dst, std::string_view path);
+
+  // ---- server API ----------------------------------------------------
+  void add_resource(std::string path, ResourceHandler h);
+  void remove_resource(const std::string& path);
+  [[nodiscard]] bool has_resource(const std::string& path) const {
+    return resources_.count(path) > 0;
+  }
+  /// Re-evaluates the resource and pushes a notification to observers.
+  void notify_observers(const std::string& path);
+  [[nodiscard]] std::size_t observer_count(const std::string& path) const;
+
+  [[nodiscard]] const CoapStats& stats() const { return stats_; }
+  [[nodiscard]] NodeId id() const { return self_; }
+
+ private:
+  struct PendingCon {
+    NodeId dst;
+    Buffer wire;
+    int retries = 0;
+    sim::Duration timeout = 0;
+    sim::EventHandle timer;
+    Token token = 0;  // 0 when not tied to a request (e.g. CON notify)
+  };
+  struct PendingRequest {
+    NodeId dst;
+    ResponseHandler handler;
+  };
+  struct Observation {  // client side
+    NodeId dst;
+    std::string path;
+    NotifyHandler handler;
+    std::uint32_t last_seq = 0;
+  };
+  struct Observer {  // server side
+    NodeId addr;
+    Token token;
+    std::uint32_t seq = 1;
+    int notifications = 0;
+  };
+
+  void request(NodeId dst, Code method, std::string_view path,
+               Buffer payload, ResponseHandler h, bool observe_flag);
+  void transmit(NodeId dst, const Message& m, Token request_token);
+  void arm_retransmit(std::uint16_t mid);
+  void handle_request(NodeId src, const Message& m);
+  void handle_response(NodeId src, const Message& m);
+  void fail_request(Token token, Error err);
+  [[nodiscard]] bool is_duplicate(NodeId src, std::uint16_t mid);
+  void remember_exchange(NodeId src, std::uint16_t mid, Buffer reply);
+
+  NodeId self_;
+  sim::Scheduler& sched_;
+  Rng rng_;
+  SendFn send_;
+  CoapConfig cfg_;
+  CoapStats stats_;
+
+  std::uint16_t next_mid_;
+  Token next_token_ = 1;
+
+  std::unordered_map<std::uint16_t, PendingCon> pending_cons_;
+  std::unordered_map<Token, PendingRequest> pending_requests_;
+  std::unordered_map<Token, Observation> observations_;  // client
+  std::map<std::string, ResourceHandler> resources_;
+  std::map<std::string, std::vector<Observer>> observers_;  // server
+
+  // Duplicate detection: (src, mid) -> cached reply bytes (may be empty).
+  struct ExchangeKeyHash {
+    std::size_t operator()(const std::pair<NodeId, std::uint16_t>& k) const {
+      return std::hash<std::uint64_t>()(
+          (static_cast<std::uint64_t>(k.first) << 16) | k.second);
+    }
+  };
+  std::unordered_map<std::pair<NodeId, std::uint16_t>, Buffer,
+                     ExchangeKeyHash>
+      exchange_cache_;
+  std::deque<std::pair<NodeId, std::uint16_t>> exchange_fifo_;
+};
+
+}  // namespace iiot::coap

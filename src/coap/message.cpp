@@ -1,0 +1,200 @@
+#include "coap/message.hpp"
+
+#include <algorithm>
+
+namespace iiot::coap {
+
+std::string code_name(Code c) {
+  const auto v = static_cast<std::uint8_t>(c);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%02u", v >> 5, v & 0x1F);
+  return buf;
+}
+
+const Option* Message::find_option(OptionNumber num) const {
+  for (const auto& o : options) {
+    if (o.number == static_cast<std::uint16_t>(num)) return &o;
+  }
+  return nullptr;
+}
+
+std::string Message::uri_path() const {
+  std::string path;
+  for (const auto& o : options) {
+    if (o.number == static_cast<std::uint16_t>(OptionNumber::kUriPath)) {
+      if (!path.empty()) path += '/';
+      path.append(o.value.begin(), o.value.end());
+    }
+  }
+  return path;
+}
+
+void Message::set_uri_path(std::string_view path) {
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    std::size_t slash = path.find('/', start);
+    std::string_view seg = slash == std::string_view::npos
+                               ? path.substr(start)
+                               : path.substr(start, slash - start);
+    if (!seg.empty()) {
+      add_option(Option::make_string(OptionNumber::kUriPath, seg));
+    }
+    if (slash == std::string_view::npos) break;
+    start = slash + 1;
+  }
+}
+
+std::optional<std::uint32_t> Message::observe() const {
+  const Option* o = find_option(OptionNumber::kObserve);
+  if (o == nullptr) return std::nullopt;
+  return o->as_uint();
+}
+
+namespace {
+
+/// Encodes an option delta/length nibble with 13/14 extensions.
+void write_nibble_ext(Buffer& out, std::uint16_t v, std::uint8_t& nibble) {
+  if (v < 13) {
+    nibble = static_cast<std::uint8_t>(v);
+  } else if (v < 269) {
+    nibble = 13;
+  } else {
+    nibble = 14;
+  }
+  (void)out;
+}
+
+void write_ext_bytes(Buffer& out, std::uint16_t v) {
+  if (v < 13) return;
+  if (v < 269) {
+    out.push_back(static_cast<std::uint8_t>(v - 13));
+  } else {
+    const std::uint16_t x = v - 269;
+    out.push_back(static_cast<std::uint8_t>(x >> 8));
+    out.push_back(static_cast<std::uint8_t>(x & 0xFF));
+  }
+}
+
+std::optional<std::uint16_t> read_nibble_ext(BufReader& r,
+                                             std::uint8_t nibble) {
+  if (nibble < 13) return nibble;
+  if (nibble == 13) {
+    auto b = r.u8();
+    if (!b) return std::nullopt;
+    return static_cast<std::uint16_t>(*b + 13);
+  }
+  if (nibble == 14) {
+    auto b = r.u16();
+    if (!b) return std::nullopt;
+    return static_cast<std::uint16_t>(*b + 269);
+  }
+  return std::nullopt;  // 15 is reserved (payload marker context)
+}
+
+std::uint8_t token_bytes_needed(Token t) {
+  std::uint8_t n = 0;
+  while (t != 0) {
+    ++n;
+    t >>= 8;
+  }
+  return n;
+}
+
+}  // namespace
+
+Buffer Message::encode() const {
+  Buffer out;
+  const std::uint8_t tkl =
+      token_length > 0 ? token_length : token_bytes_needed(token);
+  out.push_back(static_cast<std::uint8_t>(
+      (1u << 6) | (static_cast<std::uint8_t>(type) << 4) | tkl));
+  out.push_back(static_cast<std::uint8_t>(code));
+  out.push_back(static_cast<std::uint8_t>(message_id >> 8));
+  out.push_back(static_cast<std::uint8_t>(message_id & 0xFF));
+  for (int i = tkl - 1; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>((token >> (8 * i)) & 0xFF));
+  }
+
+  std::vector<Option> sorted = options;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Option& a, const Option& b) {
+                     return a.number < b.number;
+                   });
+  std::uint16_t prev = 0;
+  for (const auto& o : sorted) {
+    const auto delta = static_cast<std::uint16_t>(o.number - prev);
+    const auto len = static_cast<std::uint16_t>(o.value.size());
+    std::uint8_t dn = 0, ln = 0;
+    write_nibble_ext(out, delta, dn);
+    write_nibble_ext(out, len, ln);
+    out.push_back(static_cast<std::uint8_t>((dn << 4) | ln));
+    write_ext_bytes(out, delta);
+    write_ext_bytes(out, len);
+    out.insert(out.end(), o.value.begin(), o.value.end());
+    prev = o.number;
+  }
+  if (!payload.empty()) {
+    out.push_back(0xFF);
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  return out;
+}
+
+Result<Message> Message::decode(BytesView bytes) {
+  BufReader r(bytes);
+  auto b0 = r.u8();
+  auto b1 = r.u8();
+  auto mid = r.u16();
+  if (!b0 || !b1 || !mid) {
+    return Error{Error::Code::kMalformed, "coap: truncated header"};
+  }
+  if ((*b0 >> 6) != 1) {
+    return Error{Error::Code::kUnsupported, "coap: bad version"};
+  }
+  Message m;
+  m.type = static_cast<Type>((*b0 >> 4) & 0x3);
+  const std::uint8_t tkl = *b0 & 0x0F;
+  if (tkl > 8) {
+    return Error{Error::Code::kMalformed, "coap: token too long"};
+  }
+  m.code = static_cast<Code>(*b1);
+  m.message_id = *mid;
+  m.token_length = tkl;
+  m.token = 0;
+  for (std::uint8_t i = 0; i < tkl; ++i) {
+    auto tb = r.u8();
+    if (!tb) return Error{Error::Code::kMalformed, "coap: truncated token"};
+    m.token = (m.token << 8) | *tb;
+  }
+
+  std::uint16_t number = 0;
+  while (r.remaining() > 0) {
+    auto head = r.u8();
+    if (!head) break;
+    if (*head == 0xFF) {
+      if (r.remaining() == 0) {
+        return Error{Error::Code::kMalformed, "coap: empty payload"};
+      }
+      BytesView rest = r.rest();
+      m.payload.assign(rest.begin(), rest.end());
+      return m;
+    }
+    auto delta = read_nibble_ext(r, static_cast<std::uint8_t>(*head >> 4));
+    auto len = read_nibble_ext(r, static_cast<std::uint8_t>(*head & 0x0F));
+    if (!delta || !len) {
+      return Error{Error::Code::kMalformed, "coap: bad option header"};
+    }
+    number = static_cast<std::uint16_t>(number + *delta);
+    auto val = r.bytes(*len);
+    if (!val) {
+      return Error{Error::Code::kMalformed, "coap: truncated option"};
+    }
+    Option o;
+    o.number = number;
+    o.value.assign(val->begin(), val->end());
+    m.options.push_back(std::move(o));
+  }
+  return m;
+}
+
+}  // namespace iiot::coap

@@ -1,0 +1,127 @@
+// CoAP message model and binary codec (RFC 7252, plus the Observe option
+// of RFC 7641). The paper singles out CoAP as "a textbook example of a
+// middleware protocol" for the sensing-and-actuation layer (§III-B); this
+// is a faithful wire-format implementation — 4-byte header, token,
+// delta-encoded options, 0xFF payload marker — so interop byte counts
+// measured in E10/E12 are real.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace iiot::coap {
+
+enum class Type : std::uint8_t {
+  kConfirmable = 0,
+  kNonConfirmable = 1,
+  kAck = 2,
+  kReset = 3,
+};
+
+/// CoAP codes: class.detail packed as (class << 5) | detail.
+enum class Code : std::uint8_t {
+  kEmpty = 0x00,
+  // Requests (0.xx)
+  kGet = 0x01,
+  kPost = 0x02,
+  kPut = 0x03,
+  kDelete = 0x04,
+  // Responses 2.xx
+  kCreated = 0x41,   // 2.01
+  kDeleted = 0x42,   // 2.02
+  kValid = 0x43,     // 2.03
+  kChanged = 0x44,   // 2.04
+  kContent = 0x45,   // 2.05
+  // 4.xx
+  kBadRequest = 0x80,        // 4.00
+  kUnauthorized = 0x81,      // 4.01
+  kNotFound = 0x84,          // 4.04
+  kMethodNotAllowed = 0x85,  // 4.05
+  // 5.xx
+  kInternalError = 0xA0,     // 5.00
+  kServiceUnavailable = 0xA3 // 5.03
+};
+
+[[nodiscard]] constexpr bool is_request(Code c) {
+  auto v = static_cast<std::uint8_t>(c);
+  return v >= 0x01 && v <= 0x04;
+}
+[[nodiscard]] constexpr bool is_response(Code c) {
+  return static_cast<std::uint8_t>(c) >= 0x40;
+}
+[[nodiscard]] constexpr bool is_success(Code c) {
+  auto v = static_cast<std::uint8_t>(c);
+  return (v >> 5) == 2;
+}
+[[nodiscard]] std::string code_name(Code c);
+
+/// Option numbers (RFC 7252 §5.10, RFC 7641).
+enum class OptionNumber : std::uint16_t {
+  kObserve = 6,
+  kUriPath = 11,
+  kContentFormat = 12,
+  kMaxAge = 14,
+  kUriQuery = 15,
+  kAccept = 17,
+};
+
+struct Option {
+  std::uint16_t number = 0;
+  Buffer value;
+
+  [[nodiscard]] std::uint32_t as_uint() const {
+    std::uint32_t v = 0;
+    for (std::uint8_t b : value) v = (v << 8) | b;
+    return v;
+  }
+  static Option make_uint(OptionNumber num, std::uint32_t v) {
+    Option o;
+    o.number = static_cast<std::uint16_t>(num);
+    // Minimal-length big-endian encoding (RFC 7252 §3.2).
+    Buffer bytes;
+    while (v > 0) {
+      bytes.insert(bytes.begin(), static_cast<std::uint8_t>(v & 0xFF));
+      v >>= 8;
+    }
+    o.value = std::move(bytes);
+    return o;
+  }
+  static Option make_string(OptionNumber num, std::string_view s) {
+    Option o;
+    o.number = static_cast<std::uint16_t>(num);
+    o.value = to_buffer(s);
+    return o;
+  }
+};
+
+using Token = std::uint64_t;  // up to 8 token bytes, stored numerically
+
+struct Message {
+  Type type = Type::kConfirmable;
+  Code code = Code::kEmpty;
+  std::uint16_t message_id = 0;
+  Token token = 0;
+  std::uint8_t token_length = 0;  // bytes of token carried on the wire
+  std::vector<Option> options;    // kept sorted by number when encoding
+  Buffer payload;
+
+  // -- option helpers --------------------------------------------------
+  void add_option(Option o) { options.push_back(std::move(o)); }
+  [[nodiscard]] const Option* find_option(OptionNumber num) const;
+  /// Joins repeated Uri-Path options into "seg0/seg1/...".
+  [[nodiscard]] std::string uri_path() const;
+  void set_uri_path(std::string_view path);
+  [[nodiscard]] std::optional<std::uint32_t> observe() const;
+
+  /// Serializes to RFC 7252 wire format.
+  [[nodiscard]] Buffer encode() const;
+  /// Parses from wire format.
+  static Result<Message> decode(BytesView bytes);
+};
+
+}  // namespace iiot::coap

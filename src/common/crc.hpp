@@ -1,0 +1,17 @@
+// CRC checksums used by link frames and legacy adapter PDUs.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace iiot {
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) — the 802.15.4 / Modbus
+/// class of frame check sequences used by the link layer and adapters.
+[[nodiscard]] std::uint16_t crc16_ccitt(BytesView data);
+
+/// CRC-32 (IEEE 802.3, reflected) — used by firmware-image style blobs.
+[[nodiscard]] std::uint32_t crc32_ieee(BytesView data);
+
+}  // namespace iiot

@@ -1,0 +1,22 @@
+#include "common/log.hpp"
+
+namespace iiot::log {
+
+Level& level() {
+  static Level lvl = Level::kNone;
+  return lvl;
+}
+
+void write(Level lvl, const std::string& msg) {
+  const char* tag = "?";
+  switch (lvl) {
+    case Level::kError: tag = "E"; break;
+    case Level::kWarn: tag = "W"; break;
+    case Level::kInfo: tag = "I"; break;
+    case Level::kDebug: tag = "D"; break;
+    case Level::kNone: return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+
+}  // namespace iiot::log

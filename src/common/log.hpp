@@ -1,0 +1,29 @@
+// Tiny leveled logger. Silent by default so benches stay clean; tests and
+// examples can raise the level for debugging.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace iiot::log {
+
+enum class Level { kNone = 0, kError, kWarn, kInfo, kDebug };
+
+Level& level();
+
+void write(Level lvl, const std::string& msg);
+
+template <typename... Args>
+void logf(Level lvl, const char* fmt, Args... args) {
+  if (lvl > level()) return;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  write(lvl, buf);
+}
+
+#define IIOT_LOG_ERROR(...) ::iiot::log::logf(::iiot::log::Level::kError, __VA_ARGS__)
+#define IIOT_LOG_WARN(...) ::iiot::log::logf(::iiot::log::Level::kWarn, __VA_ARGS__)
+#define IIOT_LOG_INFO(...) ::iiot::log::logf(::iiot::log::Level::kInfo, __VA_ARGS__)
+#define IIOT_LOG_DEBUG(...) ::iiot::log::logf(::iiot::log::Level::kDebug, __VA_ARGS__)
+
+}  // namespace iiot::log

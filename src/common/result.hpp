@@ -1,0 +1,96 @@
+// Minimal Result<T> for recoverable errors on protocol boundaries.
+//
+// Per the C++ Core Guidelines we use exceptions for programming errors
+// (precondition violations) but value-returned errors for expected failures
+// such as malformed packets arriving off the (simulated) wire.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace iiot {
+
+/// Error payload: machine-readable code plus human-readable context.
+struct Error {
+  enum class Code {
+    kMalformed,     // could not parse input
+    kUnsupported,   // feature/version not supported
+    kNotFound,      // addressed entity does not exist
+    kTimeout,       // operation did not complete in time
+    kUnavailable,   // service cannot serve now (e.g. partitioned)
+    kSecurity,      // authentication/integrity failure
+    kConflict,      // concurrent-update or state conflict
+    kCapacity,      // resource limits exceeded
+  };
+
+  Code code;
+  std::string message;
+};
+
+[[nodiscard]] constexpr const char* to_string(Error::Code c) {
+  switch (c) {
+    case Error::Code::kMalformed: return "malformed";
+    case Error::Code::kUnsupported: return "unsupported";
+    case Error::Code::kNotFound: return "not-found";
+    case Error::Code::kTimeout: return "timeout";
+    case Error::Code::kUnavailable: return "unavailable";
+    case Error::Code::kSecurity: return "security";
+    case Error::Code::kConflict: return "conflict";
+    case Error::Code::kCapacity: return "capacity";
+  }
+  return "unknown";
+}
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : v_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(v_);
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Result specialization for operations with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : err_(std::move(error)), ok_(false) {}  // NOLINT
+
+  static Status success() { return Status(); }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  [[nodiscard]] const Error& error() const {
+    assert(!ok_);
+    return err_;
+  }
+
+ private:
+  Error err_{Error::Code::kMalformed, {}};
+  bool ok_ = true;
+};
+
+}  // namespace iiot

@@ -1,0 +1,111 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulator (shadowing, packet loss,
+// fault injection, workload generation) draws from an explicitly seeded
+// Rng so that every experiment is reproducible bit-for-bit (DESIGN.md §4.1).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace iiot {
+
+/// SplitMix64: used for seeding and as a cheap general-purpose generator.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// PCG32 generator (O'Neill): small state, good statistical quality.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0x14057b7ef767814fULL) {
+    SplitMix64 sm(seed);
+    state_ = sm.next();
+    inc_ = (stream << 1u) | 1u;
+    next_u32();
+  }
+
+  std::uint32_t next_u32() {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  std::uint64_t next_u64() {
+    return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u32()) * (1.0 / 4294967296.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n) (n > 0), unbiased via rejection.
+  std::uint32_t below(std::uint32_t n) {
+    std::uint32_t threshold = (-n) % n;
+    for (;;) {
+      std::uint32_t r = next_u32();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint32_t>(hi - lo + 1)));
+  }
+
+  bool chance(double p) { return uniform() < p; }
+
+  /// Exponential with given mean (inter-arrival sampling, MTTF models).
+  double exponential(double mean) {
+    double u = uniform();
+    if (u <= 0.0) u = 1e-12;
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Box-Muller (used for log-normal shadowing).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    if (have_spare_) {
+      have_spare_ = false;
+      return mean + stddev * spare_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 <= 0.0) u1 = 1e-12;
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * std::numbers::pi * u2);
+    have_spare_ = true;
+    return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Derives an independent generator (per-node, per-module streams).
+  [[nodiscard]] Rng fork(std::uint64_t salt) {
+    return Rng(next_u64() ^ (salt * 0x9e3779b97f4a7c15ULL), salt);
+  }
+
+ private:
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 0;
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace iiot

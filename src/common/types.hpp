@@ -1,0 +1,28 @@
+// Core identifier and scalar types shared by every iiot module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace iiot {
+
+/// Identifier of a device (node) in the sensing-and-actuation layer.
+using NodeId = std::uint32_t;
+
+/// Reserved NodeId meaning "every node in radio range".
+inline constexpr NodeId kBroadcastNode = std::numeric_limits<NodeId>::max();
+
+/// Reserved NodeId meaning "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max() - 1;
+
+/// Identifier of an administrative domain (tenant) sharing physical space
+/// with other domains (paper §IV-C, administrative scalability).
+using TenantId = std::uint16_t;
+
+/// Radio channel number (e.g. 11..26 for 2.4 GHz 802.15.4).
+using ChannelId = std::uint8_t;
+
+/// Sequence numbers used by several protocol layers.
+using SeqNo = std::uint32_t;
+
+}  // namespace iiot

@@ -1,0 +1,60 @@
+#include "core/deployment.hpp"
+
+namespace iiot::core {
+
+void DeploymentPlan::execute(StageCallback on_stage) {
+  run_stage(0, std::move(on_stage));
+}
+
+std::uint64_t DeploymentPlan::control_total() const {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < mesh_.size(); ++i) {
+    const auto& st =
+        const_cast<MeshNetwork&>(mesh_).node(i).routing->stats();
+    sum += st.dio_tx + st.dis_tx + st.dao_tx;
+  }
+  return sum;
+}
+
+void DeploymentPlan::run_stage(std::size_t idx, StageCallback on_stage) {
+  if (idx >= stages_.size()) return;
+  const Stage& st = stages_[idx];
+  auto& sched = mesh_.scheduler();
+  const sim::Time stage_start = sched.now();
+
+  // Grow to the target size and start the newcomers.
+  const bool first_batch = mesh_.size() == 0;
+  while (mesh_.size() < st.target_size) {
+    MeshNode& n = mesh_.add_node(positions_(mesh_.size()));
+    const bool is_root = first_batch && mesh_.size() == 1;
+    n.start(is_root);
+  }
+
+  // Poll for formation (95 % joined) once a second during the window.
+  auto formation_time = std::make_shared<sim::Duration>(0);
+  for (sim::Duration t = 1'000'000; t < st.settle; t += 1'000'000) {
+    sched.schedule_after(t, [this, stage_start, formation_time] {
+      if (*formation_time == 0 && mesh_.joined_fraction() >= 0.95) {
+        *formation_time = mesh_.scheduler().now() - stage_start;
+      }
+    });
+  }
+
+  sched.schedule_after(st.settle, [this, idx, stage_start, formation_time,
+                                   on_stage = std::move(on_stage)]() mutable {
+    StageReport report;
+    report.stage = idx;
+    report.nodes_total = mesh_.size();
+    report.formation_time = *formation_time;
+    report.joined_fraction = mesh_.joined_fraction();
+    report.control_messages = control_total();
+    for (std::size_t i = 0; i < mesh_.size(); ++i) {
+      report.max_depth = std::max(report.max_depth,
+                                  mesh_.depth_estimate(i));
+    }
+    if (on_stage) on_stage(report);
+    run_stage(idx + 1, std::move(on_stage));
+  });
+}
+
+}  // namespace iiot::core

@@ -1,0 +1,62 @@
+// Incremental rollout: the paper's deployment reality (§IV intro) —
+// "one or a few small tests ... a rollout comprising initially only a
+// part of the target system, and finally, the deployment of remaining
+// parts", requiring the design to "tolerate a growth even by several
+// orders of magnitude". DeploymentPlan grows a MeshNetwork in stages and
+// records, per stage, how long self-organization takes and whether the
+// protocols keep up — the evidence for bench E11.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/network.hpp"
+
+namespace iiot::core {
+
+struct StageReport {
+  std::size_t stage = 0;
+  std::size_t nodes_total = 0;
+  /// Time from stage start until >= 95 % of nodes were joined
+  /// (0 if never reached within the settle window).
+  sim::Duration formation_time = 0;
+  double joined_fraction = 0.0;
+  std::uint64_t control_messages = 0;  // cumulative DIO+DIS+DAO
+  int max_depth = 0;
+};
+
+class DeploymentPlan {
+ public:
+  using PositionFn = std::function<radio::Position(std::size_t index)>;
+  using StageCallback = std::function<void(const StageReport&)>;
+
+  DeploymentPlan(MeshNetwork& mesh, PositionFn positions)
+      : mesh_(mesh), positions_(std::move(positions)) {}
+
+  /// Appends a stage that grows the network to `target_size` nodes and
+  /// lets it settle for `settle`.
+  DeploymentPlan& stage(std::size_t target_size, sim::Duration settle) {
+    stages_.push_back({target_size, settle});
+    return *this;
+  }
+
+  /// Schedules the whole rollout on the mesh's scheduler. The first stage
+  /// also starts the root. `on_stage` fires at the end of each settle
+  /// window.
+  void execute(StageCallback on_stage);
+
+ private:
+  struct Stage {
+    std::size_t target_size;
+    sim::Duration settle;
+  };
+
+  void run_stage(std::size_t idx, StageCallback on_stage);
+  [[nodiscard]] std::uint64_t control_total() const;
+
+  MeshNetwork& mesh_;
+  PositionFn positions_;
+  std::vector<Stage> stages_;
+};
+
+}  // namespace iiot::core

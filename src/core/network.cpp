@@ -1,0 +1,114 @@
+#include "core/network.hpp"
+
+#include <cmath>
+
+namespace iiot::core {
+
+MeshNode::MeshNode(radio::Medium& medium, sim::Scheduler& sched, NodeId id_,
+                   radio::Position pos, Rng rng, const NodeConfig& cfg)
+    : id(id_), meter(), radio(medium, sched, id_, pos, meter) {
+  radio.set_channel(cfg.channel);
+  switch (cfg.mac) {
+    case MacKind::kCsma:
+      mac = std::make_unique<mac::CsmaMac>(radio, sched, rng.fork(1),
+                                           cfg.tenant, cfg.csma);
+      break;
+    case MacKind::kLpl:
+      mac = std::make_unique<mac::LplMac>(radio, sched, rng.fork(2),
+                                          cfg.tenant, cfg.lpl);
+      break;
+    case MacKind::kRiMac:
+      mac = std::make_unique<mac::RiMac>(radio, sched, rng.fork(3),
+                                         cfg.tenant, cfg.rimac);
+      break;
+  }
+  routing = std::make_unique<net::RplRouting>(*mac, sched, rng.fork(4),
+                                              cfg.rpl);
+}
+
+void MeshNode::start(bool as_root) {
+  mac->start();
+  if (as_root) {
+    routing->start_root();
+  } else {
+    routing->start();
+  }
+}
+
+void MeshNode::stop() {
+  routing->stop();
+  mac->stop();
+}
+
+MeshNode& MeshNetwork::add_node(radio::Position pos) {
+  const auto id = id_base_ + static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<MeshNode>(
+      medium_, sched_, id, pos, rng_.fork(1000 + id), cfg_));
+  return *nodes_.back();
+}
+
+void MeshNetwork::start(std::size_t root_index) {
+  root_index_ = root_index;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i]->start(i == root_index);
+  }
+}
+
+void MeshNetwork::stop() {
+  for (auto& n : nodes_) n->stop();
+}
+
+void MeshNetwork::build_line(std::size_t n, double spacing) {
+  for (std::size_t i = 0; i < n; ++i) {
+    add_node({static_cast<double>(i) * spacing, 0.0});
+  }
+}
+
+void MeshNetwork::build_grid(std::size_t n, double pitch) {
+  const auto side = static_cast<std::size_t>(std::ceil(std::sqrt(
+      static_cast<double>(n))));
+  std::size_t placed = 0;
+  for (std::size_t y = 0; y < side && placed < n; ++y) {
+    for (std::size_t x = 0; x < side && placed < n; ++x) {
+      add_node({static_cast<double>(x) * pitch,
+                static_cast<double>(y) * pitch});
+      ++placed;
+    }
+  }
+}
+
+void MeshNetwork::build_random_field(std::size_t n, double side) {
+  add_node({side / 2.0, side / 2.0});  // root at center
+  for (std::size_t i = 1; i < n; ++i) {
+    add_node({rng_.uniform(0.0, side), rng_.uniform(0.0, side)});
+  }
+}
+
+double MeshNetwork::joined_fraction() const {
+  if (nodes_.size() <= 1) return 1.0;
+  std::size_t joined = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (i == root_index_) continue;
+    if (nodes_[i]->routing->joined()) ++joined;
+  }
+  return static_cast<double>(joined) /
+         static_cast<double>(nodes_.size() - 1);
+}
+
+double MeshNetwork::total_energy_mj() {
+  double sum = 0;
+  for (auto& n : nodes_) {
+    n->meter.settle(sched_.now());
+    sum += n->meter.total_mj();
+  }
+  return sum;
+}
+
+int MeshNetwork::depth_estimate(std::size_t i) const {
+  const auto& r = *nodes_.at(i)->routing;
+  if (r.is_root()) return 0;
+  if (!r.joined()) return -1;
+  return std::max(1, r.rank() / net::kMinHopRankIncrease - 1);
+}
+
+}  // namespace iiot::core

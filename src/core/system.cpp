@@ -1,0 +1,91 @@
+#include "core/system.hpp"
+
+namespace iiot::core {
+
+namespace {
+constexpr std::uint8_t kTagSensor = 'S';
+constexpr std::uint8_t kTagCommand = 'C';
+}  // namespace
+
+MeshNetwork& System::add_mesh(const std::string& site, NodeConfig node_cfg) {
+  (void)site;
+  mediums_.push_back(std::make_unique<radio::Medium>(
+      sched_, cfg_.propagation, rng_.next_u64()));
+  meshes_.push_back(std::make_unique<MeshNetwork>(
+      sched_, *mediums_.back(), rng_.fork(meshes_.size() + 1), node_cfg));
+  return *meshes_.back();
+}
+
+void System::bridge(const std::string& site, MeshNetwork& mesh) {
+  mesh.root().routing->set_delivery_handler(
+      [this, site](NodeId origin, BytesView payload, std::uint8_t) {
+        BufReader r(payload);
+        auto tag = r.u8();
+        auto object = r.u16();
+        auto value = r.f64();
+        if (!tag || *tag != kTagSensor || !object || !value) return;
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.4f", *value);
+        bus_.publish(site + "/" + std::to_string(origin) + "/" +
+                         std::to_string(*object),
+                     std::string(buf));
+      });
+}
+
+void System::install_node_dispatch(MeshNode& node) {
+  auto [it, fresh] = apps_.try_emplace(node.id);
+  if (!fresh) return;  // dispatch already installed
+  node.routing->set_delivery_handler(
+      [this, id = node.id](NodeId, BytesView payload, std::uint8_t) {
+        BufReader r(payload);
+        auto tag = r.u8();
+        auto object = r.u16();
+        auto value = r.f64();
+        if (!tag || *tag != kTagCommand || !object || !value) return;
+        auto app = apps_.find(id);
+        if (app == apps_.end()) return;
+        auto act = app->second.actuators.find(*object);
+        if (act != app->second.actuators.end()) act->second(*value);
+      });
+}
+
+void System::add_periodic_sensor(MeshNode& node, std::uint16_t object,
+                                 sim::Duration period,
+                                 std::function<double()> sample) {
+  install_node_dispatch(node);
+  NodeApp& app = apps_[node.id];
+  app.sensors[object] = sample;
+  auto* routing = node.routing.get();
+  auto timer = std::make_unique<sim::PeriodicTimer>(
+      sched_, period,
+      [routing, object, sample = std::move(sample)] {
+        Buffer out;
+        BufWriter w(out);
+        w.u8(kTagSensor);
+        w.u16(object);
+        w.f64(sample());
+        routing->send_up(std::move(out));
+      });
+  // Desynchronize first firings across nodes.
+  timer->start(period / 2 +
+               rng_.below(static_cast<std::uint32_t>(period / 2)));
+  app.timers.push_back(std::move(timer));
+}
+
+void System::add_actuator(MeshNode& node, std::uint16_t object,
+                          std::function<void(double)> apply) {
+  install_node_dispatch(node);
+  apps_[node.id].actuators[object] = std::move(apply);
+}
+
+bool System::actuate(MeshNetwork& mesh, NodeId target, std::uint16_t object,
+                     double value) {
+  Buffer out;
+  BufWriter w(out);
+  w.u8(kTagCommand);
+  w.u16(object);
+  w.f64(value);
+  return mesh.root().routing->send_down(target, std::move(out));
+}
+
+}  // namespace iiot::core

@@ -1,0 +1,103 @@
+// Conflict-Free Replicated Counter (CFRC) in the style used by RNFD [32].
+//
+// RNFD's key data structure lets many low-power nodes collaboratively
+// count how many of them currently suspect the DODAG root has failed,
+// with idempotent gossip merging (double-counting impossible) and an
+// epoch mechanism so the count can be "reset" when the root recovers.
+// We realize it as: (epoch number, grow-only set of suspecting node ids,
+// grow-only set of participating node ids). Merge takes the highest
+// epoch and unions the sets belonging to it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "crdt/sets.hpp"
+
+namespace iiot::crdt {
+
+class Cfrc {
+ public:
+  Cfrc() = default;
+
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+
+  /// Registers `node` as a participant of the current epoch.
+  void join(NodeId node) { participants_.add(node); }
+
+  /// Node `node` votes that the root is unreachable (idempotent).
+  void suspect(NodeId node) {
+    participants_.add(node);
+    suspects_.add(node);
+  }
+
+  /// Has this node already voted in this epoch?
+  [[nodiscard]] bool has_suspect(NodeId node) const {
+    return suspects_.contains(node);
+  }
+
+  [[nodiscard]] std::size_t suspect_count() const { return suspects_.size(); }
+  [[nodiscard]] std::size_t participant_count() const {
+    return participants_.size();
+  }
+
+  /// Fraction of known participants currently suspecting.
+  [[nodiscard]] double suspicion_ratio() const {
+    auto p = participant_count();
+    return p == 0 ? 0.0
+                  : static_cast<double>(suspect_count()) /
+                        static_cast<double>(p);
+  }
+
+  /// Starts a new epoch (root verified alive / recovered): wipes votes.
+  /// Monotone: the higher epoch always wins in merge.
+  void advance_epoch() {
+    ++epoch_;
+    suspects_ = {};
+    participants_ = {};
+  }
+
+  void merge(const Cfrc& other) {
+    if (other.epoch_ > epoch_) {
+      epoch_ = other.epoch_;
+      suspects_ = other.suspects_;
+      participants_ = other.participants_;
+    } else if (other.epoch_ == epoch_) {
+      suspects_.merge(other.suspects_);
+      participants_.merge(other.participants_);
+    }
+    // Lower-epoch state is stale and ignored entirely.
+  }
+
+  [[nodiscard]] bool operator==(const Cfrc& o) const {
+    return epoch_ == o.epoch_ && suspects_ == o.suspects_ &&
+           participants_ == o.participants_;
+  }
+
+  void encode(BufWriter& w) const {
+    w.u32(epoch_);
+    suspects_.encode(w);
+    participants_.encode(w);
+  }
+
+  static std::optional<Cfrc> decode(BufReader& r) {
+    auto e = r.u32();
+    auto s = GSet<std::uint32_t>::decode(r);
+    auto p = GSet<std::uint32_t>::decode(r);
+    if (!e || !s || !p) return std::nullopt;
+    Cfrc c;
+    c.epoch_ = *e;
+    c.suspects_ = std::move(*s);
+    c.participants_ = std::move(*p);
+    return c;
+  }
+
+ private:
+  std::uint32_t epoch_ = 0;
+  GSet<std::uint32_t> suspects_;
+  GSet<std::uint32_t> participants_;
+};
+
+}  // namespace iiot::crdt

@@ -1,0 +1,37 @@
+// Value codecs for CRDT state serialization (anti-entropy exchanges).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace iiot::crdt {
+
+inline void encode_value(BufWriter& w, std::uint32_t v) { w.u32(v); }
+inline void encode_value(BufWriter& w, std::uint64_t v) { w.u64(v); }
+inline void encode_value(BufWriter& w, double v) { w.f64(v); }
+inline void encode_value(BufWriter& w, const std::string& v) { w.lp_str(v); }
+
+template <typename T>
+std::optional<T> decode_value(BufReader& r);
+
+template <>
+inline std::optional<std::uint32_t> decode_value<std::uint32_t>(BufReader& r) {
+  return r.u32();
+}
+template <>
+inline std::optional<std::uint64_t> decode_value<std::uint64_t>(BufReader& r) {
+  return r.u64();
+}
+template <>
+inline std::optional<double> decode_value<double>(BufReader& r) {
+  return r.f64();
+}
+template <>
+inline std::optional<std::string> decode_value<std::string>(BufReader& r) {
+  return r.lp_str();
+}
+
+}  // namespace iiot::crdt

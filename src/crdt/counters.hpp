@@ -1,0 +1,100 @@
+// State-based replicated counters (Shapiro et al. [25]).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "crdt/vector_clock.hpp"
+
+namespace iiot::crdt {
+
+/// Grow-only counter: per-replica increments, merge = pointwise max.
+class GCounter {
+ public:
+  void increment(ReplicaId r, std::uint64_t by = 1) { shards_[r] += by; }
+
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t sum = 0;
+    for (const auto& [_, v] : shards_) sum += v;
+    return sum;
+  }
+
+  void merge(const GCounter& other) {
+    for (const auto& [r, v] : other.shards_) {
+      auto& mine = shards_[r];
+      if (v > mine) mine = v;
+    }
+  }
+
+  [[nodiscard]] bool operator==(const GCounter& o) const {
+    return shards_ == o.shards_;
+  }
+
+  void encode(BufWriter& w) const {
+    w.u16(static_cast<std::uint16_t>(shards_.size()));
+    for (const auto& [r, v] : shards_) {
+      w.u32(r);
+      w.u64(v);
+    }
+  }
+
+  static std::optional<GCounter> decode(BufReader& r) {
+    auto n = r.u16();
+    if (!n) return std::nullopt;
+    GCounter c;
+    for (std::uint16_t i = 0; i < *n; ++i) {
+      auto rep = r.u32();
+      auto val = r.u64();
+      if (!rep || !val) return std::nullopt;
+      c.shards_[*rep] = *val;
+    }
+    return c;
+  }
+
+ private:
+  std::map<ReplicaId, std::uint64_t> shards_;
+};
+
+/// Positive-negative counter: two G-counters.
+class PnCounter {
+ public:
+  void increment(ReplicaId r, std::uint64_t by = 1) { inc_.increment(r, by); }
+  void decrement(ReplicaId r, std::uint64_t by = 1) { dec_.increment(r, by); }
+
+  [[nodiscard]] std::int64_t value() const {
+    return static_cast<std::int64_t>(inc_.value()) -
+           static_cast<std::int64_t>(dec_.value());
+  }
+
+  void merge(const PnCounter& other) {
+    inc_.merge(other.inc_);
+    dec_.merge(other.dec_);
+  }
+
+  [[nodiscard]] bool operator==(const PnCounter& o) const {
+    return inc_ == o.inc_ && dec_ == o.dec_;
+  }
+
+  void encode(BufWriter& w) const {
+    inc_.encode(w);
+    dec_.encode(w);
+  }
+
+  static std::optional<PnCounter> decode(BufReader& r) {
+    auto inc = GCounter::decode(r);
+    auto dec = GCounter::decode(r);
+    if (!inc || !dec) return std::nullopt;
+    PnCounter c;
+    c.inc_ = *inc;
+    c.dec_ = *dec;
+    return c;
+  }
+
+ private:
+  GCounter inc_;
+  GCounter dec_;
+};
+
+}  // namespace iiot::crdt

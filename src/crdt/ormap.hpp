@@ -1,0 +1,94 @@
+// Observed-remove map: string keys to mergeable CRDT values.
+//
+// Backs the AP replicated key-value store in src/replication (E7): each
+// key holds a nested CRDT (e.g. LwwRegister); key removal follows OR-set
+// semantics so a concurrent update revives the key (add-wins).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "crdt/sets.hpp"
+
+namespace iiot::crdt {
+
+/// V must provide merge(const V&), encode(BufWriter&) and
+/// static decode(BufReader&) -> std::optional<V>.
+template <typename V>
+class OrMap {
+ public:
+  /// Mutates (or creates) the value under `key`.
+  template <typename Fn>
+  void apply(ReplicaId replica, const std::string& key, Fn&& fn) {
+    keys_.add(replica, key);
+    fn(values_[key]);
+  }
+
+  void remove(const std::string& key) {
+    keys_.remove(key);
+    values_.erase(key);
+  }
+
+  [[nodiscard]] bool contains(const std::string& key) const {
+    return keys_.contains(key);
+  }
+
+  [[nodiscard]] const V* get(const std::string& key) const {
+    if (!keys_.contains(key)) return nullptr;
+    auto it = values_.find(key);
+    return it == values_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::set<std::string> keys() const { return keys_.items(); }
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+
+  void merge(const OrMap& other) {
+    keys_.merge(other.keys_);
+    for (const auto& [k, v] : other.values_) {
+      auto it = values_.find(k);
+      if (it == values_.end()) {
+        values_[k] = v;
+      } else {
+        it->second.merge(v);
+      }
+    }
+    // Drop values whose key lost the OR-set merge.
+    for (auto it = values_.begin(); it != values_.end();) {
+      it = keys_.contains(it->first) ? std::next(it) : values_.erase(it);
+    }
+  }
+
+  void encode(BufWriter& w) const {
+    keys_.encode(w);
+    w.u32(static_cast<std::uint32_t>(values_.size()));
+    for (const auto& [k, v] : values_) {
+      w.lp_str(k);
+      v.encode(w);
+    }
+  }
+
+  static std::optional<OrMap> decode(BufReader& r) {
+    auto keys = OrSet<std::string>::decode(r);
+    auto n = r.u32();
+    if (!keys || !n) return std::nullopt;
+    OrMap m;
+    m.keys_ = std::move(*keys);
+    for (std::uint32_t i = 0; i < *n; ++i) {
+      auto k = r.lp_str();
+      if (!k) return std::nullopt;
+      auto v = V::decode(r);
+      if (!v) return std::nullopt;
+      m.values_.emplace(std::move(*k), std::move(*v));
+    }
+    return m;
+  }
+
+ private:
+  OrSet<std::string> keys_;
+  std::map<std::string, V> values_;
+};
+
+}  // namespace iiot::crdt

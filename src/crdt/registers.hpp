@@ -1,0 +1,161 @@
+// Replicated registers: last-writer-wins and multi-value [25].
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crdt/codec.hpp"
+#include "crdt/vector_clock.hpp"
+
+namespace iiot::crdt {
+
+/// Last-writer-wins register. Total order: (timestamp, replica id).
+/// Timestamps come from the (simulated) clock; ties broken by replica id,
+/// so merge is commutative/associative/idempotent.
+template <typename T>
+class LwwRegister {
+ public:
+  void set(ReplicaId replica, std::uint64_t timestamp, T value) {
+    if (wins(timestamp, replica)) {
+      value_ = std::move(value);
+      ts_ = timestamp;
+      replica_ = replica;
+      has_value_ = true;
+    }
+  }
+
+  [[nodiscard]] const std::optional<T> get() const {
+    return has_value_ ? std::optional<T>(value_) : std::nullopt;
+  }
+  [[nodiscard]] std::uint64_t timestamp() const { return ts_; }
+
+  void merge(const LwwRegister& other) {
+    if (other.has_value_ && wins(other.ts_, other.replica_)) {
+      value_ = other.value_;
+      ts_ = other.ts_;
+      replica_ = other.replica_;
+      has_value_ = true;
+    }
+  }
+
+  void encode(BufWriter& w) const {
+    w.u8(has_value_ ? 1 : 0);
+    if (has_value_) {
+      w.u64(ts_);
+      w.u32(replica_);
+      encode_value(w, value_);
+    }
+  }
+
+  static std::optional<LwwRegister> decode(BufReader& r) {
+    auto has = r.u8();
+    if (!has) return std::nullopt;
+    LwwRegister reg;
+    if (*has) {
+      auto ts = r.u64();
+      auto rep = r.u32();
+      auto v = decode_value<T>(r);
+      if (!ts || !rep || !v) return std::nullopt;
+      reg.ts_ = *ts;
+      reg.replica_ = *rep;
+      reg.value_ = std::move(*v);
+      reg.has_value_ = true;
+    }
+    return reg;
+  }
+
+ private:
+  [[nodiscard]] bool wins(std::uint64_t ts, ReplicaId rep) const {
+    if (!has_value_) return true;
+    if (ts != ts_) return ts > ts_;
+    return rep > replica_;
+  }
+
+  T value_{};
+  std::uint64_t ts_ = 0;
+  ReplicaId replica_ = 0;
+  bool has_value_ = false;
+};
+
+/// Multi-value register: concurrent writes are all kept (siblings) and
+/// surfaced to the application for decentralized conflict resolution —
+/// the pattern the paper recommends for availability under partitions
+/// (§V-C).
+template <typename T>
+class MvRegister {
+ public:
+  void set(ReplicaId replica, T value) {
+    VectorClock vc;
+    for (const auto& e : entries_) vc.merge(e.clock);
+    vc.tick(replica);
+    entries_.clear();
+    entries_.push_back(Entry{std::move(value), std::move(vc)});
+  }
+
+  /// All current siblings (one element unless writes were concurrent).
+  [[nodiscard]] std::vector<T> values() const {
+    std::vector<T> out;
+    out.reserve(entries_.size());
+    for (const auto& e : entries_) out.push_back(e.value);
+    return out;
+  }
+
+  [[nodiscard]] bool conflicted() const { return entries_.size() > 1; }
+
+  void merge(const MvRegister& other) {
+    std::vector<Entry> merged;
+    auto dominated = [](const Entry& e, const std::vector<Entry>& pool) {
+      for (const auto& p : pool) {
+        if (p.clock.compare(e.clock) == Order::kAfter) return true;
+      }
+      return false;
+    };
+    auto equal_in = [](const Entry& e, const std::vector<Entry>& pool) {
+      for (const auto& p : pool) {
+        if (p.clock == e.clock) return true;
+      }
+      return false;
+    };
+    for (const auto& e : entries_) {
+      if (!dominated(e, other.entries_)) merged.push_back(e);
+    }
+    for (const auto& e : other.entries_) {
+      if (!dominated(e, entries_) && !equal_in(e, merged)) {
+        merged.push_back(e);
+      }
+    }
+    entries_ = std::move(merged);
+  }
+
+  void encode(BufWriter& w) const {
+    w.u16(static_cast<std::uint16_t>(entries_.size()));
+    for (const auto& e : entries_) {
+      encode_value(w, e.value);
+      e.clock.encode(w);
+    }
+  }
+
+  static std::optional<MvRegister> decode(BufReader& r) {
+    auto n = r.u16();
+    if (!n) return std::nullopt;
+    MvRegister reg;
+    for (std::uint16_t i = 0; i < *n; ++i) {
+      auto v = decode_value<T>(r);
+      auto vc = VectorClock::decode(r);
+      if (!v || !vc) return std::nullopt;
+      reg.entries_.push_back(Entry{std::move(*v), std::move(*vc)});
+    }
+    return reg;
+  }
+
+ private:
+  struct Entry {
+    T value;
+    VectorClock clock;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace iiot::crdt

@@ -1,0 +1,216 @@
+// State-based replicated sets: G-Set, 2P-Set and OR-Set [25].
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/bytes.hpp"
+#include "crdt/codec.hpp"
+#include "crdt/vector_clock.hpp"
+
+namespace iiot::crdt {
+
+/// Grow-only set; merge = union.
+template <typename T>
+class GSet {
+ public:
+  void add(const T& v) { items_.insert(v); }
+  [[nodiscard]] bool contains(const T& v) const { return items_.count(v) > 0; }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] const std::set<T>& items() const { return items_; }
+
+  void merge(const GSet& other) {
+    items_.insert(other.items_.begin(), other.items_.end());
+  }
+
+  [[nodiscard]] bool operator==(const GSet& o) const {
+    return items_ == o.items_;
+  }
+
+  void encode(BufWriter& w) const {
+    w.u32(static_cast<std::uint32_t>(items_.size()));
+    for (const T& v : items_) encode_value(w, v);
+  }
+
+  static std::optional<GSet> decode(BufReader& r) {
+    auto n = r.u32();
+    if (!n) return std::nullopt;
+    GSet s;
+    for (std::uint32_t i = 0; i < *n; ++i) {
+      auto v = decode_value<T>(r);
+      if (!v) return std::nullopt;
+      s.items_.insert(std::move(*v));
+    }
+    return s;
+  }
+
+ private:
+  std::set<T> items_;
+};
+
+/// Two-phase set: removal wins forever (tombstones).
+template <typename T>
+class TwoPSet {
+ public:
+  void add(const T& v) { added_.add(v); }
+  /// Removing an element is permanent; re-adding has no effect.
+  void remove(const T& v) {
+    if (added_.contains(v)) removed_.add(v);
+  }
+  [[nodiscard]] bool contains(const T& v) const {
+    return added_.contains(v) && !removed_.contains(v);
+  }
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const T& v : added_.items()) {
+      if (!removed_.contains(v)) ++n;
+    }
+    return n;
+  }
+
+  void merge(const TwoPSet& other) {
+    added_.merge(other.added_);
+    removed_.merge(other.removed_);
+  }
+
+  [[nodiscard]] bool operator==(const TwoPSet& o) const {
+    return added_ == o.added_ && removed_ == o.removed_;
+  }
+
+  void encode(BufWriter& w) const {
+    added_.encode(w);
+    removed_.encode(w);
+  }
+
+  static std::optional<TwoPSet> decode(BufReader& r) {
+    auto a = GSet<T>::decode(r);
+    auto d = GSet<T>::decode(r);
+    if (!a || !d) return std::nullopt;
+    TwoPSet s;
+    s.added_ = *a;
+    s.removed_ = *d;
+    return s;
+  }
+
+ private:
+  GSet<T> added_;
+  GSet<T> removed_;
+};
+
+/// Observed-remove set: add wins over concurrent remove; removed elements
+/// can be re-added. Elements are tagged with unique (replica, counter)
+/// dots; remove tombstones only the dots it has observed.
+template <typename T>
+class OrSet {
+ public:
+  using Dot = std::pair<ReplicaId, std::uint64_t>;
+
+  void add(ReplicaId replica, const T& v) {
+    Dot dot{replica, ++dot_counters_[replica]};
+    live_[v].insert(dot);
+  }
+
+  /// Removes every currently-observed dot of `v`.
+  void remove(const T& v) {
+    auto it = live_.find(v);
+    if (it == live_.end()) return;
+    tombstones_[v].insert(it->second.begin(), it->second.end());
+    live_.erase(it);
+  }
+
+  [[nodiscard]] bool contains(const T& v) const {
+    return live_.count(v) > 0;
+  }
+
+  [[nodiscard]] std::size_t size() const { return live_.size(); }
+
+  [[nodiscard]] std::set<T> items() const {
+    std::set<T> out;
+    for (const auto& [v, _] : live_) out.insert(v);
+    return out;
+  }
+
+  void merge(const OrSet& other) {
+    // Union tombstones first, then union live dots minus tombstones.
+    for (const auto& [v, dots] : other.tombstones_) {
+      tombstones_[v].insert(dots.begin(), dots.end());
+    }
+    for (const auto& [v, dots] : other.live_) {
+      live_[v].insert(dots.begin(), dots.end());
+    }
+    for (auto it = live_.begin(); it != live_.end();) {
+      auto tomb = tombstones_.find(it->first);
+      if (tomb != tombstones_.end()) {
+        for (const Dot& d : tomb->second) it->second.erase(d);
+      }
+      it = it->second.empty() ? live_.erase(it) : std::next(it);
+    }
+    for (const auto& [r, c] : other.dot_counters_) {
+      auto& mine = dot_counters_[r];
+      if (c > mine) mine = c;
+    }
+  }
+
+  void encode(BufWriter& w) const {
+    auto write_tagged = [&w](const std::map<T, std::set<Dot>>& m) {
+      w.u32(static_cast<std::uint32_t>(m.size()));
+      for (const auto& [v, dots] : m) {
+        encode_value(w, v);
+        w.u16(static_cast<std::uint16_t>(dots.size()));
+        for (const Dot& d : dots) {
+          w.u32(d.first);
+          w.u64(d.second);
+        }
+      }
+    };
+    write_tagged(live_);
+    write_tagged(tombstones_);
+    w.u16(static_cast<std::uint16_t>(dot_counters_.size()));
+    for (const auto& [r, c] : dot_counters_) {
+      w.u32(r);
+      w.u64(c);
+    }
+  }
+
+  static std::optional<OrSet> decode(BufReader& r) {
+    OrSet s;
+    auto read_tagged = [&r](std::map<T, std::set<Dot>>& m) -> bool {
+      auto n = r.u32();
+      if (!n) return false;
+      for (std::uint32_t i = 0; i < *n; ++i) {
+        auto v = decode_value<T>(r);
+        auto nd = r.u16();
+        if (!v || !nd) return false;
+        auto& dots = m[*v];
+        for (std::uint16_t j = 0; j < *nd; ++j) {
+          auto rep = r.u32();
+          auto c = r.u64();
+          if (!rep || !c) return false;
+          dots.insert(Dot{*rep, *c});
+        }
+      }
+      return true;
+    };
+    if (!read_tagged(s.live_) || !read_tagged(s.tombstones_)) {
+      return std::nullopt;
+    }
+    auto n = r.u16();
+    if (!n) return std::nullopt;
+    for (std::uint16_t i = 0; i < *n; ++i) {
+      auto rep = r.u32();
+      auto c = r.u64();
+      if (!rep || !c) return std::nullopt;
+      s.dot_counters_[*rep] = *c;
+    }
+    return s;
+  }
+
+ private:
+  std::map<T, std::set<Dot>> live_;
+  std::map<T, std::set<Dot>> tombstones_;
+  std::map<ReplicaId, std::uint64_t> dot_counters_;
+};
+
+}  // namespace iiot::crdt

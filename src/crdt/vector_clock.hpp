@@ -1,0 +1,85 @@
+// Vector clocks: causality tracking for multi-value registers and
+// anti-entropy bookkeeping (paper §IV-B / §V-C, refs [24], [25]).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace iiot::crdt {
+
+/// Identifier of a replica participating in CRDT replication.
+using ReplicaId = std::uint32_t;
+
+enum class Order { kEqual, kBefore, kAfter, kConcurrent };
+
+class VectorClock {
+ public:
+  void tick(ReplicaId r) { ++entries_[r]; }
+
+  [[nodiscard]] std::uint64_t get(ReplicaId r) const {
+    auto it = entries_.find(r);
+    return it == entries_.end() ? 0 : it->second;
+  }
+
+  void merge(const VectorClock& other) {
+    for (const auto& [r, v] : other.entries_) {
+      auto& mine = entries_[r];
+      mine = std::max(mine, v);
+    }
+  }
+
+  [[nodiscard]] Order compare(const VectorClock& other) const {
+    bool less = false, greater = false;
+    auto consider = [&](std::uint64_t a, std::uint64_t b) {
+      if (a < b) less = true;
+      if (a > b) greater = true;
+    };
+    for (const auto& [r, v] : entries_) consider(v, other.get(r));
+    for (const auto& [r, v] : other.entries_) consider(get(r), v);
+    if (less && greater) return Order::kConcurrent;
+    if (less) return Order::kBefore;
+    if (greater) return Order::kAfter;
+    return Order::kEqual;
+  }
+
+  [[nodiscard]] bool dominates(const VectorClock& other) const {
+    Order o = compare(other);
+    return o == Order::kAfter || o == Order::kEqual;
+  }
+
+  [[nodiscard]] bool operator==(const VectorClock& other) const {
+    return compare(other) == Order::kEqual;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  void encode(BufWriter& w) const {
+    w.u16(static_cast<std::uint16_t>(entries_.size()));
+    for (const auto& [r, v] : entries_) {
+      w.u32(r);
+      w.u64(v);
+    }
+  }
+
+  static std::optional<VectorClock> decode(BufReader& r) {
+    auto n = r.u16();
+    if (!n) return std::nullopt;
+    VectorClock vc;
+    for (std::uint16_t i = 0; i < *n; ++i) {
+      auto rep = r.u32();
+      auto val = r.u64();
+      if (!rep || !val) return std::nullopt;
+      vc.entries_[*rep] = *val;
+    }
+    return vc;
+  }
+
+ private:
+  std::map<ReplicaId, std::uint64_t> entries_;
+};
+
+}  // namespace iiot::crdt

@@ -1,0 +1,169 @@
+#include "dependability/coding.hpp"
+
+#include <vector>
+
+namespace iiot::dependability {
+
+namespace {
+
+/// Encodes a 4-bit nibble into a 7-bit Hamming codeword
+/// (p1 p2 d1 p3 d2 d3 d4, even parity).
+std::uint8_t hamming_encode_nibble(std::uint8_t nib) {
+  const int d1 = (nib >> 3) & 1, d2 = (nib >> 2) & 1, d3 = (nib >> 1) & 1,
+            d4 = nib & 1;
+  const int p1 = d1 ^ d2 ^ d4;
+  const int p2 = d1 ^ d3 ^ d4;
+  const int p3 = d2 ^ d3 ^ d4;
+  return static_cast<std::uint8_t>((p1 << 6) | (p2 << 5) | (d1 << 4) |
+                                   (p3 << 3) | (d2 << 2) | (d3 << 1) | d4);
+}
+
+/// Decodes one codeword, correcting a single bit error if present.
+std::uint8_t hamming_decode_word(std::uint8_t w, int& corrections) {
+  auto bit = [&w](int pos) { return (w >> (7 - pos)) & 1; };  // 1-based
+  const int s1 = bit(1) ^ bit(3) ^ bit(5) ^ bit(7);
+  const int s2 = bit(2) ^ bit(3) ^ bit(6) ^ bit(7);
+  const int s3 = bit(4) ^ bit(5) ^ bit(6) ^ bit(7);
+  const int syndrome = (s3 << 2) | (s2 << 1) | s1;
+  if (syndrome != 0) {
+    w ^= static_cast<std::uint8_t>(1 << (7 - syndrome));
+    ++corrections;
+  }
+  auto b = [&w](int pos) { return (w >> (7 - pos)) & 1; };
+  return static_cast<std::uint8_t>((b(3) << 3) | (b(5) << 2) | (b(6) << 1) |
+                                   b(7));
+}
+
+/// Bit-stream writer/reader over a Buffer.
+struct BitWriter {
+  Buffer out;
+  int bits = 0;
+  void push(int bit) {
+    if (bits % 8 == 0) out.push_back(0);
+    if (bit) out.back() |= static_cast<std::uint8_t>(1 << (7 - bits % 8));
+    ++bits;
+  }
+};
+
+struct BitReader {
+  BytesView in;
+  std::size_t pos = 0;
+  int get() {
+    if (pos / 8 >= in.size()) return 0;
+    const int b = (in[pos / 8] >> (7 - pos % 8)) & 1;
+    ++pos;
+    return b;
+  }
+};
+
+}  // namespace
+
+Buffer HammingCode::encode(BytesView data) const {
+  // Produce the stream of 7-bit codewords.
+  std::vector<std::uint8_t> words;
+  words.reserve(data.size() * 2);
+  for (std::uint8_t byte : data) {
+    words.push_back(hamming_encode_nibble(byte >> 4));
+    words.push_back(hamming_encode_nibble(byte & 0x0F));
+  }
+  // Interleave: emit bit j of each word in a group before bit j+1.
+  BitWriter bw;
+  for (std::size_t base = 0; base < words.size();
+       base += static_cast<std::size_t>(depth_)) {
+    const std::size_t group =
+        std::min<std::size_t>(static_cast<std::size_t>(depth_),
+                              words.size() - base);
+    for (int bitpos = 0; bitpos < 7; ++bitpos) {
+      for (std::size_t k = 0; k < group; ++k) {
+        bw.push((words[base + k] >> (6 - bitpos)) & 1);
+      }
+    }
+  }
+  return bw.out;
+}
+
+HammingCode::Decoded HammingCode::decode(BytesView coded,
+                                         std::size_t original_size) const {
+  const std::size_t word_count = original_size * 2;
+  std::vector<std::uint8_t> words(word_count, 0);
+  BitReader br{coded};
+  for (std::size_t base = 0; base < word_count;
+       base += static_cast<std::size_t>(depth_)) {
+    const std::size_t group =
+        std::min<std::size_t>(static_cast<std::size_t>(depth_),
+                              word_count - base);
+    for (int bitpos = 0; bitpos < 7; ++bitpos) {
+      for (std::size_t k = 0; k < group; ++k) {
+        words[base + k] |= static_cast<std::uint8_t>(br.get() << (6 - bitpos));
+      }
+    }
+  }
+  Decoded result;
+  result.data.reserve(original_size);
+  for (std::size_t i = 0; i < original_size; ++i) {
+    const std::uint8_t hi = hamming_decode_word(words[i * 2], result.corrections);
+    const std::uint8_t lo =
+        hamming_decode_word(words[i * 2 + 1], result.corrections);
+    result.data.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return result;
+}
+
+Buffer RepetitionCode::encode(BytesView data) const {
+  BitWriter bw;
+  for (std::uint8_t byte : data) {
+    for (int bit = 7; bit >= 0; --bit) {
+      const int v = (byte >> bit) & 1;
+      for (int i = 0; i < n_; ++i) bw.push(v);
+    }
+  }
+  return bw.out;
+}
+
+Buffer RepetitionCode::decode(BytesView coded,
+                              std::size_t original_size) const {
+  BitReader br{coded};
+  Buffer out;
+  out.reserve(original_size);
+  for (std::size_t i = 0; i < original_size; ++i) {
+    std::uint8_t byte = 0;
+    for (int bit = 0; bit < 8; ++bit) {
+      int ones = 0;
+      for (int k = 0; k < n_; ++k) ones += br.get();
+      byte = static_cast<std::uint8_t>((byte << 1) | (ones * 2 > n_ ? 1 : 0));
+    }
+    out.push_back(byte);
+  }
+  return out;
+}
+
+void inject_bit_errors(Buffer& data, double ber, Rng& rng) {
+  for (auto& byte : data) {
+    for (int bit = 0; bit < 8; ++bit) {
+      if (rng.chance(ber)) byte ^= static_cast<std::uint8_t>(1 << bit);
+    }
+  }
+}
+
+void inject_burst(Buffer& data, std::size_t len, Rng& rng) {
+  const std::size_t total_bits = data.size() * 8;
+  if (total_bits == 0 || len == 0) return;
+  const std::size_t start =
+      rng.below(static_cast<std::uint32_t>(total_bits));
+  for (std::size_t i = 0; i < len && start + i < total_bits; ++i) {
+    const std::size_t pos = start + i;
+    data[pos / 8] ^= static_cast<std::uint8_t>(1 << (7 - pos % 8));
+  }
+}
+
+std::size_t bit_errors(BytesView a, BytesView b) {
+  std::size_t diff = 0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    diff += static_cast<std::size_t>(__builtin_popcount(a[i] ^ b[i]));
+  }
+  diff += (std::max(a.size(), b.size()) - n) * 8;
+  return diff;
+}
+
+}  // namespace iiot::dependability

@@ -1,0 +1,65 @@
+// Information redundancy: forward error correction for lossy links
+// (paper §V-A, redundancy taxonomy of [42]).
+//
+//   * Hamming(7,4) — corrects one bit error per 7-bit codeword; with
+//     block interleaving it also survives short bursts.
+//   * Repetition-n — each bit sent n times, majority-decoded; simple and
+//     robust but with 1/n rate, illustrating the resource cost that
+//     constrains information redundancy on micro-devices.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace iiot::dependability {
+
+/// Hamming(7,4) with optional interleaving depth (codewords are bit-
+/// interleaved in groups of `depth`, spreading a burst across words).
+class HammingCode {
+ public:
+  explicit HammingCode(int interleave_depth = 1)
+      : depth_(interleave_depth < 1 ? 1 : interleave_depth) {}
+
+  /// Encodes data; output is ceil(size*2 * 7 / 8) + framing bytes.
+  [[nodiscard]] Buffer encode(BytesView data) const;
+
+  /// Decodes, correcting up to one bit error per codeword. Returns the
+  /// corrected data and the number of corrections applied.
+  struct Decoded {
+    Buffer data;
+    int corrections = 0;
+  };
+  [[nodiscard]] Decoded decode(BytesView coded, std::size_t original_size) const;
+
+  [[nodiscard]] double rate() const { return 4.0 / 7.0; }
+
+ private:
+  int depth_;
+};
+
+/// Bit-level repetition code with majority vote.
+class RepetitionCode {
+ public:
+  explicit RepetitionCode(int n = 3) : n_(n | 1) {}  // force odd
+
+  [[nodiscard]] Buffer encode(BytesView data) const;
+  [[nodiscard]] Buffer decode(BytesView coded, std::size_t original_size) const;
+  [[nodiscard]] double rate() const { return 1.0 / n_; }
+  [[nodiscard]] int n() const { return n_; }
+
+ private:
+  int n_;
+};
+
+/// Flips each bit independently with probability `ber`.
+void inject_bit_errors(Buffer& data, double ber, Rng& rng);
+
+/// Flips a contiguous burst of `len` bits starting at a random offset.
+void inject_burst(Buffer& data, std::size_t len, Rng& rng);
+
+/// Bit-level difference between equal-length buffers.
+[[nodiscard]] std::size_t bit_errors(BytesView a, BytesView b);
+
+}  // namespace iiot::dependability

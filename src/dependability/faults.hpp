@@ -1,0 +1,82 @@
+// Fault injection for the simulated mesh: crash/reboot processes with
+// exponential inter-failure times, driving the reliability experiments
+// (E8) and the repair paths of the routing layer.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dependability/redundancy.hpp"
+#include "sim/scheduler.hpp"
+
+namespace iiot::dependability {
+
+struct FaultConfig {
+  double mttf_seconds = 600.0;   // mean time to (crash) failure
+  double mttr_seconds = 60.0;    // mean repair (reboot) time
+  bool repair = true;            // false: crashes are permanent
+};
+
+/// Drives one component through crash/repair cycles. The component is
+/// abstract: `on_fail` / `on_repair` do the actual stopping/starting
+/// (e.g. mac.stop() + routing.stop()).
+class CrashProcess {
+ public:
+  CrashProcess(sim::Scheduler& sched, Rng rng, FaultConfig cfg,
+               std::function<void()> on_fail, std::function<void()> on_repair)
+      : sched_(sched),
+        rng_(rng),
+        cfg_(cfg),
+        on_fail_(std::move(on_fail)),
+        on_repair_(std::move(on_repair)) {}
+
+  void start() {
+    running_ = true;
+    stats_.start(sched_.now());
+    arm_failure();
+  }
+
+  void stop() {
+    running_ = false;
+    timer_.cancel();
+  }
+
+  [[nodiscard]] bool up() const { return up_; }
+  [[nodiscard]] ReliabilityStats& stats() { return stats_; }
+
+ private:
+  void arm_failure() {
+    const auto dt = sim::seconds(rng_.exponential(cfg_.mttf_seconds));
+    timer_ = sched_.schedule_after(dt, [this] {
+      if (!running_) return;
+      up_ = false;
+      stats_.record_failure(sched_.now());
+      if (on_fail_) on_fail_();
+      if (cfg_.repair) arm_repair();
+    });
+  }
+
+  void arm_repair() {
+    const auto dt = sim::seconds(rng_.exponential(cfg_.mttr_seconds));
+    timer_ = sched_.schedule_after(dt, [this] {
+      if (!running_) return;
+      up_ = true;
+      stats_.record_repair(sched_.now());
+      if (on_repair_) on_repair_();
+      arm_failure();
+    });
+  }
+
+  sim::Scheduler& sched_;
+  Rng rng_;
+  FaultConfig cfg_;
+  std::function<void()> on_fail_;
+  std::function<void()> on_repair_;
+  bool running_ = false;
+  bool up_ = true;
+  ReliabilityStats stats_;
+  sim::EventHandle timer_;
+};
+
+}  // namespace iiot::dependability

@@ -1,0 +1,154 @@
+// Time and physical redundancy primitives (paper §V-A, [42]).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/time.hpp"
+
+namespace iiot::dependability {
+
+/// Time redundancy: ARQ over an abstract trial. `attempt` returns true on
+/// success; retry up to `max_attempts` with the given spacing. Captures
+/// the paper's caveat that time redundancy conflicts with soft-realtime
+/// deadlines: total latency grows linearly with attempts.
+struct ArqPolicy {
+  int max_attempts = 4;
+  sim::Duration retry_spacing = 50'000;
+
+  struct Outcome {
+    bool success = false;
+    int attempts = 0;
+    sim::Duration latency = 0;  // time until success (or until giving up)
+  };
+
+  /// Synchronous model: evaluates attempts against a per-trial success
+  /// probability (used by analytical benches; the MAC layer implements
+  /// the event-driven version for the mesh).
+  [[nodiscard]] Outcome run(double per_trial_success, Rng& rng,
+                            sim::Duration per_attempt_latency) const {
+    Outcome o;
+    for (int i = 1; i <= max_attempts; ++i) {
+      o.attempts = i;
+      o.latency += per_attempt_latency;
+      if (rng.chance(per_trial_success)) {
+        o.success = true;
+        return o;
+      }
+      if (i < max_attempts) o.latency += retry_spacing;
+    }
+    return o;
+  }
+};
+
+/// Physical redundancy: k-of-n voting over replicated readings. The vote
+/// tolerates up to n-k missing and any minority of faulty values.
+template <typename T>
+class KOfNVoter {
+ public:
+  KOfNVoter(int k, int n) : k_(k), n_(n) {}
+
+  /// Exact-match majority vote. Returns nullopt when no value reaches k.
+  [[nodiscard]] std::optional<T> vote(const std::vector<T>& values) const {
+    std::map<T, int> tally;
+    for (const T& v : values) ++tally[v];
+    const T* best = nullptr;
+    int best_count = 0;
+    for (const auto& [v, c] : tally) {
+      if (c > best_count) {
+        best = &v;
+        best_count = c;
+      }
+    }
+    if (best != nullptr && best_count >= k_) return *best;
+    return std::nullopt;
+  }
+
+  [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] int n() const { return n_; }
+
+ private:
+  int k_;
+  int n_;
+};
+
+/// Median-based vote for noisy analog readings: tolerates a minority of
+/// arbitrarily wrong sensors without requiring exact agreement.
+[[nodiscard]] inline std::optional<double> median_vote(
+    std::vector<double> values, std::size_t min_quorum) {
+  if (values.size() < min_quorum || values.empty()) return std::nullopt;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(values.size() / 2),
+                   values.end());
+  return values[values.size() / 2];
+}
+
+/// Reliability bookkeeping: failure/repair episodes -> MTTF, MTTR,
+/// steady-state availability.
+class ReliabilityStats {
+ public:
+  void record_failure(sim::Time at) {
+    if (down_) return;
+    down_ = true;
+    last_failure_ = at;
+    if (has_up_since_) uptime_ += at - up_since_;
+    ++failures_;
+  }
+
+  void record_repair(sim::Time at) {
+    if (!down_) return;
+    down_ = false;
+    downtime_ += at - last_failure_;
+    up_since_ = at;
+    has_up_since_ = true;
+    ++repairs_;
+  }
+
+  void start(sim::Time at) {
+    up_since_ = at;
+    has_up_since_ = true;
+  }
+
+  void settle(sim::Time now) {
+    if (down_) {
+      downtime_ += now - last_failure_;
+      last_failure_ = now;
+    } else if (has_up_since_) {
+      uptime_ += now - up_since_;
+      up_since_ = now;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t failures() const { return failures_; }
+  [[nodiscard]] double mttf_seconds() const {
+    return failures_ == 0 ? 0.0
+                          : sim::to_seconds(uptime_) /
+                                static_cast<double>(failures_);
+  }
+  [[nodiscard]] double mttr_seconds() const {
+    return repairs_ == 0 ? 0.0
+                         : sim::to_seconds(downtime_) /
+                               static_cast<double>(repairs_);
+  }
+  [[nodiscard]] double availability() const {
+    const double up = sim::to_seconds(uptime_);
+    const double down = sim::to_seconds(downtime_);
+    return up + down > 0 ? up / (up + down) : 1.0;
+  }
+
+ private:
+  bool down_ = false;
+  bool has_up_since_ = false;
+  sim::Time up_since_ = 0;
+  sim::Time last_failure_ = 0;
+  sim::Duration uptime_ = 0;
+  sim::Duration downtime_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t repairs_ = 0;
+};
+
+}  // namespace iiot::dependability

@@ -1,0 +1,161 @@
+// Automated diagnosis of sensing-and-actuation components.
+//
+// The paper notes (§V-D) that while low-power networking protocols are
+// largely self-organizing, "little work has been done on automated
+// diagnosis of sensing and actuation components". These detectors run in
+// the application tier over node telemetry and flag the classic field
+// failures: battery drain outliers, stuck-at sensors, reboot loops, and
+// asymmetric links.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/time.hpp"
+
+namespace iiot::diagnosis {
+
+struct Anomaly {
+  enum class Kind { kEnergyDrain, kStuckSensor, kRebootLoop, kAsymmetricLink };
+  Kind kind;
+  NodeId node = kInvalidNode;
+  NodeId peer = kInvalidNode;  // for link anomalies
+  std::string detail;
+};
+
+/// Flags nodes whose power draw is far above the population median —
+/// the signature of a node trapped in overhearing/looping/retry storms.
+class EnergyDrainDetector {
+ public:
+  explicit EnergyDrainDetector(double factor = 3.0) : factor_(factor) {}
+
+  void report(NodeId node, double avg_power_mw) { power_[node] = avg_power_mw; }
+
+  [[nodiscard]] std::vector<Anomaly> anomalies() const {
+    std::vector<Anomaly> out;
+    if (power_.size() < 3) return out;
+    std::vector<double> values;
+    values.reserve(power_.size());
+    for (const auto& [_, p] : power_) values.push_back(p);
+    std::nth_element(values.begin(),
+                     values.begin() + static_cast<std::ptrdiff_t>(values.size() / 2),
+                     values.end());
+    const double median = values[values.size() / 2];
+    for (const auto& [node, p] : power_) {
+      if (median > 0 && p > median * factor_) {
+        out.push_back({Anomaly::Kind::kEnergyDrain, node, kInvalidNode,
+                       "power " + std::to_string(p) + " mW vs median " +
+                           std::to_string(median)});
+      }
+    }
+    return out;
+  }
+
+ private:
+  double factor_;
+  std::map<NodeId, double> power_;
+};
+
+/// Flags series that stopped moving: `window` consecutive samples within
+/// `epsilon` of each other on a signal that is expected to vary.
+class StuckSensorDetector {
+ public:
+  StuckSensorDetector(std::size_t window = 20, double epsilon = 1e-9)
+      : window_(window), epsilon_(epsilon) {}
+
+  void report(NodeId node, double value) {
+    auto& h = history_[node];
+    h.push_back(value);
+    if (h.size() > window_) h.pop_front();
+  }
+
+  [[nodiscard]] std::vector<Anomaly> anomalies() const {
+    std::vector<Anomaly> out;
+    for (const auto& [node, h] : history_) {
+      if (h.size() < window_) continue;
+      const auto [lo, hi] = std::minmax_element(h.begin(), h.end());
+      if (*hi - *lo <= epsilon_) {
+        out.push_back({Anomaly::Kind::kStuckSensor, node, kInvalidNode,
+                       "flat for " + std::to_string(h.size()) + " samples"});
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::size_t window_;
+  double epsilon_;
+  std::map<NodeId, std::deque<double>> history_;
+};
+
+/// Flags nodes that rebooted `threshold`+ times within `window`.
+class RebootLoopDetector {
+ public:
+  RebootLoopDetector(int threshold = 3, sim::Duration window = 600'000'000)
+      : threshold_(threshold), window_(window) {}
+
+  void report_reboot(NodeId node, sim::Time at) {
+    reboots_[node].push_back(at);
+  }
+
+  [[nodiscard]] std::vector<Anomaly> anomalies(sim::Time now) const {
+    std::vector<Anomaly> out;
+    for (const auto& [node, times] : reboots_) {
+      int recent = 0;
+      for (sim::Time t : times) {
+        if (t + window_ >= now) ++recent;
+      }
+      if (recent >= threshold_) {
+        out.push_back({Anomaly::Kind::kRebootLoop, node, kInvalidNode,
+                       std::to_string(recent) + " reboots in window"});
+      }
+    }
+    return out;
+  }
+
+ private:
+  int threshold_;
+  sim::Duration window_;
+  std::map<NodeId, std::vector<sim::Time>> reboots_;
+};
+
+/// Flags links whose two directions report very different quality —
+/// routing treats them as usable while acks die on the way back.
+class LinkAsymmetryDetector {
+ public:
+  explicit LinkAsymmetryDetector(double ratio_threshold = 2.5)
+      : threshold_(ratio_threshold) {}
+
+  void report_etx(NodeId from, NodeId to, double etx) {
+    etx_[{from, to}] = etx;
+  }
+
+  [[nodiscard]] std::vector<Anomaly> anomalies() const {
+    std::vector<Anomaly> out;
+    for (const auto& [link, fwd] : etx_) {
+      if (link.first > link.second) continue;  // visit each pair once
+      auto rev = etx_.find({link.second, link.first});
+      if (rev == etx_.end()) continue;
+      const double hi = std::max(fwd, rev->second);
+      const double lo = std::max(1e-9, std::min(fwd, rev->second));
+      if (hi / lo >= threshold_) {
+        out.push_back({Anomaly::Kind::kAsymmetricLink, link.first,
+                       link.second,
+                       "etx " + std::to_string(fwd) + " vs " +
+                           std::to_string(rev->second)});
+      }
+    }
+    return out;
+  }
+
+ private:
+  double threshold_;
+  std::map<std::pair<NodeId, NodeId>, double> etx_;
+};
+
+}  // namespace iiot::diagnosis

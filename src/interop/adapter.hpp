@@ -1,0 +1,42 @@
+// Protocol adapter interface: one adapter per legacy/fieldbus protocol,
+// each translating the unified resource model to real wire PDUs of its
+// protocol and back. Byte counts are tracked so E12 can report the
+// translation overhead per protocol.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.hpp"
+#include "interop/resource_model.hpp"
+
+namespace iiot::interop {
+
+struct AdapterStats {
+  std::uint64_t requests = 0;
+  std::uint64_t pdu_bytes_out = 0;
+  std::uint64_t pdu_bytes_in = 0;
+  std::uint64_t protocol_errors = 0;
+};
+
+class Adapter {
+ public:
+  virtual ~Adapter() = default;
+
+  [[nodiscard]] virtual const char* protocol() const = 0;
+
+  /// Enumerates the resources this device exposes.
+  [[nodiscard]] virtual std::vector<ResourceDescriptor> discover() = 0;
+
+  [[nodiscard]] virtual Result<ResourceValue> read(
+      const ResourcePath& path) = 0;
+  [[nodiscard]] virtual Status write(const ResourcePath& path,
+                                     const ResourceValue& value) = 0;
+
+  [[nodiscard]] const AdapterStats& stats() const { return stats_; }
+
+ protected:
+  AdapterStats stats_;
+};
+
+}  // namespace iiot::interop

@@ -1,0 +1,130 @@
+#include "interop/gateway.hpp"
+
+namespace iiot::interop {
+
+void Gateway::add_device(const std::string& name, Adapter& adapter) {
+  Device dev;
+  dev.adapter = &adapter;
+  dev.resources = adapter.discover();
+  devices_[name] = std::move(dev);
+}
+
+std::size_t Gateway::resource_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, d] : devices_) n += d.resources.size();
+  return n;
+}
+
+Result<ResourceValue> Gateway::read(const std::string& device,
+                                    const ResourcePath& path) {
+  auto it = devices_.find(device);
+  if (it == devices_.end()) {
+    return Error{Error::Code::kNotFound, "gateway: no device " + device};
+  }
+  return it->second.adapter->read(path);
+}
+
+Status Gateway::write(const std::string& device, const ResourcePath& path,
+                      const ResourceValue& value) {
+  auto it = devices_.find(device);
+  if (it == devices_.end()) {
+    return Error{Error::Code::kNotFound, "gateway: no device " + device};
+  }
+  return it->second.adapter->write(path, value);
+}
+
+void Gateway::expose_coap(coap::Endpoint& ep) {
+  for (auto& [name, dev] : devices_) {
+    for (const auto& res : dev.resources) {
+      const std::string path = "dev/" + name + "/" + res.path.str();
+      Adapter* adapter = dev.adapter;
+      const ResourcePath rpath = res.path;
+      ep.add_resource(path, [this, adapter, rpath](
+                                const coap::Request& req) {
+        coap::Response rsp;
+        if (req.method == coap::Code::kGet) {
+          ++stats_.coap_reads;
+          auto value = adapter->read(rpath);
+          if (!value.ok()) {
+            rsp.code = coap::Code::kNotFound;
+            return rsp;
+          }
+          rsp.payload = to_buffer(value_to_string(value.value()));
+          return rsp;
+        }
+        if (req.method == coap::Code::kPut) {
+          ++stats_.coap_writes;
+          const std::string body = to_string(req.payload);
+          char* end = nullptr;
+          const double v = std::strtod(body.c_str(), &end);
+          Status st = end == body.c_str()
+                          ? adapter->write(rpath, ResourceValue{body})
+                          : adapter->write(rpath, ResourceValue{v});
+          rsp.code = st.ok() ? coap::Code::kChanged
+                             : coap::Code::kBadRequest;
+          return rsp;
+        }
+        rsp.code = coap::Code::kMethodNotAllowed;
+        return rsp;
+      });
+    }
+  }
+}
+
+void Gateway::start() {
+  running_ = true;
+  if (!cmd_subscribed_) {
+    cmd_subscribed_ = true;
+    cmd_sub_ = bus_.subscribe(
+        "cmd/#", [this](const std::string& topic, BytesView payload) {
+          // cmd/<device>/<obj>/<inst>/<res>
+          ++stats_.bus_commands;
+          const std::size_t first = topic.find('/');
+          if (first == std::string::npos) return;
+          const std::size_t second = topic.find('/', first + 1);
+          if (second == std::string::npos) return;
+          const std::string device =
+              topic.substr(first + 1, second - first - 1);
+          auto path = ResourcePath::parse(topic.substr(second + 1));
+          if (!path) return;
+          const std::string body = to_string(payload);
+          char* end = nullptr;
+          const double v = std::strtod(body.c_str(), &end);
+          if (end == body.c_str()) {
+            (void)write(device, *path, ResourceValue{body});
+          } else {
+            (void)write(device, *path, ResourceValue{v});
+          }
+        });
+  }
+  poll_timer_ = sched_.schedule_after(cfg_.poll_interval, [this] { poll(); });
+}
+
+void Gateway::stop() {
+  running_ = false;
+  poll_timer_.cancel();
+  if (cmd_subscribed_) {
+    bus_.unsubscribe(cmd_sub_);
+    cmd_subscribed_ = false;
+  }
+}
+
+void Gateway::poll() {
+  if (!running_) return;
+  poll_timer_ = sched_.schedule_after(cfg_.poll_interval, [this] { poll(); });
+  for (auto& [name, dev] : devices_) {
+    for (const auto& res : dev.resources) {
+      if (!res.readable) continue;
+      ++stats_.polls;
+      auto value = dev.adapter->read(res.path);
+      if (!value.ok()) {
+        ++stats_.poll_errors;
+        continue;
+      }
+      bus_.publish(cfg_.site + "/" + name + "/" + res.path.str(),
+                   value_to_string(value.value()));
+    }
+  }
+}
+
+}  // namespace iiot::interop

@@ -1,0 +1,134 @@
+#include "interop/gatt.hpp"
+
+#include <cstring>
+
+namespace iiot::interop {
+
+namespace {
+constexpr std::uint8_t kOpError = 0x01;
+constexpr std::uint8_t kOpReadReq = 0x0A;
+constexpr std::uint8_t kOpReadRsp = 0x0B;
+constexpr std::uint8_t kOpWriteReq = 0x12;
+constexpr std::uint8_t kOpWriteRsp = 0x13;
+constexpr std::uint8_t kErrAttrNotFound = 0x0A;
+constexpr std::uint8_t kErrReqNotSupported = 0x06;
+
+std::uint16_t le16(BytesView b, std::size_t off) {
+  return static_cast<std::uint16_t>(b[off] | (b[off + 1] << 8));
+}
+}  // namespace
+
+void GattDevice::set_float(std::uint16_t handle, float v) {
+  Buffer b(4);
+  std::memcpy(b.data(), &v, 4);  // IEEE-754 little-endian
+  attributes_[handle] = std::move(b);
+}
+
+std::optional<float> GattDevice::get_float(std::uint16_t handle) const {
+  auto it = attributes_.find(handle);
+  if (it == attributes_.end() || it->second.size() != 4) return std::nullopt;
+  float v = 0;
+  std::memcpy(&v, it->second.data(), 4);
+  return v;
+}
+
+Buffer GattDevice::error_rsp(std::uint8_t req_op, std::uint16_t handle,
+                             std::uint8_t code) const {
+  return Buffer{kOpError, req_op, static_cast<std::uint8_t>(handle & 0xFF),
+                static_cast<std::uint8_t>(handle >> 8), code};
+}
+
+Buffer GattDevice::process(BytesView pdu) {
+  if (pdu.size() < 3) return error_rsp(0x00, 0, kErrReqNotSupported);
+  const std::uint8_t op = pdu[0];
+  const std::uint16_t handle = le16(pdu, 1);
+  switch (op) {
+    case kOpReadReq: {
+      auto it = attributes_.find(handle);
+      if (it == attributes_.end()) {
+        return error_rsp(op, handle, kErrAttrNotFound);
+      }
+      Buffer rsp{kOpReadRsp};
+      rsp.insert(rsp.end(), it->second.begin(), it->second.end());
+      return rsp;
+    }
+    case kOpWriteReq: {
+      auto it = attributes_.find(handle);
+      if (it == attributes_.end()) {
+        return error_rsp(op, handle, kErrAttrNotFound);
+      }
+      it->second.assign(pdu.begin() + 3, pdu.end());
+      return Buffer{kOpWriteRsp};
+    }
+    default:
+      return error_rsp(op, handle, kErrReqNotSupported);
+  }
+}
+
+const GattMapping* GattAdapter::find(const ResourcePath& path) const {
+  for (const auto& m : map_) {
+    if (m.descriptor.path == path) return &m;
+  }
+  return nullptr;
+}
+
+std::vector<ResourceDescriptor> GattAdapter::discover() {
+  std::vector<ResourceDescriptor> out;
+  out.reserve(map_.size());
+  for (const auto& m : map_) out.push_back(m.descriptor);
+  return out;
+}
+
+Result<Buffer> GattAdapter::transact(Buffer request) {
+  ++stats_.requests;
+  stats_.pdu_bytes_out += request.size();
+  Buffer rsp = device_.process(request);
+  stats_.pdu_bytes_in += rsp.size();
+  if (!rsp.empty() && rsp[0] == kOpError) {
+    ++stats_.protocol_errors;
+    return Error{Error::Code::kNotFound,
+                 "att error " + std::to_string(rsp.back())};
+  }
+  return rsp;
+}
+
+Result<ResourceValue> GattAdapter::read(const ResourcePath& path) {
+  const GattMapping* m = find(path);
+  if (m == nullptr || !m->descriptor.readable) {
+    return Error{Error::Code::kNotFound, "gatt: unmapped " + path.str()};
+  }
+  Buffer req{kOpReadReq, static_cast<std::uint8_t>(m->handle & 0xFF),
+             static_cast<std::uint8_t>(m->handle >> 8)};
+  auto rsp = transact(std::move(req));
+  if (!rsp.ok()) return rsp.error();
+  const Buffer& r = rsp.value();
+  if (r.size() != 5 || r[0] != kOpReadRsp) {
+    return Error{Error::Code::kMalformed, "gatt: bad read response"};
+  }
+  float v = 0;
+  std::memcpy(&v, r.data() + 1, 4);
+  return ResourceValue{static_cast<double>(v)};
+}
+
+Status GattAdapter::write(const ResourcePath& path,
+                          const ResourceValue& value) {
+  const GattMapping* m = find(path);
+  if (m == nullptr || !m->descriptor.writable) {
+    return Error{Error::Code::kNotFound, "gatt: unmapped " + path.str()};
+  }
+  auto dv = value_as_double(value);
+  if (!dv) return Error{Error::Code::kMalformed, "gatt: non-numeric"};
+  const auto f = static_cast<float>(*dv);
+  Buffer req{kOpWriteReq, static_cast<std::uint8_t>(m->handle & 0xFF),
+             static_cast<std::uint8_t>(m->handle >> 8)};
+  req.resize(7);
+  std::memcpy(req.data() + 3, &f, 4);
+  auto rsp = transact(std::move(req));
+  if (!rsp.ok()) return rsp.error();
+  if (rsp.value().empty() || rsp.value()[0] != kOpWriteRsp) {
+    return Error{Error::Code::kMalformed, "gatt: bad write response"};
+  }
+  return Status::success();
+}
+
+}  // namespace iiot::interop

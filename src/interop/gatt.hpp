@@ -1,0 +1,60 @@
+// BLE-GATT-class attribute device and adapter.
+//
+// Models the paper's observation that BLE "standardiz[es] communication
+// up to the application layer" (§III-A): values live in an attribute
+// table addressed by handles, read/written with ATT-style PDUs
+// (Read Request 0x0A / Read Response 0x0B, Write Request 0x12 / Write
+// Response 0x13, Error Response 0x01). Characteristic values are IEEE
+// float32 little-endian, as common in BLE environmental profiles.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "interop/adapter.hpp"
+
+namespace iiot::interop {
+
+class GattDevice {
+ public:
+  void set_attribute(std::uint16_t handle, Buffer value) {
+    attributes_[handle] = std::move(value);
+  }
+  void set_float(std::uint16_t handle, float v);
+  [[nodiscard]] std::optional<float> get_float(std::uint16_t handle) const;
+
+  /// Processes one ATT PDU, returning the response PDU.
+  [[nodiscard]] Buffer process(BytesView pdu);
+
+ private:
+  [[nodiscard]] Buffer error_rsp(std::uint8_t req_op, std::uint16_t handle,
+                                 std::uint8_t code) const;
+  std::map<std::uint16_t, Buffer> attributes_;
+};
+
+struct GattMapping {
+  ResourceDescriptor descriptor;
+  std::uint16_t handle = 0;
+};
+
+class GattAdapter : public Adapter {
+ public:
+  GattAdapter(GattDevice& device, std::vector<GattMapping> map)
+      : device_(device), map_(std::move(map)) {}
+
+  [[nodiscard]] const char* protocol() const override { return "ble-gatt"; }
+  [[nodiscard]] std::vector<ResourceDescriptor> discover() override;
+  [[nodiscard]] Result<ResourceValue> read(const ResourcePath& path) override;
+  [[nodiscard]] Status write(const ResourcePath& path,
+                             const ResourceValue& value) override;
+
+ private:
+  [[nodiscard]] const GattMapping* find(const ResourcePath& path) const;
+  [[nodiscard]] Result<Buffer> transact(Buffer request);
+
+  GattDevice& device_;
+  std::vector<GattMapping> map_;
+};
+
+}  // namespace iiot::interop

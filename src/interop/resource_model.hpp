@@ -1,0 +1,85 @@
+// Unified device resource model (LwM2M/IPSO-style object/instance/
+// resource identifiers) — the lingua franca the gateway translates every
+// legacy protocol into (paper §III: middleware as the interoperability
+// mechanism for heterogeneous and legacy components).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+namespace iiot::interop {
+
+/// IPSO-style well-known object ids used across the repo's examples.
+inline constexpr std::uint16_t kObjTemperature = 3303;
+inline constexpr std::uint16_t kObjHumidity = 3304;
+inline constexpr std::uint16_t kObjActuation = 3306;
+inline constexpr std::uint16_t kObjEnergy = 3331;
+/// IPSO resource ids.
+inline constexpr std::uint16_t kResSensorValue = 5700;
+inline constexpr std::uint16_t kResOnOff = 5850;
+inline constexpr std::uint16_t kResDimmer = 5851;
+
+struct ResourcePath {
+  std::uint16_t object = 0;
+  std::uint8_t instance = 0;
+  std::uint16_t resource = 0;
+
+  [[nodiscard]] std::string str() const {
+    return std::to_string(object) + "/" + std::to_string(instance) + "/" +
+           std::to_string(resource);
+  }
+
+  static std::optional<ResourcePath> parse(const std::string& s) {
+    ResourcePath p;
+    unsigned o = 0, i = 0, r = 0;
+    if (std::sscanf(s.c_str(), "%u/%u/%u", &o, &i, &r) != 3) {
+      return std::nullopt;
+    }
+    if (o > 0xFFFF || i > 0xFF || r > 0xFFFF) return std::nullopt;
+    p.object = static_cast<std::uint16_t>(o);
+    p.instance = static_cast<std::uint8_t>(i);
+    p.resource = static_cast<std::uint16_t>(r);
+    return p;
+  }
+
+  auto operator<=>(const ResourcePath&) const = default;
+};
+
+using ResourceValue = std::variant<double, std::int64_t, bool, std::string>;
+
+[[nodiscard]] inline std::string value_to_string(const ResourceValue& v) {
+  if (std::holds_alternative<double>(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", std::get<double>(v));
+    return buf;
+  }
+  if (std::holds_alternative<std::int64_t>(v)) {
+    return std::to_string(std::get<std::int64_t>(v));
+  }
+  if (std::holds_alternative<bool>(v)) {
+    return std::get<bool>(v) ? "true" : "false";
+  }
+  return std::get<std::string>(v);
+}
+
+[[nodiscard]] inline std::optional<double> value_as_double(
+    const ResourceValue& v) {
+  if (std::holds_alternative<double>(v)) return std::get<double>(v);
+  if (std::holds_alternative<std::int64_t>(v)) {
+    return static_cast<double>(std::get<std::int64_t>(v));
+  }
+  if (std::holds_alternative<bool>(v)) return std::get<bool>(v) ? 1.0 : 0.0;
+  return std::nullopt;
+}
+
+struct ResourceDescriptor {
+  ResourcePath path;
+  std::string name;   // "zone temperature"
+  std::string unit;   // "Cel"
+  bool readable = true;
+  bool writable = false;
+};
+
+}  // namespace iiot::interop

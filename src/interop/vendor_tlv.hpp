@@ -1,0 +1,62 @@
+// Proprietary vendor TLV protocol and adapter.
+//
+// Stands in for the paper's custom, non-standard device protocols —
+// "frequently only parts of the standard are used in practice, whereas
+// the other parts are replaced with custom solutions so as to gain an
+// edge over competing system providers" (§III-A). Frame layout:
+//   [0xA5][cmd][payload-len][TLVs...][xor-checksum]
+// TLV: [type][len][bytes]. Commands: 0x01 read (TLV 0x10 = point id),
+// 0x02 write (0x10 point id + 0x20 f64 value), 0x03 enumerate.
+// Responses echo cmd|0x80; errors use cmd 0x7F.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "interop/adapter.hpp"
+
+namespace iiot::interop {
+
+class VendorTlvDevice {
+ public:
+  void set_point(std::uint8_t point_id, double value) {
+    points_[point_id] = value;
+  }
+  [[nodiscard]] std::optional<double> point(std::uint8_t id) const {
+    auto it = points_.find(id);
+    if (it == points_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] Buffer process(BytesView frame);
+
+ private:
+  std::map<std::uint8_t, double> points_;
+};
+
+struct VendorMapping {
+  ResourceDescriptor descriptor;
+  std::uint8_t point_id = 0;
+};
+
+class VendorTlvAdapter : public Adapter {
+ public:
+  VendorTlvAdapter(VendorTlvDevice& device, std::vector<VendorMapping> map)
+      : device_(device), map_(std::move(map)) {}
+
+  [[nodiscard]] const char* protocol() const override { return "vendor-tlv"; }
+  [[nodiscard]] std::vector<ResourceDescriptor> discover() override;
+  [[nodiscard]] Result<ResourceValue> read(const ResourcePath& path) override;
+  [[nodiscard]] Status write(const ResourcePath& path,
+                             const ResourceValue& value) override;
+
+ private:
+  [[nodiscard]] const VendorMapping* find(const ResourcePath& path) const;
+  [[nodiscard]] Result<Buffer> transact(Buffer request);
+
+  VendorTlvDevice& device_;
+  std::vector<VendorMapping> map_;
+};
+
+}  // namespace iiot::interop

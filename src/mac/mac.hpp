@@ -1,0 +1,194 @@
+// Medium-access-control interface and shared machinery.
+//
+// The paper's sensing-and-actuation layer peculiarities (§II-B, §IV-B) show
+// up at this layer: radios are duty-cycled to save energy, which trades
+// per-hop latency for lifetime. Four MACs implement this interface:
+//   * CsmaMac  — always-on CSMA/CA with link-layer acks (latency baseline)
+//   * LplMac   — low-power listening with X-MAC-style strobes [26]
+//   * RiMac    — receiver-initiated beacons [27]
+//   * TdmaMac  — staggered parent/child schedules, Dozer-class [29]
+// Benches swap them behind this interface (DESIGN.md §4.5).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "radio/radio.hpp"
+#include "sim/scheduler.hpp"
+
+namespace iiot::mac {
+
+/// 802.15.4 aTurnaroundTime: RX/TX switch before acks.
+inline constexpr sim::Duration kTurnaround = 192;
+
+struct SendStatus {
+  bool delivered = false;  // acked (unicast) or fully strobed (broadcast)
+  int attempts = 0;
+};
+
+using SendCallback = std::function<void(const SendStatus&)>;
+using ReceiveHandler =
+    std::function<void(NodeId src, BytesView payload, double rssi_dbm)>;
+
+struct MacStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t queue_drops = 0;
+  std::uint64_t delivered = 0;   // send() completed with ack
+  std::uint64_t failed = 0;      // send() exhausted retries
+  std::uint64_t retries = 0;
+  std::uint64_t rx_delivered = 0;
+  std::uint64_t rx_duplicates = 0;
+  std::uint64_t rx_foreign = 0;  // frames from other tenants (ignored)
+};
+
+/// Abstract MAC. Implementations own the radio's mode; upper layers must
+/// not touch the radio directly once start() has been called.
+class Mac {
+ public:
+  virtual ~Mac() = default;
+
+  virtual void start() = 0;
+  virtual void stop() = 0;
+
+  /// Queues `payload` for transmission to `dst` (or kBroadcastNode).
+  /// Returns false if the MAC queue is full. `cb` fires exactly once.
+  virtual bool send(NodeId dst, Buffer payload, SendCallback cb) = 0;
+  bool send(NodeId dst, Buffer payload) {
+    return send(dst, std::move(payload), nullptr);
+  }
+
+  virtual void set_receive_handler(ReceiveHandler h) = 0;
+  [[nodiscard]] virtual const MacStats& stats() const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+  [[nodiscard]] virtual NodeId id() const = 0;
+};
+
+/// Shared plumbing: queueing, sequence numbers, duplicate suppression and
+/// tenant filtering. Concrete MACs drive the radio.
+class MacBase : public Mac {
+ public:
+  MacBase(radio::Radio& radio, sim::Scheduler& sched, Rng rng,
+          TenantId tenant, std::size_t queue_capacity = 16)
+      : radio_(radio),
+        sched_(sched),
+        rng_(rng),
+        tenant_(tenant),
+        queue_capacity_(queue_capacity) {}
+
+  using Mac::send;  // re-expose the 2-arg convenience overload
+
+  void set_receive_handler(ReceiveHandler h) override {
+    on_receive_ = std::move(h);
+  }
+  [[nodiscard]] const MacStats& stats() const override { return stats_; }
+  [[nodiscard]] NodeId id() const override { return radio_.id(); }
+  [[nodiscard]] TenantId tenant() const { return tenant_; }
+  [[nodiscard]] radio::Radio& radio() { return radio_; }
+
+ protected:
+  struct Pending {
+    NodeId dst;
+    Buffer payload;
+    SendCallback cb;
+    int attempts = 0;
+  };
+
+  /// Enqueues a request; returns false when the queue is at capacity.
+  bool enqueue(NodeId dst, Buffer payload, SendCallback cb) {
+    if (queue_.size() >= queue_capacity_) {
+      ++stats_.queue_drops;
+      if (cb) cb(SendStatus{false, 0});
+      return false;
+    }
+    ++stats_.enqueued;
+    queue_.push_back(Pending{dst, std::move(payload), std::move(cb), 0});
+    return true;
+  }
+
+  [[nodiscard]] bool queue_empty() const { return queue_.empty(); }
+  [[nodiscard]] Pending& queue_front() { return queue_.front(); }
+  void queue_pop() { queue_.pop_front(); }
+
+  /// Completes the front request and pops it.
+  void complete_front(bool delivered) {
+    Pending p = std::move(queue_.front());
+    queue_.pop_front();
+    if (delivered) {
+      ++stats_.delivered;
+    } else {
+      ++stats_.failed;
+    }
+    if (p.cb) p.cb(SendStatus{delivered, p.attempts});
+  }
+
+  /// Builds a data frame for the front request with a fresh sequence no.
+  radio::Frame make_data_frame(const Pending& p) {
+    radio::Frame f;
+    f.src = radio_.id();
+    f.dst = p.dst;
+    f.tenant = tenant_;
+    f.type = radio::FrameType::kData;
+    f.seq = next_seq_++;
+    f.payload = p.payload;
+    return f;
+  }
+
+  radio::Frame make_control_frame(radio::FrameType type, NodeId dst,
+                                  std::uint16_t seq = 0) {
+    radio::Frame f;
+    f.src = radio_.id();
+    f.dst = dst;
+    f.tenant = tenant_;
+    f.type = type;
+    f.seq = seq;
+    return f;
+  }
+
+  /// Tenant filter + duplicate suppression; delivers to the upper layer.
+  /// Returns true if the frame was fresh (delivered).
+  bool deliver_data(const radio::Frame& f, double rssi) {
+    if (f.tenant != tenant_) {
+      ++stats_.rx_foreign;
+      return false;
+    }
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(f.src) << 16) | f.seq;
+    auto [it, fresh] = seen_.emplace(f.src, key);
+    if (!fresh) {
+      if (it->second == key) {
+        ++stats_.rx_duplicates;
+        return false;
+      }
+      it->second = key;
+    }
+    ++stats_.rx_delivered;
+    if (on_receive_) on_receive_(f.src, f.payload, rssi);
+    return true;
+  }
+
+  [[nodiscard]] bool tenant_match(const radio::Frame& f) const {
+    return f.tenant == tenant_;
+  }
+
+  radio::Radio& radio_;
+  sim::Scheduler& sched_;
+  Rng rng_;
+  TenantId tenant_;
+  MacStats stats_;
+  std::uint16_t next_seq_ = 1;
+
+ private:
+  std::size_t queue_capacity_;
+  std::deque<Pending> queue_;
+  ReceiveHandler on_receive_;
+  // Last sequence key seen per source (suppresses immediate duplicates,
+  // which is what link-layer dedup realistically achieves).
+  std::unordered_map<NodeId, std::uint64_t> seen_;
+};
+
+}  // namespace iiot::mac

@@ -1,0 +1,186 @@
+#include "net/rnfd.hpp"
+
+#include <utility>
+
+namespace iiot::net {
+
+namespace {
+constexpr std::uint8_t kSubtypePing = 0;
+constexpr std::uint8_t kSubtypeGossip = 1;
+}  // namespace
+
+RnfdDetector::RnfdDetector(RplRouting& routing, sim::Scheduler& sched,
+                           Rng rng, RnfdConfig cfg)
+    : routing_(routing), sched_(sched), rng_(rng), cfg_(cfg) {}
+
+bool RnfdDetector::is_sentinel() const {
+  return !routing_.is_root() &&
+         routing_.preferred_parent() == routing_.root_id() &&
+         routing_.root_id() != kInvalidNode;
+}
+
+void RnfdDetector::start() {
+  running_ = true;
+  routing_.set_rnfd_handler(
+      [this](NodeId src, BytesView msg) { on_gossip(src, msg); });
+  schedule_probe();
+  gossip_timer_ = sched_.schedule_after(
+      cfg_.gossip_interval + rng_.below(static_cast<std::uint32_t>(
+                                 cfg_.gossip_interval)),
+      [this] { gossip(); });
+}
+
+void RnfdDetector::stop() {
+  running_ = false;
+  probe_timer_.cancel();
+  gossip_timer_.cancel();
+}
+
+void RnfdDetector::schedule_probe() {
+  if (!running_) return;
+  const auto jitter = static_cast<sim::Duration>(
+      rng_.below(static_cast<std::uint32_t>(cfg_.probe_jitter * 2)));
+  const sim::Duration base =
+      cfg_.probe_interval > cfg_.probe_jitter
+          ? cfg_.probe_interval - cfg_.probe_jitter
+          : cfg_.probe_interval;
+  probe_timer_ =
+      sched_.schedule_after(base + jitter, [this] { probe(); });
+}
+
+void RnfdDetector::probe() {
+  if (!running_) return;
+  schedule_probe();
+  if (!is_sentinel()) return;  // only root-adjacent nodes probe
+  cfrc_.join(routing_.id());
+  Buffer ping;
+  ping.push_back(static_cast<std::uint8_t>(MsgType::kRnfd));
+  ping.push_back(kSubtypePing);
+  ++stats_.probes_sent;
+  routing_.mac().send(
+      routing_.root_id(), std::move(ping),
+      [this](const mac::SendStatus& st) {
+        if (!running_) return;
+        if (st.delivered) {
+          ++stats_.probes_acked;
+          // Root demonstrably alive: clear any accumulated suspicion.
+          if (cfrc_.suspect_count() > 0) {
+            cfrc_.advance_epoch();
+            cfrc_.join(routing_.id());
+            ++stats_.epoch_advances;
+            declared_dead_ = false;
+            dirty_ = true;
+          }
+        } else {
+          ++stats_.probes_missed;
+          if (!cfrc_.has_suspect(routing_.id())) {
+            cfrc_.suspect(routing_.id());
+            dirty_ = true;
+            evaluate();
+          }
+        }
+      });
+}
+
+void RnfdDetector::gossip() {
+  if (!running_) return;
+  gossip_timer_ =
+      sched_.schedule_after(cfg_.gossip_interval, [this] { gossip(); });
+  if (!dirty_) return;
+  dirty_ = false;
+  Buffer out;
+  out.push_back(static_cast<std::uint8_t>(MsgType::kRnfd));
+  out.push_back(kSubtypeGossip);
+  BufWriter w(out);
+  cfrc_.encode(w);
+  ++stats_.gossip_tx;
+  routing_.mac().send(kBroadcastNode, std::move(out));
+}
+
+void RnfdDetector::on_gossip(NodeId src, BytesView full) {
+  (void)src;
+  if (!running_ || full.size() < 2) return;
+  if (full[1] == kSubtypePing) return;  // pings are MAC-ack-only
+  BufReader r(full.subspan(2));
+  auto remote = crdt::Cfrc::decode(r);
+  if (!remote) return;
+  ++stats_.gossip_rx;
+  const auto old_epoch = cfrc_.epoch();
+  const auto old_count = cfrc_.suspect_count();
+  cfrc_.merge(*remote);
+  if (cfrc_.epoch() != old_epoch) {
+    declared_dead_ = false;
+    dirty_ = true;
+  } else if (cfrc_.suspect_count() != old_count) {
+    dirty_ = true;  // propagate new evidence onward
+  }
+  evaluate();
+}
+
+void RnfdDetector::evaluate() {
+  if (declared_dead_) return;
+  const auto suspects = cfrc_.suspect_count();
+  if (suspects >= static_cast<std::size_t>(cfg_.quorum_min) &&
+      cfrc_.suspicion_ratio() >= cfg_.quorum_ratio) {
+    declared_dead_ = true;
+    if (on_failure_) on_failure_();
+  }
+}
+
+// ------------------------------------------------------ baseline detector
+
+KeepaliveDetector::KeepaliveDetector(RplRouting& routing,
+                                     sim::Scheduler& sched, Rng rng,
+                                     KeepaliveConfig cfg)
+    : routing_(routing), sched_(sched), rng_(rng), cfg_(cfg) {}
+
+void KeepaliveDetector::start() {
+  running_ = true;
+  schedule_probe();
+}
+
+void KeepaliveDetector::stop() {
+  running_ = false;
+  probe_timer_.cancel();
+}
+
+void KeepaliveDetector::schedule_probe() {
+  if (!running_) return;
+  const auto jitter = static_cast<sim::Duration>(
+      rng_.below(static_cast<std::uint32_t>(cfg_.probe_jitter * 2)));
+  const sim::Duration base =
+      cfg_.probe_interval > cfg_.probe_jitter
+          ? cfg_.probe_interval - cfg_.probe_jitter
+          : cfg_.probe_interval;
+  probe_timer_ = sched_.schedule_after(base + jitter, [this] { probe(); });
+}
+
+void KeepaliveDetector::probe() {
+  if (!running_) return;
+  schedule_probe();
+  // Only nodes adjacent to the root can probe it at the link layer —
+  // the same sentinel population RNFD uses, so the comparison is fair.
+  if (routing_.preferred_parent() != routing_.root_id() ||
+      routing_.root_id() == kInvalidNode) {
+    return;
+  }
+  Buffer ping;
+  ping.push_back(static_cast<std::uint8_t>(MsgType::kRnfd));
+  ping.push_back(kSubtypePing);
+  ++probes_sent_;
+  routing_.mac().send(routing_.root_id(), std::move(ping),
+                      [this](const mac::SendStatus& st) {
+                        if (!running_) return;
+                        if (st.delivered) {
+                          misses_ = 0;
+                          declared_dead_ = false;
+                          return;
+                        }
+                        if (++misses_ >= cfg_.k_missed && !declared_dead_) {
+                          declared_dead_ = true;
+                          if (on_failure_) on_failure_();
+                        }
+                      });
+}
+
+}  // namespace iiot::net

@@ -1,0 +1,123 @@
+// RNFD: routing-layer detection of DODAG root failures (Iwanicki, IPSN'16
+// [32]) — the paper's example of exploiting parallelism to improve border-
+// router failure detection "by orders of magnitude" (§IV-B, bench E4).
+//
+// Idea: nodes adjacent to the root ("sentinels") each probe the root
+// rarely, but *share* their verdicts through a conflict-free replicated
+// counter (crdt::Cfrc) gossiped over one broadcast hop. Because probes
+// are staggered across sentinels, the aggregate probing rate — and hence
+// detection latency — improves with the number of sentinels at constant
+// per-node energy, and the idempotent CFRC merge makes double-counting
+// impossible. A quorum of suspecting sentinels yields a network-wide
+// verdict. If any sentinel later reaches the root again, it advances the
+// CFRC epoch, which clears all votes everywhere.
+//
+// The baseline against which E4 compares is KeepaliveDetector below:
+// every interested node probes the root independently and declares
+// failure after k consecutive misses, sharing nothing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "crdt/cfrc.hpp"
+#include "net/rpl.hpp"
+#include "sim/scheduler.hpp"
+
+namespace iiot::net {
+
+struct RnfdConfig {
+  sim::Duration probe_interval = 10'000'000;  // per-sentinel probe period
+  sim::Duration probe_jitter = 2'000'000;
+  sim::Duration gossip_interval = 1'000'000;  // CFRC dissemination pace
+  int quorum_min = 2;            // at least this many distinct suspects
+  double quorum_ratio = 0.5;     // ... and this fraction of participants
+};
+
+struct RnfdStats {
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probes_acked = 0;
+  std::uint64_t probes_missed = 0;
+  std::uint64_t gossip_tx = 0;
+  std::uint64_t gossip_rx = 0;
+  std::uint64_t epoch_advances = 0;
+};
+
+class RnfdDetector {
+ public:
+  /// `detected` fires once per failure episode, network-wide.
+  using FailureHandler = std::function<void()>;
+
+  RnfdDetector(RplRouting& routing, sim::Scheduler& sched, Rng rng,
+               RnfdConfig cfg = {});
+
+  void start();
+  void stop();
+
+  void set_failure_handler(FailureHandler h) { on_failure_ = std::move(h); }
+
+  [[nodiscard]] bool root_declared_dead() const { return declared_dead_; }
+  [[nodiscard]] bool is_sentinel() const;
+  [[nodiscard]] const RnfdStats& stats() const { return stats_; }
+  [[nodiscard]] const crdt::Cfrc& counter() const { return cfrc_; }
+
+ private:
+  void schedule_probe();
+  void probe();
+  void gossip();
+  void on_gossip(NodeId src, BytesView full_message);
+  void evaluate();
+
+  RplRouting& routing_;
+  sim::Scheduler& sched_;
+  Rng rng_;
+  RnfdConfig cfg_;
+  RnfdStats stats_;
+  crdt::Cfrc cfrc_;
+  bool running_ = false;
+  bool declared_dead_ = false;
+  bool dirty_ = false;  // local CFRC changed since last gossip
+  FailureHandler on_failure_;
+  sim::EventHandle probe_timer_;
+  sim::EventHandle gossip_timer_;
+};
+
+/// Baseline: independent keepalive probing of the root; declares failure
+/// after `k_missed` consecutive losses. No collaboration.
+struct KeepaliveConfig {
+  sim::Duration probe_interval = 10'000'000;
+  sim::Duration probe_jitter = 2'000'000;
+  int k_missed = 3;
+};
+
+class KeepaliveDetector {
+ public:
+  using FailureHandler = std::function<void()>;
+
+  KeepaliveDetector(RplRouting& routing, sim::Scheduler& sched, Rng rng,
+                    KeepaliveConfig cfg = {});
+
+  void start();
+  void stop();
+  void set_failure_handler(FailureHandler h) { on_failure_ = std::move(h); }
+  [[nodiscard]] bool root_declared_dead() const { return declared_dead_; }
+  [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
+
+ private:
+  void schedule_probe();
+  void probe();
+
+  RplRouting& routing_;
+  sim::Scheduler& sched_;
+  Rng rng_;
+  KeepaliveConfig cfg_;
+  bool running_ = false;
+  bool declared_dead_ = false;
+  int misses_ = 0;
+  std::uint64_t probes_sent_ = 0;
+  FailureHandler on_failure_;
+  sim::EventHandle probe_timer_;
+};
+
+}  // namespace iiot::net

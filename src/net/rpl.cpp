@@ -1,0 +1,415 @@
+#include "net/rpl.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace iiot::net {
+
+RplRouting::RplRouting(mac::Mac& mac, sim::Scheduler& sched, Rng rng,
+                       RplConfig cfg)
+    : mac_(mac),
+      sched_(sched),
+      rng_(rng),
+      cfg_(cfg),
+      trickle_(sched, rng.fork(0x7121), cfg.trickle, [this] { send_dio(); }) {}
+
+void RplRouting::start_root() {
+  running_ = true;
+  is_root_ = true;
+  rank_ = kMinHopRankIncrease;
+  dodag_root_ = mac_.id();
+  mac_.set_receive_handler([this](NodeId src, BytesView p, double rssi) {
+    on_mac_receive(src, p, rssi);
+  });
+  trickle_.start();
+}
+
+void RplRouting::start() {
+  running_ = true;
+  is_root_ = false;
+  rank_ = kInfiniteRank;
+  mac_.set_receive_handler([this](NodeId src, BytesView p, double rssi) {
+    on_mac_receive(src, p, rssi);
+  });
+  trickle_.start();
+  // Solicit DIOs while orphaned.
+  dis_timer_ = sched_.schedule_after(
+      cfg_.dis_interval / 2 + rng_.below(static_cast<std::uint32_t>(
+                                 cfg_.dis_interval / 2)),
+      [this] { send_dis(); });
+}
+
+void RplRouting::stop() {
+  running_ = false;
+  trickle_.stop();
+  dao_timer_.cancel();
+  dis_timer_.cancel();
+  // Power-off semantics: volatile protocol state is lost (a rebooting
+  // node rejoins from scratch); statistics survive for post-mortems.
+  if (!is_root_) {
+    parent_ = kInvalidNode;
+    rank_ = kInfiniteRank;
+    depth_ = 0xFF;
+    neighbors_.clear();
+  }
+  downward_.clear();
+}
+
+// ----------------------------------------------------------- control plane
+
+void RplRouting::send_dio() {
+  if (!running_) return;
+  DioMsg dio{version_, rank_, dodag_root_, hop_depth()};
+  Buffer out;
+  dio.encode(out);
+  ++stats_.dio_tx;
+  mac_.send(kBroadcastNode, std::move(out));
+}
+
+void RplRouting::send_dis() {
+  if (!running_ || joined()) return;
+  Buffer out;
+  out.push_back(static_cast<std::uint8_t>(MsgType::kDis));
+  ++stats_.dis_tx;
+  mac_.send(kBroadcastNode, std::move(out));
+  dis_timer_ =
+      sched_.schedule_after(cfg_.dis_interval, [this] { send_dis(); });
+}
+
+void RplRouting::send_dao() {
+  if (!running_ || !joined() || is_root_ || !cfg_.downward_routes) return;
+  if (parent_ != kInvalidNode) {
+    DaoMsg dao{mac_.id()};
+    Buffer out;
+    dao.encode(out);
+    ++stats_.dao_tx;
+    mac_.send(parent_, std::move(out));
+  }
+  dao_timer_ =
+      sched_.schedule_after(cfg_.dao_interval, [this] { send_dao(); });
+}
+
+void RplRouting::on_mac_receive(NodeId src, BytesView payload, double rssi) {
+  (void)rssi;
+  if (!running_) return;
+  links_.record_rx(src);
+  auto type = peek_type(payload);
+  if (!type) return;
+  BufReader r(payload.subspan(1));
+  switch (*type) {
+    case MsgType::kDio: {
+      BufReader full(payload);
+      full.skip(1);
+      if (auto dio = DioMsg::decode(full)) handle_dio(src, *dio);
+      break;
+    }
+    case MsgType::kDis:
+      // Someone is orphaned nearby: answer quickly.
+      if (joined()) trickle_.inconsistent();
+      break;
+    case MsgType::kDao:
+      if (auto dao = DaoMsg::decode(r)) handle_dao(src, *dao);
+      break;
+    case MsgType::kData: {
+      if (auto msg = DataMsg::decode(r)) handle_data(src, std::move(*msg));
+      break;
+    }
+    case MsgType::kRnfd:
+      if (rnfd_raw_) rnfd_raw_(src, payload);
+      break;
+  }
+}
+
+void RplRouting::handle_dio(NodeId src, const DioMsg& dio) {
+  ++stats_.dio_rx;
+  if (is_root_) {
+    // Root only checks consistency of what it hears.
+    if (dio.version == version_) {
+      trickle_.consistent();
+    }
+    return;
+  }
+  if (dodag_root_ == kInvalidNode) dodag_root_ = dio.dodag_root;
+  if (dio.dodag_root != dodag_root_) return;  // different DODAG: ignore
+
+  // Version handling: a newer version obsoletes all state (global repair).
+  const auto newer = static_cast<std::uint8_t>(dio.version - version_);
+  if (newer > 0 && newer < 128) {
+    version_ = dio.version;
+    neighbors_.clear();
+    parent_ = kInvalidNode;
+    rank_ = kInfiniteRank;
+    trickle_.inconsistent();
+  } else if (newer != 0) {
+    // Stale version: inconsistent, let our DIO correct the sender.
+    trickle_.inconsistent();
+    return;
+  }
+
+  auto& nb = neighbors_[src];
+  nb.rank = dio.rank;
+  nb.version = dio.version;
+  nb.depth = dio.depth;
+  nb.last_heard = sched_.now();
+
+  // Trickle resets happen inside select_parent on real topology events
+  // (join, parent switch, orphaned) — RFC 6550 semantics. Mere rank
+  // drift from ETX jitter must NOT reset, or the control plane turns
+  // into a DIO storm (especially costly on duty-cycled MACs, where a
+  // broadcast occupies a full wake interval).
+  const NodeId parent_before = parent_;
+  select_parent();
+  if (parent_ == parent_before) trickle_.consistent();
+}
+
+void RplRouting::handle_dao(NodeId src, const DaoMsg& dao) {
+  if (!cfg_.downward_routes) return;
+  downward_[dao.target] = src;
+  if (!is_root_ && parent_ != kInvalidNode) {
+    // Storing mode: propagate reachability up the DODAG.
+    DaoMsg fwd{dao.target};
+    Buffer out;
+    fwd.encode(out);
+    ++stats_.dao_tx;
+    mac_.send(parent_, std::move(out));
+  }
+}
+
+// -------------------------------------------------------------- data plane
+
+bool RplRouting::send_up(Buffer payload) {
+  if (!running_ || !joined()) return false;
+  DataMsg msg;
+  msg.origin = mac_.id();
+  msg.dest = kInvalidNode;
+  msg.seq = next_seq_++;
+  msg.hops = 0;
+  msg.payload = std::move(payload);
+  ++stats_.data_originated;
+  if (is_root_) {
+    ++stats_.data_delivered;
+    if (deliver_) deliver_(msg.origin, msg.payload, 0);
+    return true;
+  }
+  forward_up(std::move(msg), true);
+  return true;
+}
+
+bool RplRouting::send_down(NodeId target, Buffer payload) {
+  if (!running_ || !is_root_ || !cfg_.downward_routes) return false;
+  if (target == mac_.id()) {
+    if (deliver_) deliver_(mac_.id(), payload, 0);
+    return true;
+  }
+  if (downward_.find(target) == downward_.end()) {
+    ++stats_.drops_no_route;
+    return false;
+  }
+  DataMsg msg;
+  msg.origin = mac_.id();
+  msg.dest = target;
+  msg.seq = next_seq_++;
+  msg.hops = 0;
+  msg.payload = std::move(payload);
+  ++stats_.data_originated;
+  forward_down(std::move(msg));
+  return true;
+}
+
+void RplRouting::handle_data(NodeId src, DataMsg&& msg) {
+  (void)src;
+  if (seen_recently(msg.origin, msg.seq)) return;
+  if (msg.dest == kInvalidNode) {
+    // Upward traffic: give the in-network processing hook first refusal.
+    if (interceptor_ && interceptor_(msg.origin, msg.payload)) return;
+    if (is_root_) {
+      ++stats_.data_delivered;
+      if (deliver_) deliver_(msg.origin, msg.payload, msg.hops);
+      return;
+    }
+    ++stats_.data_forwarded;
+    forward_up(std::move(msg), true);
+    return;
+  }
+  // Downward traffic.
+  if (msg.dest == mac_.id()) {
+    ++stats_.data_delivered;
+    if (deliver_) deliver_(msg.origin, msg.payload, msg.hops);
+    return;
+  }
+  ++stats_.data_forwarded;
+  forward_down(std::move(msg));
+}
+
+void RplRouting::forward_up(DataMsg msg, bool allow_reroute) {
+  if (msg.hops >= cfg_.max_hops) {
+    ++stats_.drops_ttl;
+    return;
+  }
+  if (parent_ == kInvalidNode) {
+    ++stats_.drops_no_route;
+    return;
+  }
+  ++msg.hops;
+  Buffer out;
+  msg.encode(out);
+  const NodeId via = parent_;
+  mac_.send(via, std::move(out),
+            [this, msg = std::move(msg), via,
+             allow_reroute](const mac::SendStatus& st) mutable {
+              links_.record_tx(via, st.attempts, st.delivered);
+              if (st.delivered) return;
+              if (links_.consecutive_failures(via) >=
+                  cfg_.max_parent_failures) {
+                neighbors_.erase(via);
+                links_.forget(via);
+                select_parent();
+              }
+              if (allow_reroute && parent_ != kInvalidNode &&
+                  parent_ != via) {
+                --msg.hops;  // not actually travelled
+                forward_up(std::move(msg), false);
+              } else {
+                ++stats_.drops_link;
+              }
+            });
+}
+
+void RplRouting::forward_down(DataMsg msg) {
+  if (msg.hops >= cfg_.max_hops) {
+    ++stats_.drops_ttl;
+    return;
+  }
+  auto it = downward_.find(msg.dest);
+  if (it == downward_.end()) {
+    ++stats_.drops_no_route;
+    return;
+  }
+  ++msg.hops;
+  const NodeId via = it->second;
+  Buffer out;
+  msg.encode(out);
+  mac_.send(via, std::move(out), [this, via](const mac::SendStatus& st) {
+    links_.record_tx(via, st.attempts, st.delivered);
+    if (!st.delivered) {
+      ++stats_.drops_link;
+      // Stale downward route: remove entries through this child.
+      for (auto e = downward_.begin(); e != downward_.end();) {
+        e = e->second == via ? downward_.erase(e) : std::next(e);
+      }
+    }
+  });
+}
+
+// --------------------------------------------------------- parent selection
+
+Rank RplRouting::link_cost(NodeId neighbor) const {
+  const double etx = links_.etx(neighbor);
+  const double cost = etx * kMinHopRankIncrease;
+  return static_cast<Rank>(std::clamp(
+      cost, static_cast<double>(kMinHopRankIncrease),
+      static_cast<double>(4 * kMinHopRankIncrease)));
+}
+
+Rank RplRouting::path_cost_via(NodeId neighbor) const {
+  auto it = neighbors_.find(neighbor);
+  if (it == neighbors_.end() || it->second.rank >= kInfiniteRank) {
+    return kInfiniteRank;
+  }
+  const std::uint32_t total = it->second.rank + link_cost(neighbor);
+  return total >= kInfiniteRank ? kInfiniteRank
+                                : static_cast<Rank>(total);
+}
+
+void RplRouting::select_parent() {
+  if (is_root_) return;
+  NodeId best = kInvalidNode;
+  Rank best_cost = kInfiniteRank;
+  for (const auto& [n, nb] : neighbors_) {
+    if (nb.version != version_) continue;
+    const Rank c = path_cost_via(n);
+    if (c < best_cost) {
+      best_cost = c;
+      best = n;
+    }
+  }
+  if (best == kInvalidNode) {
+    become_orphan();
+    return;
+  }
+  const bool had_parent = parent_ != kInvalidNode;
+  const Rank current_cost = had_parent ? path_cost_via(parent_) : kInfiniteRank;
+  if (!had_parent || best_cost + cfg_.parent_switch_threshold < current_cost ||
+      neighbors_.find(parent_) == neighbors_.end()) {
+    if (parent_ != best) {
+      ++stats_.parent_changes;
+      const NodeId old = parent_;
+      parent_ = best;
+      trickle_.inconsistent();  // topology event: re-advertise promptly
+      if (on_parent_change_) on_parent_change_(old, parent_);
+      if (!had_parent) {
+        // First join: start advertising reachability.
+        dao_timer_.cancel();
+        dao_timer_ = sched_.schedule_after(
+            1'000'000 + rng_.below(1'000'000), [this] { send_dao(); });
+        dis_timer_.cancel();
+      } else {
+        // Parent switched: refresh the downward path promptly.
+        dao_timer_.cancel();
+        dao_timer_ = sched_.schedule_after(200'000 + rng_.below(300'000),
+                                           [this] { send_dao(); });
+      }
+    }
+  }
+  rank_ = path_cost_via(parent_);
+  if (auto it = neighbors_.find(parent_); it != neighbors_.end()) {
+    depth_ = it->second.depth < 0xFF
+                 ? static_cast<std::uint8_t>(it->second.depth + 1)
+                 : 0xFF;
+  }
+  if (rank_ >= kInfiniteRank) become_orphan();
+}
+
+void RplRouting::become_orphan() {
+  const bool was_joined = rank_ < kInfiniteRank || parent_ != kInvalidNode;
+  parent_ = kInvalidNode;
+  rank_ = kInfiniteRank;
+  depth_ = 0xFF;
+  if (was_joined) {
+    ++stats_.parent_changes;
+    // Poison: advertise infinite rank immediately, then solicit.
+    send_dio();
+    trickle_.inconsistent();
+    dis_timer_.cancel();
+    dis_timer_ =
+        sched_.schedule_after(cfg_.dis_interval, [this] { send_dis(); });
+  }
+}
+
+void RplRouting::global_repair() {
+  if (!is_root_) return;
+  ++version_;
+  downward_.clear();
+  trickle_.reset();
+}
+
+void RplRouting::local_repair() {
+  if (is_root_) return;
+  neighbors_.clear();
+  become_orphan();
+}
+
+bool RplRouting::seen_recently(NodeId origin, SeqNo seq) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(origin) << 32) | seq;
+  if (seen_set_.count(key) > 0) return true;
+  seen_set_.emplace(key, true);
+  seen_fifo_.push_back(key);
+  if (seen_fifo_.size() > 8192) {
+    seen_set_.erase(seen_fifo_.front());
+    seen_fifo_.pop_front();
+  }
+  return false;
+}
+
+}  // namespace iiot::net

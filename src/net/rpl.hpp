@@ -1,0 +1,185 @@
+// RPL-class distance-vector routing over a DODAG (RFC 6550 style, [14]).
+//
+// Upward routes: every node selects a preferred parent minimizing
+// rank(parent) + ETX-based link cost, advertises its own rank in
+// Trickle-paced DIO broadcasts, and forwards data hop-by-hop toward the
+// root. Downward routes: storing mode — DAOs travel up and each hop
+// records target → next-hop-child. Version bumps at the root trigger
+// global repair; losing all parents triggers local repair (poisoning +
+// DIS solicitation).
+//
+// This is the routing substrate for the geographic-scalability and
+// dependability experiments (E1–E4, E11): multi-hop latency, border-
+// router load concentration, and root-failure detection all run on it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "mac/mac.hpp"
+#include "net/link_estimator.hpp"
+#include "net/messages.hpp"
+#include "net/trickle.hpp"
+#include "sim/scheduler.hpp"
+
+namespace iiot::net {
+
+struct RplConfig {
+  TrickleConfig trickle{500'000, 8, 3};     // Imin 0.5 s
+  sim::Duration dao_interval = 30'000'000;  // 30 s
+  sim::Duration dis_interval = 5'000'000;   // orphan solicitation
+  Rank parent_switch_threshold = 192;       // hysteresis
+  int max_parent_failures = 3;
+  std::uint8_t max_hops = 32;
+  bool downward_routes = true;
+};
+
+struct RplStats {
+  std::uint64_t dio_tx = 0;
+  std::uint64_t dio_rx = 0;
+  std::uint64_t dis_tx = 0;
+  std::uint64_t dao_tx = 0;
+  std::uint64_t data_originated = 0;
+  std::uint64_t data_forwarded = 0;
+  std::uint64_t data_delivered = 0;
+  std::uint64_t drops_no_route = 0;
+  std::uint64_t drops_link = 0;
+  std::uint64_t drops_ttl = 0;
+  std::uint64_t parent_changes = 0;
+};
+
+class RplRouting {
+ public:
+  /// origin, payload, hops travelled.
+  using DeliveryHandler =
+      std::function<void(NodeId, BytesView, std::uint8_t)>;
+  /// Raw hook for piggybacked protocols (RNFD gossip): src + full message.
+  using RawHandler = std::function<void(NodeId, BytesView)>;
+
+  RplRouting(mac::Mac& mac, sim::Scheduler& sched, Rng rng,
+             RplConfig cfg = {});
+
+  /// Starts this node as the DODAG root (border router).
+  void start_root();
+  /// Starts this node as an ordinary router/leaf.
+  void start();
+  void stop();
+
+  /// Sends `payload` toward the root. Returns false if not joined or the
+  /// MAC queue is full.
+  bool send_up(Buffer payload);
+  /// Root-only: sends `payload` down to `target` along stored DAO routes.
+  bool send_down(NodeId target, Buffer payload);
+  /// Convenience: up if not root, down if root.
+  bool send_to(NodeId target, Buffer payload) {
+    return is_root_ ? send_down(target, std::move(payload))
+                    : send_up(std::move(payload));
+  }
+
+  void set_delivery_handler(DeliveryHandler h) { deliver_ = std::move(h); }
+  void set_rnfd_handler(RawHandler h) { rnfd_raw_ = std::move(h); }
+  /// In-network processing hook (TinyDB-style [31]): called at every hop
+  /// for upward data, including the root. Return true to consume the
+  /// message at this hop (it is not forwarded/delivered further). This is
+  /// what enables in-network aggregation (bench E3).
+  void set_forward_interceptor(
+      std::function<bool(NodeId origin, BytesView)> fn) {
+    interceptor_ = std::move(fn);
+  }
+  /// Fires whenever the preferred parent changes (old, new).
+  void set_parent_change_handler(std::function<void(NodeId, NodeId)> h) {
+    on_parent_change_ = std::move(h);
+  }
+
+  [[nodiscard]] bool is_root() const { return is_root_; }
+  [[nodiscard]] bool joined() const { return is_root_ || rank_ < kInfiniteRank; }
+  [[nodiscard]] Rank rank() const { return rank_; }
+  /// True hop distance to the root (root = 0; 0xFF when not joined).
+  [[nodiscard]] std::uint8_t hop_depth() const {
+    return is_root_ ? 0 : depth_;
+  }
+  [[nodiscard]] NodeId preferred_parent() const { return parent_; }
+  [[nodiscard]] std::uint8_t version() const { return version_; }
+  [[nodiscard]] NodeId root_id() const { return dodag_root_; }
+  [[nodiscard]] NodeId id() const { return mac_.id(); }
+  [[nodiscard]] const RplStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t downward_table_size() const {
+    return downward_.size();
+  }
+  [[nodiscard]] std::size_t neighbor_count() const {
+    return neighbors_.size();
+  }
+  [[nodiscard]] LinkEstimator& link_estimator() { return links_; }
+  [[nodiscard]] mac::Mac& mac() { return mac_; }
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+
+  /// Root-only: increments the DODAG version (global repair).
+  void global_repair();
+  /// Detaches from the DODAG: poison, then solicit (local repair).
+  void local_repair();
+
+ private:
+  struct Neighbor {
+    Rank rank = kInfiniteRank;
+    std::uint8_t version = 0;
+    std::uint8_t depth = 0xFF;
+    sim::Time last_heard = 0;
+  };
+
+  void on_mac_receive(NodeId src, BytesView payload, double rssi);
+  void handle_dio(NodeId src, const DioMsg& dio);
+  void handle_dao(NodeId src, const DaoMsg& dao);
+  void handle_data(NodeId src, DataMsg&& msg);
+
+  void send_dio();
+  void send_dis();
+  void send_dao();
+  void forward_up(DataMsg msg, bool allow_reroute);
+  void forward_down(DataMsg msg);
+  void select_parent();
+  [[nodiscard]] Rank link_cost(NodeId neighbor) const;
+  [[nodiscard]] Rank path_cost_via(NodeId neighbor) const;
+  void become_orphan();
+  [[nodiscard]] bool seen_recently(NodeId origin, SeqNo seq);
+
+  mac::Mac& mac_;
+  sim::Scheduler& sched_;
+  Rng rng_;
+  RplConfig cfg_;
+  Trickle trickle_;
+  LinkEstimator links_;
+  RplStats stats_;
+
+  bool running_ = false;
+  bool is_root_ = false;
+  Rank rank_ = kInfiniteRank;
+  Rank advertised_rank_ = kInfiniteRank;  // rank at last trickle reset
+  std::uint8_t depth_ = 0xFF;
+  NodeId parent_ = kInvalidNode;
+  std::uint8_t version_ = 0;
+  NodeId dodag_root_ = kInvalidNode;
+  SeqNo next_seq_ = 1;
+
+  std::unordered_map<NodeId, Neighbor> neighbors_;
+  std::unordered_map<NodeId, NodeId> downward_;  // target -> next-hop child
+
+  DeliveryHandler deliver_;
+  RawHandler rnfd_raw_;
+  std::function<bool(NodeId, BytesView)> interceptor_;
+  std::function<void(NodeId, NodeId)> on_parent_change_;
+
+  sim::EventHandle dao_timer_;
+  sim::EventHandle dis_timer_;
+
+  // Duplicate suppression for routed data (origin, seq).
+  std::deque<std::uint64_t> seen_fifo_;
+  std::unordered_map<std::uint64_t, bool> seen_set_;
+};
+
+}  // namespace iiot::net

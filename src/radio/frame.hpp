@@ -1,0 +1,59 @@
+// Link-layer frame model (802.15.4-class).
+//
+// Frames carry opaque payload bytes for the layer above. Sizes follow the
+// 802.15.4 data-frame layout so that airtime — which drives both latency
+// and energy — is realistic: PHY preamble+SFD+PHR (6 B) + MHR (9 B) +
+// payload + FCS (2 B), at 250 kbit/s.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "sim/time.hpp"
+
+namespace iiot::radio {
+
+/// MAC-level frame kind. The radio treats all kinds identically; MAC
+/// protocols use them for their handshakes.
+enum class FrameType : std::uint8_t {
+  kData = 0,
+  kAck,
+  kStrobe,      // LPL wake-up strobe (X-MAC style)
+  kStrobeAck,   // early-ack terminating a strobe train
+  kBeacon,      // RI-MAC receiver beacon / TDMA schedule beacon
+  kProbe,       // keepalive / diagnostics
+};
+
+struct Frame {
+  NodeId src = kInvalidNode;
+  NodeId dst = kBroadcastNode;
+  TenantId tenant = 0;       // PAN-id analogue; separates admin domains
+  FrameType type = FrameType::kData;
+  std::uint16_t seq = 0;
+  Buffer payload;
+
+  [[nodiscard]] bool broadcast() const { return dst == kBroadcastNode; }
+
+  /// Serialized on-air size in bytes (PHY + MHR + payload + FCS).
+  [[nodiscard]] std::size_t size_bytes() const {
+    return kPhyOverhead + kMacHeader + payload.size() + kFcsBytes;
+  }
+
+  static constexpr std::size_t kPhyOverhead = 6;
+  static constexpr std::size_t kMacHeader = 9;
+  static constexpr std::size_t kFcsBytes = 2;
+  /// 802.15.4 max PSDU is 127 B; payload budget after MHR+FCS.
+  static constexpr std::size_t kMaxPayload = 127 - kMacHeader - kFcsBytes;
+};
+
+/// Airtime of a frame at 250 kbit/s: 32 us per byte.
+[[nodiscard]] inline sim::Duration airtime(const Frame& f) {
+  return static_cast<sim::Duration>(f.size_bytes()) * 32ULL;
+}
+
+[[nodiscard]] inline sim::Duration airtime_bytes(std::size_t total_bytes) {
+  return static_cast<sim::Duration>(total_bytes) * 32ULL;
+}
+
+}  // namespace iiot::radio

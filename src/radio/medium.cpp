@@ -1,0 +1,109 @@
+#include "radio/medium.hpp"
+
+#include <algorithm>
+
+namespace iiot::radio {
+
+void Medium::detach(Radio* r) {
+  std::erase(radios_, r);
+  std::erase_if(receptions_, [r](const Reception& rec) {
+    return rec.receiver == r;
+  });
+  std::erase_if(active_, [r](const ActiveTx& tx) { return tx.src == r; });
+}
+
+void Medium::begin_tx(Radio& src, Frame f) {
+  ++stats_.transmissions;
+  const sim::Time start = sched_.now();
+  const sim::Time end = start + airtime(f);
+  const std::uint64_t id = next_tx_id_++;
+
+  // Start receptions at every radio currently able to hear this frame.
+  for (Radio* r : radios_) {
+    if (r == &src) continue;
+    if (r->channel() != src.channel()) continue;
+    if (r->mode() != Mode::kListen || r->transmitting()) continue;
+    const double sig = rx_power(src, *r);
+    if (sig < prop_.config().sensitivity_dbm) continue;
+
+    Reception rec{id, r, sig};
+    // Collision handling: compare against receptions already in progress
+    // at this radio. The stronger signal survives only if it clears the
+    // capture margin; otherwise both are corrupted.
+    for (Reception& other : receptions_) {
+      if (other.receiver != r || other.aborted) continue;
+      const double margin = prop_.config().capture_db;
+      const bool new_wins = sig >= other.signal_dbm + margin;
+      const bool old_wins = other.signal_dbm >= sig + margin;
+      if (!old_wins) {
+        if (!other.corrupted) ++stats_.collisions;
+        other.corrupted = true;
+      }
+      if (!new_wins) {
+        if (!rec.corrupted) ++stats_.collisions;
+        rec.corrupted = true;
+      }
+    }
+    receptions_.push_back(std::move(rec));
+  }
+
+  active_.push_back(ActiveTx{id, &src, src.channel(), start, end, std::move(f)});
+  sched_.schedule_at(end, [this, id] { finish_tx(id); });
+}
+
+void Medium::on_receiver_disturbed(Radio& r) {
+  for (Reception& rec : receptions_) {
+    if (rec.receiver == &r && !rec.aborted) {
+      rec.aborted = true;
+      ++stats_.aborted;
+    }
+  }
+}
+
+bool Medium::channel_busy(const Radio& r) const {
+  for (const ActiveTx& tx : active_) {
+    if (tx.channel != r.channel()) continue;
+    if (tx.src == &r) return true;
+    // const_cast-free power query: Propagation caches per-link shadowing,
+    // so the lookup is logically const but mutates the memo table.
+    auto& self = const_cast<Medium&>(*this);
+    double sig = self.rx_power(*tx.src, r);
+    if (sig >= prop_.config().cca_threshold_dbm) return true;
+  }
+  return false;
+}
+
+void Medium::finish_tx(std::uint64_t tx_id) {
+  auto it = std::find_if(active_.begin(), active_.end(),
+                         [tx_id](const ActiveTx& t) { return t.id == tx_id; });
+  if (it == active_.end()) return;
+  ActiveTx tx = std::move(*it);
+  active_.erase(it);
+
+  // Deliver surviving receptions.
+  for (auto rit = receptions_.begin(); rit != receptions_.end();) {
+    if (rit->tx_id != tx_id) {
+      ++rit;
+      continue;
+    }
+    Reception rec = *rit;
+    rit = receptions_.erase(rit);
+    if (rec.aborted || rec.corrupted) continue;
+    // Receiver must still be listening on the same channel.
+    if (rec.receiver->mode() != Mode::kListen ||
+        rec.receiver->transmitting() ||
+        rec.receiver->channel() != tx.channel) {
+      ++stats_.aborted;
+      continue;
+    }
+    const double snr = rec.signal_dbm - prop_.config().noise_floor_dbm;
+    if (!rng_.chance(Propagation::prr_from_snr(snr))) {
+      ++stats_.snr_losses;
+      continue;
+    }
+    ++stats_.deliveries;
+    rec.receiver->deliver(tx.frame, rec.signal_dbm);
+  }
+}
+
+}  // namespace iiot::radio

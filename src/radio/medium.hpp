@@ -1,0 +1,98 @@
+// The shared wireless medium.
+//
+// Tracks all in-flight transmissions and decides, per potential receiver,
+// whether a frame survives: the receiver must be listening on the same
+// channel for the whole airtime, the frame must win any collision by the
+// capture margin, and it must pass the SNR→PRR coin flip. Cross-tenant
+// transmissions interfere exactly like same-tenant ones — this is what the
+// administrative-scalability experiment (E6) measures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "radio/frame.hpp"
+#include "radio/propagation.hpp"
+#include "radio/radio.hpp"
+#include "sim/scheduler.hpp"
+
+namespace iiot::radio {
+
+struct MediumStats {
+  std::uint64_t transmissions = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t collisions = 0;   // receptions corrupted by overlap
+  std::uint64_t snr_losses = 0;   // receptions lost to the PRR coin flip
+  std::uint64_t aborted = 0;      // receiver left listen mid-frame
+};
+
+class Medium {
+ public:
+  Medium(sim::Scheduler& sched, PropagationConfig cfg, std::uint64_t seed)
+      : sched_(sched), prop_(cfg, seed), rng_(seed ^ 0xD1CEULL, 77) {}
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
+
+  [[nodiscard]] Propagation& propagation() { return prop_; }
+  [[nodiscard]] const MediumStats& stats() const { return stats_; }
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+
+  /// Expected PRR of the a→b link (for tests and topology construction).
+  [[nodiscard]] double link_prr(const Radio& a, const Radio& b) {
+    return prop_.prr(a.id(), a.position(), b.id(), b.position());
+  }
+
+ private:
+  friend class Radio;
+
+  struct ActiveTx {
+    std::uint64_t id;
+    Radio* src;
+    ChannelId channel;
+    sim::Time start;
+    sim::Time end;
+    Frame frame;
+  };
+
+  struct Reception {
+    std::uint64_t tx_id;
+    Radio* receiver;
+    double signal_dbm;
+    bool corrupted = false;
+    bool aborted = false;
+  };
+
+  void attach(Radio* r) { radios_.push_back(r); }
+  void detach(Radio* r);
+
+  /// Radio API: starts a transmission; schedules its completion.
+  void begin_tx(Radio& src, Frame f);
+
+  /// Radio API: the radio at `r` changed mode/channel or started
+  /// transmitting — abort any reception in progress there.
+  void on_receiver_disturbed(Radio& r);
+
+  /// Radio API: instantaneous energy detect at `r`.
+  [[nodiscard]] bool channel_busy(const Radio& r) const;
+
+  void finish_tx(std::uint64_t tx_id);
+
+  double rx_power(const Radio& from, const Radio& to) {
+    return prop_.rx_dbm(from.id(), from.position(), to.id(), to.position());
+  }
+
+  sim::Scheduler& sched_;
+  Propagation prop_;
+  Rng rng_;
+  MediumStats stats_;
+  std::vector<Radio*> radios_;
+  std::uint64_t next_tx_id_ = 1;
+  std::vector<ActiveTx> active_;
+  std::vector<Reception> receptions_;
+};
+
+}  // namespace iiot::radio

@@ -1,0 +1,88 @@
+// Log-distance path-loss propagation with static log-normal shadowing.
+//
+// Per-link shadowing is sampled once (deterministically from the channel
+// seed and the node pair), which models the quasi-static multipath
+// environment of industrial deployments; fast variation is captured by the
+// SNR→PRR logistic curve applied per frame.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace iiot::radio {
+
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+[[nodiscard]] inline double distance(const Position& a, const Position& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+struct PropagationConfig {
+  double pl0_db = 40.0;            // path loss at reference distance (1 m)
+  double exponent = 3.0;           // indoor-industrial path-loss exponent
+  double shadowing_sigma_db = 3.0; // log-normal shadowing std-dev
+  double tx_power_dbm = 0.0;
+  double noise_floor_dbm = -95.0;
+  double sensitivity_dbm = -90.0;  // below this, frames are undetectable
+  double cca_threshold_dbm = -85.0;
+  double capture_db = 8.0;         // SIR needed to survive a collision
+};
+
+class Propagation {
+ public:
+  explicit Propagation(PropagationConfig cfg, std::uint64_t seed)
+      : cfg_(cfg), seed_(seed) {}
+
+  [[nodiscard]] const PropagationConfig& config() const { return cfg_; }
+
+  /// Received power (dBm) over the a→b link at the configured TX power.
+  [[nodiscard]] double rx_dbm(NodeId a, const Position& pa, NodeId b,
+                              const Position& pb) {
+    double d = std::max(1.0, distance(pa, pb));
+    double pl = cfg_.pl0_db + 10.0 * cfg_.exponent * std::log10(d);
+    return cfg_.tx_power_dbm - pl + shadowing(a, b);
+  }
+
+  /// Frame reception probability from SNR: a logistic curve calibrated so
+  /// that SNR 0 dB over the noise floor is hopeless and +10 dB is reliable.
+  [[nodiscard]] static double prr_from_snr(double snr_db) {
+    double p = 1.0 / (1.0 + std::exp(-(snr_db - 5.0) * 1.1));
+    return std::clamp(p, 0.0, 1.0);
+  }
+
+  [[nodiscard]] double prr(NodeId a, const Position& pa, NodeId b,
+                           const Position& pb) {
+    double snr = rx_dbm(a, pa, b, pb) - cfg_.noise_floor_dbm;
+    return prr_from_snr(snr);
+  }
+
+ private:
+  /// Symmetric, memoized per-link shadowing draw.
+  double shadowing(NodeId a, NodeId b) {
+    if (cfg_.shadowing_sigma_db <= 0.0) return 0.0;
+    if (a > b) std::swap(a, b);
+    std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+    auto it = shadow_.find(key);
+    if (it != shadow_.end()) return it->second;
+    Rng rng(seed_ ^ key, key);
+    double v = rng.normal(0.0, cfg_.shadowing_sigma_db);
+    shadow_.emplace(key, v);
+    return v;
+  }
+
+  PropagationConfig cfg_;
+  std::uint64_t seed_;
+  std::unordered_map<std::uint64_t, double> shadow_;
+};
+
+}  // namespace iiot::radio

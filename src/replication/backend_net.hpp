@@ -1,0 +1,94 @@
+// Simulated backend network for the data-storage tier: point-to-point
+// datagrams with latency, plus partition injection. This substitutes for
+// the WAN links between sites/data centers that the paper's geographic-
+// and availability-scalability discussion assumes (§IV-B, §V-C).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crdt/vector_clock.hpp"
+#include "sim/scheduler.hpp"
+
+namespace iiot::replication {
+
+using crdt::ReplicaId;
+
+struct BackendNetConfig {
+  sim::Duration min_latency = 5'000;    // 5 ms
+  sim::Duration max_latency = 50'000;   // 50 ms
+  double loss = 0.0;
+};
+
+class BackendNet {
+ public:
+  using Handler = std::function<void(ReplicaId from, BytesView)>;
+
+  BackendNet(sim::Scheduler& sched, Rng rng, BackendNetConfig cfg = {})
+      : sched_(sched), rng_(rng), cfg_(cfg) {}
+
+  void attach(ReplicaId id, Handler h) { handlers_[id] = std::move(h); }
+
+  /// Sends bytes from → to. Silently dropped across partition boundaries
+  /// (that is the point: senders cannot tell a partition from slowness).
+  void send(ReplicaId from, ReplicaId to, Buffer bytes) {
+    ++messages_;
+    bytes_ += bytes.size();
+    if (!connected(from, to) || rng_.chance(cfg_.loss)) return;
+    const auto latency = static_cast<sim::Duration>(rng_.range(
+        static_cast<std::int64_t>(cfg_.min_latency),
+        static_cast<std::int64_t>(cfg_.max_latency)));
+    sched_.schedule_after(latency, [this, from, to,
+                                    bytes = std::move(bytes)] {
+      auto it = handlers_.find(to);
+      if (it != handlers_.end()) it->second(from, bytes);
+    });
+  }
+
+  /// Splits replicas into groups; traffic crosses groups only if both
+  /// endpoints share one. Unlisted replicas form an implicit last group.
+  void set_partition(std::vector<std::vector<ReplicaId>> groups) {
+    group_of_.clear();
+    int g = 1;
+    for (const auto& members : groups) {
+      for (ReplicaId r : members) group_of_[r] = g;
+      ++g;
+    }
+    partitioned_ = true;
+  }
+
+  void heal() {
+    group_of_.clear();
+    partitioned_ = false;
+  }
+
+  [[nodiscard]] bool partitioned() const { return partitioned_; }
+  [[nodiscard]] bool connected(ReplicaId a, ReplicaId b) const {
+    if (!partitioned_) return true;
+    auto ga = group_of_.find(a);
+    auto gb = group_of_.find(b);
+    const int va = ga == group_of_.end() ? 0 : ga->second;
+    const int vb = gb == group_of_.end() ? 0 : gb->second;
+    return va == vb;
+  }
+
+  [[nodiscard]] std::uint64_t messages() const { return messages_; }
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+
+ private:
+  sim::Scheduler& sched_;
+  Rng rng_;
+  BackendNetConfig cfg_;
+  std::unordered_map<ReplicaId, Handler> handlers_;
+  std::unordered_map<ReplicaId, int> group_of_;
+  bool partitioned_ = false;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace iiot::replication

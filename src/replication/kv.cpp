@@ -1,0 +1,282 @@
+#include "replication/kv.hpp"
+
+#include <utility>
+
+namespace iiot::replication {
+
+namespace {
+enum MsgTag : std::uint8_t {
+  kGossip = 1,
+  kWriteReq = 2,    // origin -> primary: req_id, key, value
+  kReplicate = 3,   // primary -> backup: req_id, key, value
+  kRepAck = 4,      // backup -> primary: req_id
+  kWriteResp = 5,   // primary -> origin: req_id, ok
+  kCommit = 6,      // primary -> backup: req_id, key, value (apply; the
+                    // payload rides along so a commit that overtakes its
+                    // replicate on the network still applies)
+};
+}  // namespace
+
+// --------------------------------------------------------------------- AP
+
+ApReplica::ApReplica(ReplicaId id, std::vector<ReplicaId> peers,
+                     BackendNet& net, sim::Scheduler& sched, Rng rng,
+                     ApConfig cfg)
+    : id_(id),
+      peers_(std::move(peers)),
+      net_(net),
+      sched_(sched),
+      rng_(rng),
+      cfg_(cfg) {
+  std::erase(peers_, id_);
+  net_.attach(id_, [this](ReplicaId from, BytesView b) {
+    on_message(from, b);
+  });
+}
+
+void ApReplica::start() {
+  running_ = true;
+  timer_ = sched_.schedule_after(
+      cfg_.gossip_interval +
+          rng_.below(static_cast<std::uint32_t>(cfg_.gossip_interval)),
+      [this] { gossip(); });
+}
+
+void ApReplica::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+bool ApReplica::put(const std::string& key, std::string value) {
+  state_.apply(id_, key, [&](crdt::LwwRegister<std::string>& reg) {
+    reg.set(id_, sched_.now(), std::move(value));
+  });
+  return true;  // AP: local writes always succeed
+}
+
+void ApReplica::remove(const std::string& key) { state_.remove(key); }
+
+std::optional<std::string> ApReplica::get(const std::string& key) const {
+  const auto* reg = state_.get(key);
+  if (reg == nullptr) return std::nullopt;
+  return reg->get();
+}
+
+bool ApReplica::same_state_as(const ApReplica& other) const {
+  if (state_.keys() != other.state_.keys()) return false;
+  for (const auto& k : state_.keys()) {
+    const auto* a = state_.get(k);
+    const auto* b = other.state_.get(k);
+    if ((a == nullptr) != (b == nullptr)) return false;
+    if (a != nullptr && a->get() != b->get()) return false;
+  }
+  return true;
+}
+
+void ApReplica::gossip() {
+  if (!running_) return;
+  timer_ = sched_.schedule_after(cfg_.gossip_interval, [this] { gossip(); });
+  if (peers_.empty()) return;
+  ++rounds_;
+  Buffer out;
+  BufWriter w(out);
+  w.u8(kGossip);
+  state_.encode(w);
+  for (int i = 0; i < cfg_.fanout; ++i) {
+    const ReplicaId peer =
+        peers_[rng_.below(static_cast<std::uint32_t>(peers_.size()))];
+    net_.send(id_, peer, out);
+  }
+}
+
+void ApReplica::on_message(ReplicaId from, BytesView bytes) {
+  (void)from;
+  if (bytes.empty() || bytes[0] != kGossip) return;
+  BufReader r(bytes.subspan(1));
+  auto remote = KvState::decode(r);
+  if (remote) state_.merge(*remote);
+}
+
+// --------------------------------------------------------------------- CP
+
+CpReplica::CpReplica(ReplicaId id, ReplicaId primary,
+                     std::vector<ReplicaId> all, BackendNet& net,
+                     sim::Scheduler& sched, Rng rng, CpConfig cfg)
+    : id_(id),
+      primary_(primary),
+      all_(std::move(all)),
+      net_(net),
+      sched_(sched),
+      rng_(rng),
+      cfg_(cfg) {
+  net_.attach(id_, [this](ReplicaId from, BytesView b) {
+    on_message(from, b);
+  });
+}
+
+void CpReplica::start() { running_ = true; }
+void CpReplica::stop() { running_ = false; }
+
+void CpReplica::put(const std::string& key, std::string value,
+                    PutCallback cb) {
+  if (!running_) {
+    if (cb) cb(false);
+    return;
+  }
+  const std::uint64_t req = next_req_++;
+  if (is_primary()) {
+    // Coordinate locally.
+    auto& fl = in_flight_[req];
+    fl.key = key;
+    fl.value = value;
+    fl.acks = 1;  // self
+    fl.origin = id_;
+    fl.cb = std::move(cb);
+    fl.timer = sched_.schedule_after(cfg_.request_timeout,
+                                     [this, req] { finish(req, false); });
+    Buffer out;
+    BufWriter w(out);
+    w.u8(kReplicate);
+    w.u64(req);
+    w.lp_str(key);
+    w.lp_str(value);
+    for (ReplicaId r : all_) {
+      if (r != id_) net_.send(id_, r, out);
+    }
+    if (fl.acks >= majority()) finish(req, true);
+    return;
+  }
+  // Forward to primary and wait (bounded) for the verdict.
+  client_waits_[req] = std::move(cb);
+  sched_.schedule_after(cfg_.request_timeout, [this, req] {
+    auto it = client_waits_.find(req);
+    if (it == client_waits_.end()) return;
+    auto handler = std::move(it->second);
+    client_waits_.erase(it);
+    if (handler) handler(false);  // primary unreachable / quorum failed
+  });
+  Buffer out;
+  BufWriter w(out);
+  w.u8(kWriteReq);
+  w.u64(req);
+  w.lp_str(key);
+  w.lp_str(value);
+  net_.send(id_, primary_, std::move(out));
+}
+
+std::optional<std::string> CpReplica::get(const std::string& key) const {
+  auto it = committed_.find(key);
+  if (it == committed_.end()) return std::nullopt;
+  return it->second;
+}
+
+void CpReplica::on_message(ReplicaId from, BytesView bytes) {
+  if (!running_ || bytes.empty()) return;
+  BufReader r(bytes.subspan(1));
+  switch (bytes[0]) {
+    case kWriteReq: {
+      if (!is_primary()) return;
+      auto req = r.u64();
+      auto key = r.lp_str();
+      auto value = r.lp_str();
+      if (!req || !key || !value) return;
+      const std::uint64_t local_req = next_req_++;
+      auto& fl = in_flight_[local_req];
+      fl.key = *key;
+      fl.value = *value;
+      fl.acks = 1;
+      fl.origin = from;
+      fl.origin_req = *req;
+      fl.timer = sched_.schedule_after(
+          cfg_.request_timeout, [this, local_req] { finish(local_req, false); });
+      Buffer out;
+      BufWriter w(out);
+      w.u8(kReplicate);
+      w.u64(local_req);
+      w.lp_str(*key);
+      w.lp_str(*value);
+      for (ReplicaId rep : all_) {
+        if (rep != id_) net_.send(id_, rep, out);
+      }
+      return;
+    }
+    case kReplicate: {
+      auto req = r.u64();
+      auto key = r.lp_str();
+      auto value = r.lp_str();
+      if (!req || !key || !value) return;
+      // Two-phase: stage now, apply only on commit, so reads at backups
+      // never expose writes that failed to reach a quorum.
+      pending_[*req] = {*key, *value};
+      Buffer out;
+      BufWriter w(out);
+      w.u8(kRepAck);
+      w.u64(*req);
+      net_.send(id_, from, std::move(out));
+      return;
+    }
+    case kCommit: {
+      auto req = r.u64();
+      auto key = r.lp_str();
+      auto value = r.lp_str();
+      if (!req || !key || !value) return;
+      committed_[*key] = *value;
+      pending_.erase(*req);
+      return;
+    }
+    case kRepAck: {
+      auto req = r.u64();
+      if (!req) return;
+      auto it = in_flight_.find(*req);
+      if (it == in_flight_.end() || it->second.done) return;
+      if (++it->second.acks >= majority()) finish(*req, true);
+      return;
+    }
+    case kWriteResp: {
+      auto req = r.u64();
+      auto ok = r.u8();
+      if (!req || !ok) return;
+      auto it = client_waits_.find(*req);
+      if (it == client_waits_.end()) return;
+      auto handler = std::move(it->second);
+      client_waits_.erase(it);
+      if (handler) handler(*ok != 0);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void CpReplica::finish(std::uint64_t req_id, bool ok) {
+  auto it = in_flight_.find(req_id);
+  if (it == in_flight_.end() || it->second.done) return;
+  InFlight& fl = it->second;
+  fl.done = true;
+  fl.timer.cancel();
+  if (ok) {
+    committed_[fl.key] = fl.value;
+    Buffer out;
+    BufWriter w(out);
+    w.u8(kCommit);
+    w.u64(req_id);
+    w.lp_str(fl.key);
+    w.lp_str(fl.value);
+    for (ReplicaId rep : all_) {
+      if (rep != id_) net_.send(id_, rep, out);
+    }
+  }
+  if (fl.origin == id_) {
+    if (fl.cb) fl.cb(ok);
+  } else {
+    Buffer out;
+    BufWriter w(out);
+    w.u8(kWriteResp);
+    w.u64(fl.origin_req);
+    w.u8(ok ? 1 : 0);
+    net_.send(id_, fl.origin, std::move(out));
+  }
+  in_flight_.erase(it);
+}
+
+}  // namespace iiot::replication

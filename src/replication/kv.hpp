@@ -1,0 +1,130 @@
+// Replicated key-value stores: the two sides of Brewer's CAP trade-off
+// (paper §V-C, [43]).
+//
+//   * ApReplica — CRDT-backed, always-writable. State is an OR-map of
+//     LWW registers replicated by periodic anti-entropy gossip; replicas
+//     converge after partitions heal (eventual consistency with
+//     decentralized conflict resolution [24], [25]).
+//   * CpReplica — primary-based with majority-quorum writes. Strongly
+//     consistent, but writes fail on any side of a partition that cannot
+//     assemble a quorum (unavailability under partitions).
+//
+// Bench E7 drives both with identical workloads and partition schedules
+// and reports write availability, staleness, and convergence time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crdt/ormap.hpp"
+#include "crdt/registers.hpp"
+#include "replication/backend_net.hpp"
+
+namespace iiot::replication {
+
+using KvState = crdt::OrMap<crdt::LwwRegister<std::string>>;
+
+struct ApConfig {
+  sim::Duration gossip_interval = 500'000;  // 0.5 s anti-entropy rounds
+  int fanout = 1;                           // peers contacted per round
+};
+
+class ApReplica {
+ public:
+  ApReplica(ReplicaId id, std::vector<ReplicaId> peers, BackendNet& net,
+            sim::Scheduler& sched, Rng rng, ApConfig cfg = {});
+
+  void start();
+  void stop();
+
+  /// Local write: always available (AP). Returns true unconditionally.
+  bool put(const std::string& key, std::string value);
+  void remove(const std::string& key);
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  [[nodiscard]] std::size_t size() const { return state_.size(); }
+
+  /// Deep state comparison, for convergence checks.
+  [[nodiscard]] bool same_state_as(const ApReplica& other) const;
+
+  [[nodiscard]] std::uint64_t gossip_rounds() const { return rounds_; }
+  [[nodiscard]] ReplicaId id() const { return id_; }
+
+ private:
+  void gossip();
+  void on_message(ReplicaId from, BytesView bytes);
+
+  ReplicaId id_;
+  std::vector<ReplicaId> peers_;
+  BackendNet& net_;
+  sim::Scheduler& sched_;
+  Rng rng_;
+  ApConfig cfg_;
+  KvState state_;
+  bool running_ = false;
+  std::uint64_t rounds_ = 0;
+  sim::EventHandle timer_;
+};
+
+struct CpConfig {
+  sim::Duration request_timeout = 1'000'000;  // 1 s
+};
+
+class CpReplica {
+ public:
+  using PutCallback = std::function<void(bool ok)>;
+
+  CpReplica(ReplicaId id, ReplicaId primary, std::vector<ReplicaId> all,
+            BackendNet& net, sim::Scheduler& sched, Rng rng,
+            CpConfig cfg = {});
+
+  void start();
+  void stop();
+
+  /// Write via the primary with majority-quorum replication. The callback
+  /// reports success only once a majority has acknowledged.
+  void put(const std::string& key, std::string value, PutCallback cb);
+  /// Local read (committed state only).
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  [[nodiscard]] bool is_primary() const { return id_ == primary_; }
+  [[nodiscard]] std::size_t size() const { return committed_.size(); }
+  [[nodiscard]] ReplicaId id() const { return id_; }
+
+ private:
+  struct InFlight {
+    std::string key;
+    std::string value;
+    int acks = 0;
+    ReplicaId origin = 0;
+    std::uint64_t origin_req = 0;
+    PutCallback cb;  // set when origin == self
+    sim::EventHandle timer;
+    bool done = false;
+  };
+
+  void on_message(ReplicaId from, BytesView bytes);
+  void finish(std::uint64_t req_id, bool ok);
+  [[nodiscard]] int majority() const {
+    return static_cast<int>(all_.size()) / 2 + 1;
+  }
+
+  ReplicaId id_;
+  ReplicaId primary_;
+  std::vector<ReplicaId> all_;
+  BackendNet& net_;
+  sim::Scheduler& sched_;
+  Rng rng_;
+  CpConfig cfg_;
+  bool running_ = false;
+  std::uint64_t next_req_ = 1;
+  std::map<std::string, std::string> committed_;
+  std::map<std::uint64_t, std::pair<std::string, std::string>> pending_;
+  std::map<std::uint64_t, InFlight> in_flight_;        // at primary
+  std::map<std::uint64_t, PutCallback> client_waits_;  // at origin
+};
+
+}  // namespace iiot::replication

@@ -1,0 +1,136 @@
+// Multi-zone building simulation tying plant, environment, controllers
+// and the comfort/energy/revenue metrics together (bench E9).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "safety/controller.hpp"
+#include "safety/environment.hpp"
+#include "safety/thermal.hpp"
+
+namespace iiot::safety {
+
+/// Economic and comfort outcome of a simulation run. The revenue model
+/// follows the paper: the provider is paid for delivered comfort and
+/// penalized for violations, while paying for energy (§V-B).
+struct SafetyMetrics {
+  double energy_kwh = 0.0;
+  double energy_cost = 0.0;
+  double violation_degree_hours = 0.0;  // occupied time outside band
+  double occupied_hours = 0.0;
+  double comfort_payment = 0.0;
+  double violation_penalty = 0.0;
+  double worst_violation_c = 0.0;
+
+  [[nodiscard]] double revenue() const {
+    return comfort_payment - violation_penalty - energy_cost;
+  }
+  [[nodiscard]] double violation_fraction() const {
+    return occupied_hours > 0 ? violation_degree_hours / occupied_hours : 0;
+  }
+};
+
+struct BuildingConfig {
+  int zones = 8;
+  double dt_s = 60.0;
+  ComfortBand occupied_band{21.0, 23.5};
+  double payment_per_occupied_hour = 2.5;  // EUR per comfortable zone-hour
+  double penalty_per_degree_hour = 1.8;    // EUR per K*h of violation
+};
+
+class BuildingSim {
+ public:
+  using ControllerFactory = std::function<std::unique_ptr<Controller>()>;
+
+  BuildingSim(BuildingConfig cfg, WeatherModel::Params weather,
+              std::uint64_t seed)
+      : cfg_(cfg), weather_(weather, seed), occupancy_(8) {
+    for (int z = 0; z < cfg_.zones; ++z) {
+      ZoneParams p;
+      // Perimeter zones leak more than core zones.
+      p.resistance_k_per_w = (z % 2 == 0) ? 0.0035 : 0.005;
+      zones_.emplace_back(p, 20.0);
+    }
+  }
+
+  /// Runs `days` of simulated operation with one controller instance per
+  /// zone produced by `factory`; returns aggregate metrics.
+  SafetyMetrics run(double days, const ControllerFactory& factory) {
+    std::vector<std::unique_ptr<Controller>> controllers;
+    controllers.reserve(static_cast<std::size_t>(cfg_.zones));
+    for (int z = 0; z < cfg_.zones; ++z) controllers.push_back(factory());
+
+    SafetyMetrics m;
+    const double end_s = days * 86400.0;
+    for (double t = 0.0; t < end_s; t += cfg_.dt_s) {
+      const double outdoor = weather_.outdoor_c(t);
+      const double price = tariff_.price_per_kwh(t);
+      for (int z = 0; z < cfg_.zones; ++z) {
+        auto& zone = zones_[static_cast<std::size_t>(z)];
+        const int occ = occupancy_.occupants(z, t);
+        ControlContext ctx;
+        ctx.zone_temp_c = zone.temperature_c();
+        ctx.outdoor_c = outdoor;
+        ctx.occupied = occ > 0;
+        ctx.occupants = occ;
+        ctx.price_per_kwh = price;
+        ctx.max_heat_w = zone.params().max_heat_w;
+        ctx.max_cool_w = zone.params().max_cool_w;
+        ctx.dt_s = cfg_.dt_s;
+        ctx.seconds_to_occupancy = seconds_to_occupancy(z, t, occ > 0);
+        const double requested =
+            controllers[static_cast<std::size_t>(z)]->control(ctx);
+        const double applied = zone.step(cfg_.dt_s, outdoor, occ, requested);
+
+        const double kwh = std::abs(applied) * cfg_.dt_s / 3.6e6;
+        m.energy_kwh += kwh;
+        m.energy_cost += kwh * price;
+        if (occ > 0) {
+          const double hours = cfg_.dt_s / 3600.0;
+          m.occupied_hours += hours;
+          const double temp = zone.temperature_c();
+          double violation = 0.0;
+          if (temp < cfg_.occupied_band.low_c) {
+            violation = cfg_.occupied_band.low_c - temp;
+          } else if (temp > cfg_.occupied_band.high_c) {
+            violation = temp - cfg_.occupied_band.high_c;
+          }
+          if (violation > 0) {
+            m.violation_degree_hours += violation * hours;
+            m.violation_penalty +=
+                violation * hours * cfg_.penalty_per_degree_hour;
+            m.worst_violation_c = std::max(m.worst_violation_c, violation);
+          } else {
+            m.comfort_payment += hours * cfg_.payment_per_occupied_hour;
+          }
+        }
+      }
+    }
+    return m;
+  }
+
+  [[nodiscard]] const BuildingConfig& config() const { return cfg_; }
+
+ private:
+  /// Scans the (deterministic) schedule forward for the next occupancy,
+  /// up to a 4-hour horizon — the forecast real BMS systems derive from
+  /// calendars.
+  [[nodiscard]] double seconds_to_occupancy(int zone, double t,
+                                            bool occupied_now) const {
+    if (occupied_now) return 0.0;
+    for (double dt = 600.0; dt <= 4.0 * 3600.0; dt += 600.0) {
+      if (occupancy_.occupied(zone, t + dt)) return dt;
+    }
+    return 1e18;
+  }
+
+  BuildingConfig cfg_;
+  WeatherModel weather_;
+  OccupancySchedule occupancy_;
+  TariffModel tariff_;
+  std::vector<ZoneThermalModel> zones_;
+};
+
+}  // namespace iiot::safety

@@ -1,0 +1,171 @@
+// HVAC controllers spanning the paper's continuous-safety spectrum
+// (§V-B): from rigid setpoint tracking to deliberate, price-aware
+// violation of soft comfort margins.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+namespace iiot::safety {
+
+/// Everything a controller may consult at one decision instant.
+struct ControlContext {
+  double zone_temp_c = 20.0;
+  double outdoor_c = 10.0;
+  bool occupied = false;
+  int occupants = 0;
+  double price_per_kwh = 0.2;
+  double max_heat_w = 12000.0;
+  double max_cool_w = 8000.0;
+  double dt_s = 60.0;
+  /// Forecast: seconds until the zone next becomes occupied (0 when
+  /// occupied now; "infinite" when nothing is scheduled). Lets
+  /// controllers pre-condition instead of greeting occupants with a
+  /// cold room.
+  double seconds_to_occupancy = 1e18;
+};
+
+/// Comfort band applicable at one instant.
+struct ComfortBand {
+  double low_c = 21.0;
+  double high_c = 23.5;
+};
+
+class Controller {
+ public:
+  virtual ~Controller() = default;
+  /// Returns requested HVAC power in watts (positive heats).
+  virtual double control(const ControlContext& ctx) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Classic thermostat: full power toward a fixed setpoint with
+/// hysteresis, occupancy-blind. The "binary safety" strawman.
+class BangBangController : public Controller {
+ public:
+  explicit BangBangController(double setpoint_c = 22.0,
+                              double hysteresis_c = 0.5)
+      : setpoint_(setpoint_c), hyst_(hysteresis_c) {}
+
+  double control(const ControlContext& ctx) override {
+    if (ctx.zone_temp_c < setpoint_ - hyst_) heating_ = true;
+    if (ctx.zone_temp_c > setpoint_ + hyst_) heating_ = false;
+    if (heating_) return ctx.max_heat_w;
+    if (ctx.zone_temp_c > setpoint_ + hyst_) return -ctx.max_cool_w;
+    return 0.0;
+  }
+  [[nodiscard]] std::string name() const override { return "bang-bang"; }
+
+ private:
+  double setpoint_;
+  double hyst_;
+  bool heating_ = false;
+};
+
+/// PI tracking of a fixed setpoint: smooth, still occupancy-blind.
+class PiController : public Controller {
+ public:
+  explicit PiController(double setpoint_c = 22.0, double kp = 2500.0,
+                        double ki = 2.0)
+      : setpoint_(setpoint_c), kp_(kp), ki_(ki) {}
+
+  double control(const ControlContext& ctx) override {
+    const double err = setpoint_ - ctx.zone_temp_c;
+    integral_ += err * ctx.dt_s;
+    // Anti-windup clamp.
+    integral_ = std::clamp(integral_, -3000.0, 3000.0);
+    return kp_ * err + ki_ * integral_;
+  }
+  [[nodiscard]] std::string name() const override { return "pi"; }
+
+ private:
+  double setpoint_;
+  double kp_;
+  double ki_;
+  double integral_ = 0.0;
+};
+
+/// Occupancy-aware comfort band: tight band when occupied, wide setback
+/// band when empty — safety treated as a continuous margin.
+class ComfortBandController : public Controller {
+ public:
+  ComfortBandController(ComfortBand occupied = {21.0, 23.5},
+                        ComfortBand setback = {15.0, 28.0},
+                        double preheat_s = 5400.0)
+      : occupied_(occupied), setback_(setback), preheat_s_(preheat_s) {}
+
+  double control(const ControlContext& ctx) override {
+    const bool precondition =
+        !ctx.occupied && ctx.seconds_to_occupancy < preheat_s_;
+    const ComfortBand band =
+        (ctx.occupied || precondition) ? occupied_ : setback_;
+    const double mid = (band.low_c + band.high_c) / 2.0;
+    if (ctx.zone_temp_c < band.low_c) {
+      return std::min(ctx.max_heat_w,
+                      (mid - ctx.zone_temp_c) * 9000.0);
+    }
+    if (ctx.zone_temp_c > band.high_c) {
+      return std::max(-ctx.max_cool_w,
+                      (mid - ctx.zone_temp_c) * 9000.0);
+    }
+    // Inside the band: proportional drive toward the middle, strong
+    // enough to hold position against the envelope load (otherwise the
+    // zone equilibrates just outside the band edge and every occupied
+    // hour counts as a violation).
+    return (mid - ctx.zone_temp_c) * 3000.0;
+  }
+  [[nodiscard]] std::string name() const override { return "comfort-band"; }
+
+ private:
+  ComfortBand occupied_;
+  ComfortBand setback_;
+  double preheat_s_;
+};
+
+/// Price-aware controller: like ComfortBand, but during peak tariff it
+/// deliberately lets the zone drift `peak_relax_c` outside the occupied
+/// band — the paper's "the system may deliberately violate these margins
+/// to minimize energy consumption" made concrete. Whether that pays off
+/// depends on the penalty schedule (bench E9).
+class PriceAwareController : public Controller {
+ public:
+  PriceAwareController(ComfortBand occupied = {21.0, 23.5},
+                       ComfortBand setback = {15.0, 28.0},
+                       double peak_price_threshold = 0.35,
+                       double peak_relax_c = 1.5)
+      : inner_(occupied, setback),
+        occupied_(occupied),
+        setback_(setback),
+        threshold_(peak_price_threshold),
+        relax_(peak_relax_c) {}
+
+  double control(const ControlContext& ctx) override {
+    if (ctx.price_per_kwh < threshold_ || !ctx.occupied) {
+      return inner_.control(ctx);
+    }
+    // Peak price: deliberately let the zone sag toward the *relaxed*
+    // band edge on the cheap side of the load — below the occupied band
+    // in heating weather, above it in cooling weather. This sheds peak
+    // power at a bounded, intentional comfort violation.
+    const bool heating_regime = ctx.outdoor_c < occupied_.low_c;
+    if (heating_regime) {
+      // Coast down toward the relaxed lower edge; never burn energy
+      // actively cooling into the sag.
+      return std::max(0.0, (occupied_.low_c - relax_ * 0.5 -
+                            ctx.zone_temp_c) * 3000.0);
+    }
+    return std::min(0.0, (occupied_.high_c + relax_ * 0.5 -
+                          ctx.zone_temp_c) * 3000.0);
+  }
+  [[nodiscard]] std::string name() const override { return "price-aware"; }
+
+ private:
+  ComfortBandController inner_;
+  ComfortBand occupied_;
+  ComfortBand setback_;
+  double threshold_;
+  double relax_;
+};
+
+}  // namespace iiot::safety

@@ -1,0 +1,86 @@
+// Weather and occupancy drivers for the HVAC safety experiments.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+
+namespace iiot::safety {
+
+/// Synthetic outdoor temperature: diurnal cycle plus a *sub-diurnal*
+/// component (the paper notes industrial devices face "both low and high
+/// temperatures, sometimes in sub-diurnal cycles", §II-B) plus seeded
+/// weather noise.
+class WeatherModel {
+ public:
+  struct Params {
+    double mean_c = 12.0;
+    double diurnal_amplitude_c = 8.0;
+    double subdiurnal_amplitude_c = 3.0;
+    double subdiurnal_period_h = 4.0;
+    double noise_sigma_c = 0.6;
+  };
+
+  WeatherModel(Params params, std::uint64_t seed)
+      : params_(params), rng_(seed) {}
+
+  /// Outdoor temperature at `t_s` seconds since midnight of day 0.
+  double outdoor_c(double t_s) {
+    const double h = t_s / 3600.0;
+    const double diurnal =
+        params_.diurnal_amplitude_c *
+        std::sin(2.0 * std::numbers::pi * (h - 9.0) / 24.0);
+    const double subdiurnal =
+        params_.subdiurnal_amplitude_c *
+        std::sin(2.0 * std::numbers::pi * h / params_.subdiurnal_period_h);
+    return params_.mean_c + diurnal + subdiurnal +
+           rng_.normal(0.0, params_.noise_sigma_c);
+  }
+
+ private:
+  Params params_;
+  Rng rng_;
+};
+
+/// Office occupancy: weekdays 8:00-18:00, zone-dependent headcount, with
+/// a lunch dip. Deterministic given (zone, time).
+class OccupancySchedule {
+ public:
+  explicit OccupancySchedule(int max_occupants = 8)
+      : max_occupants_(max_occupants) {}
+
+  [[nodiscard]] int occupants(int zone, double t_s) const {
+    const double h_of_day = std::fmod(t_s / 3600.0, 24.0);
+    const int day = static_cast<int>(t_s / 86400.0);
+    const bool weekday = (day % 7) < 5;
+    if (!weekday || h_of_day < 8.0 || h_of_day >= 18.0) return 0;
+    int n = max_occupants_ - (zone % 3);  // zones differ a bit
+    if (h_of_day >= 12.0 && h_of_day < 13.0) n /= 2;  // lunch
+    return n < 0 ? 0 : n;
+  }
+
+  [[nodiscard]] bool occupied(int zone, double t_s) const {
+    return occupants(zone, t_s) > 0;
+  }
+
+ private:
+  int max_occupants_;
+};
+
+/// Time-of-use electricity tariff (EUR/kWh): peak pricing on weekday
+/// afternoons — the signal the price-aware controller trades against
+/// comfort margins.
+class TariffModel {
+ public:
+  [[nodiscard]] double price_per_kwh(double t_s) const {
+    const double h = std::fmod(t_s / 3600.0, 24.0);
+    const int day = static_cast<int>(t_s / 86400.0);
+    const bool weekday = (day % 7) < 5;
+    if (weekday && h >= 16.0 && h < 20.0) return 0.42;  // peak
+    if (h >= 7.0 && h < 22.0) return 0.24;              // shoulder
+    return 0.12;                                         // night
+  }
+};
+
+}  // namespace iiot::safety

@@ -1,0 +1,53 @@
+// First-order thermal plant model for building zones.
+//
+// The paper's safety discussion (§V-B) uses HVAC in office buildings as
+// the running example of *continuous* safety: comfort bands instead of
+// binary safe/unsafe, deliberate margin violations to save energy, and
+// revenue coupled to both. This plant model is the physical substrate.
+//
+//   C dT/dt = (T_out - T)/R + P_hvac + P_internal
+//
+// with thermal capacitance C [J/K], envelope resistance R [K/W], HVAC
+// power P_hvac [W] (positive heats, negative cools) and internal gains
+// from occupants and equipment.
+#pragma once
+
+namespace iiot::safety {
+
+struct ZoneParams {
+  double capacitance_j_per_k = 4.0e6;   // ~medium office zone
+  double resistance_k_per_w = 0.004;    // envelope insulation
+  double max_heat_w = 12'000.0;         // sized for design-day ΔT ≈ 40 K
+  double max_cool_w = 8'000.0;          // magnitude of cooling power
+  double gain_per_occupant_w = 120.0;   // metabolic + equipment
+};
+
+class ZoneThermalModel {
+ public:
+  explicit ZoneThermalModel(ZoneParams params, double initial_temp_c = 20.0)
+      : params_(params), temp_c_(initial_temp_c) {}
+
+  /// Advances the zone by dt seconds. `hvac_w` is clamped to the
+  /// equipment limits; returns the (clamped) power actually applied.
+  double step(double dt_s, double outdoor_c, int occupants, double hvac_w) {
+    if (hvac_w > params_.max_heat_w) hvac_w = params_.max_heat_w;
+    if (hvac_w < -params_.max_cool_w) hvac_w = -params_.max_cool_w;
+    const double internal_w =
+        static_cast<double>(occupants) * params_.gain_per_occupant_w;
+    const double envelope_w = (outdoor_c - temp_c_) / params_.resistance_k_per_w;
+    const double dT =
+        (envelope_w + hvac_w + internal_w) / params_.capacitance_j_per_k;
+    temp_c_ += dT * dt_s;
+    return hvac_w;
+  }
+
+  [[nodiscard]] double temperature_c() const { return temp_c_; }
+  void set_temperature_c(double t) { temp_c_ = t; }
+  [[nodiscard]] const ZoneParams& params() const { return params_; }
+
+ private:
+  ZoneParams params_;
+  double temp_c_;
+};
+
+}  // namespace iiot::safety

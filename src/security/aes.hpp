@@ -1,0 +1,38 @@
+// Software AES-128 block cipher (FIPS-197), encrypt-only — CCM* needs
+// only the forward direction. Written the way a constrained-device stack
+// would carry it: table-based S-box, no hardware assumptions. The block
+// counter feeds the cycle-cost model used by the E10 security-overhead
+// experiment.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace iiot::security {
+
+using AesKey = std::array<std::uint8_t, 16>;
+using AesBlock = std::array<std::uint8_t, 16>;
+
+class Aes128 {
+ public:
+  explicit Aes128(const AesKey& key) { expand_key(key); }
+
+  /// Encrypts one 16-byte block in place.
+  void encrypt_block(AesBlock& block) const;
+
+  /// Total blocks processed by this instance (cost accounting).
+  [[nodiscard]] std::uint64_t blocks_processed() const { return blocks_; }
+
+  /// Approximate software cycle cost per block on a Cortex-M0-class MCU.
+  static constexpr std::uint64_t kCyclesPerBlock = 4200;
+
+ private:
+  void expand_key(const AesKey& key);
+
+  std::array<std::uint8_t, 176> round_keys_{};
+  mutable std::uint64_t blocks_ = 0;
+};
+
+}  // namespace iiot::security

@@ -1,0 +1,129 @@
+#include "security/ccm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace iiot::security {
+
+AesBlock AesCcm::a_block(const CcmNonce& nonce, std::uint16_t counter) const {
+  AesBlock a{};
+  a[0] = 0x01;  // flags: L' = L - 1 = 1
+  std::memcpy(a.data() + 1, nonce.data(), nonce.size());
+  a[14] = static_cast<std::uint8_t>(counter >> 8);
+  a[15] = static_cast<std::uint8_t>(counter & 0xFF);
+  return a;
+}
+
+AesBlock AesCcm::cbc_mac(const CcmNonce& nonce, BytesView aad,
+                         BytesView message, std::size_t mic_len) const {
+  AesBlock x{};
+  // B0: flags | nonce | message length.
+  x[0] = static_cast<std::uint8_t>(
+      (aad.empty() ? 0 : 0x40) |
+      (((mic_len > 0 ? mic_len : 2) - 2) / 2) << 3 | 0x01);
+  std::memcpy(x.data() + 1, nonce.data(), nonce.size());
+  x[14] = static_cast<std::uint8_t>(message.size() >> 8);
+  x[15] = static_cast<std::uint8_t>(message.size() & 0xFF);
+  aes_.encrypt_block(x);
+
+  auto absorb = [this, &x](BytesView data, std::size_t offset_in_block) {
+    std::size_t pos = 0;
+    std::size_t block_off = offset_in_block;
+    while (pos < data.size()) {
+      for (; block_off < 16 && pos < data.size(); ++block_off, ++pos) {
+        x[block_off] ^= data[pos];
+      }
+      aes_.encrypt_block(x);
+      block_off = 0;
+    }
+    return block_off;
+  };
+
+  if (!aad.empty()) {
+    // AAD prefixed with its 2-byte length, padded to a block boundary.
+    AesBlock first{};
+    first[0] = static_cast<std::uint8_t>(aad.size() >> 8);
+    first[1] = static_cast<std::uint8_t>(aad.size() & 0xFF);
+    const std::size_t take = std::min<std::size_t>(aad.size(), 14);
+    std::memcpy(first.data() + 2, aad.data(), take);
+    for (int i = 0; i < 16; ++i) {
+      x[static_cast<size_t>(i)] ^= first[static_cast<size_t>(i)];
+    }
+    aes_.encrypt_block(x);
+    if (aad.size() > take) absorb(aad.subspan(take), 0);
+  }
+  if (!message.empty()) absorb(message, 0);
+  return x;
+}
+
+void AesCcm::ctr_crypt(const CcmNonce& nonce, Buffer& data) const {
+  std::uint16_t counter = 1;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    AesBlock s = a_block(nonce, counter++);
+    aes_.encrypt_block(s);
+    const std::size_t n = std::min<std::size_t>(16, data.size() - pos);
+    for (std::size_t i = 0; i < n; ++i) data[pos + i] ^= s[i];
+    pos += n;
+  }
+}
+
+Buffer AesCcm::seal(const CcmNonce& nonce, BytesView aad, BytesView plaintext,
+                    std::size_t mic_len) const {
+  Buffer out(plaintext.begin(), plaintext.end());
+  AesBlock t{};
+  if (mic_len > 0) t = cbc_mac(nonce, aad, plaintext, mic_len);
+  ctr_crypt(nonce, out);
+  if (mic_len > 0) {
+    // MIC = T xor S0.
+    AesBlock s0 = a_block(nonce, 0);
+    aes_.encrypt_block(s0);
+    for (std::size_t i = 0; i < mic_len; ++i) {
+      out.push_back(static_cast<std::uint8_t>(t[i] ^ s0[i]));
+    }
+  }
+  return out;
+}
+
+std::optional<Buffer> AesCcm::open(const CcmNonce& nonce, BytesView aad,
+                                   BytesView sealed,
+                                   std::size_t mic_len) const {
+  if (sealed.size() < mic_len) return std::nullopt;
+  Buffer body(sealed.begin(), sealed.end() - static_cast<std::ptrdiff_t>(mic_len));
+  BytesView mic = sealed.subspan(sealed.size() - mic_len);
+  ctr_crypt(nonce, body);
+  if (mic_len > 0) {
+    AesBlock t = cbc_mac(nonce, aad, body, mic_len);
+    AesBlock s0 = a_block(nonce, 0);
+    aes_.encrypt_block(s0);
+    std::uint8_t diff = 0;  // constant-time comparison
+    for (std::size_t i = 0; i < mic_len; ++i) {
+      diff |= static_cast<std::uint8_t>(mic[i] ^ t[i] ^ s0[i]);
+    }
+    if (diff != 0) return std::nullopt;
+  }
+  return body;
+}
+
+Buffer AesCcm::tag(const CcmNonce& nonce, BytesView aad, BytesView message,
+                   std::size_t mic_len) const {
+  AesBlock t = cbc_mac(nonce, aad, message, mic_len);
+  AesBlock s0 = a_block(nonce, 0);
+  aes_.encrypt_block(s0);
+  Buffer out;
+  for (std::size_t i = 0; i < mic_len; ++i) {
+    out.push_back(static_cast<std::uint8_t>(t[i] ^ s0[i]));
+  }
+  return out;
+}
+
+bool AesCcm::verify_tag(const CcmNonce& nonce, BytesView aad,
+                        BytesView message, BytesView mic) const {
+  Buffer expected = tag(nonce, aad, message, mic.size());
+  if (expected.size() != mic.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < mic.size(); ++i) diff |= expected[i] ^ mic[i];
+  return diff == 0;
+}
+
+}  // namespace iiot::security

@@ -1,0 +1,56 @@
+// AES-CCM authenticated encryption (RFC 3610 / CCM* of 802.15.4).
+//
+// CCM = CBC-MAC for authentication + CTR mode for confidentiality, both
+// built on the AES-128 forward function only — which is why it is the
+// mode of choice on constrained radios. L = 2 (length field of 2 bytes),
+// nonce = 13 bytes, MIC length M ∈ {0, 4, 8, 16}. M = 0 yields CTR-only
+// encryption (the 802.15.4 "ENC" level).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "security/aes.hpp"
+
+namespace iiot::security {
+
+using CcmNonce = std::array<std::uint8_t, 13>;
+
+class AesCcm {
+ public:
+  explicit AesCcm(const AesKey& key) : aes_(key) {}
+
+  /// Encrypts `plaintext` and authenticates `aad || plaintext`.
+  /// Returns ciphertext with the `mic_len`-byte MIC appended.
+  [[nodiscard]] Buffer seal(const CcmNonce& nonce, BytesView aad,
+                            BytesView plaintext, std::size_t mic_len) const;
+
+  /// Verifies and decrypts; std::nullopt on authentication failure.
+  [[nodiscard]] std::optional<Buffer> open(const CcmNonce& nonce,
+                                           BytesView aad, BytesView sealed,
+                                           std::size_t mic_len) const;
+
+  /// Authentication-only (MIC over aad || message, message in clear).
+  [[nodiscard]] Buffer tag(const CcmNonce& nonce, BytesView aad,
+                           BytesView message, std::size_t mic_len) const;
+  [[nodiscard]] bool verify_tag(const CcmNonce& nonce, BytesView aad,
+                                BytesView message, BytesView mic) const;
+
+  [[nodiscard]] std::uint64_t blocks_processed() const {
+    return aes_.blocks_processed();
+  }
+
+ private:
+  [[nodiscard]] AesBlock cbc_mac(const CcmNonce& nonce, BytesView aad,
+                                 BytesView message,
+                                 std::size_t mic_len) const;
+  void ctr_crypt(const CcmNonce& nonce, Buffer& data) const;
+  [[nodiscard]] AesBlock a_block(const CcmNonce& nonce,
+                                 std::uint16_t counter) const;
+
+  Aes128 aes_;
+};
+
+}  // namespace iiot::security

@@ -1,0 +1,112 @@
+#include "security/secure_link.hpp"
+
+#include <cstring>
+
+namespace iiot::security {
+
+CcmNonce SecureLink::make_nonce(NodeId src, std::uint32_t counter) const {
+  CcmNonce n{};
+  n[0] = static_cast<std::uint8_t>(src >> 24);
+  n[1] = static_cast<std::uint8_t>(src >> 16);
+  n[2] = static_cast<std::uint8_t>(src >> 8);
+  n[3] = static_cast<std::uint8_t>(src);
+  n[4] = static_cast<std::uint8_t>(counter >> 24);
+  n[5] = static_cast<std::uint8_t>(counter >> 16);
+  n[6] = static_cast<std::uint8_t>(counter >> 8);
+  n[7] = static_cast<std::uint8_t>(counter);
+  n[8] = static_cast<std::uint8_t>(level_);
+  return n;  // bytes 9..12 zero
+}
+
+Buffer SecureLink::protect(NodeId src, BytesView payload) {
+  ++stats_.protected_frames;
+  if (level_ == SecurityLevel::kNone) {
+    return Buffer(payload.begin(), payload.end());
+  }
+  const std::uint32_t counter = ++tx_counter_;
+  Buffer out;
+  BufWriter w(out);
+  w.u8(static_cast<std::uint8_t>(level_));
+  w.u32(counter);
+
+  // AAD: level, counter, source address.
+  Buffer aad;
+  BufWriter aw(aad);
+  aw.u8(static_cast<std::uint8_t>(level_));
+  aw.u32(counter);
+  aw.u32(src);
+
+  const CcmNonce nonce = make_nonce(src, counter);
+  const std::size_t mic = mic_length(level_);
+  if (has_encryption(level_)) {
+    Buffer sealed = ccm_.seal(nonce, aad, payload, mic);
+    w.bytes(sealed);
+  } else {
+    // MIC-only: payload in clear, tag over aad || payload.
+    w.bytes(payload);
+    Buffer t = ccm_.tag(nonce, aad, payload, mic);
+    w.bytes(t);
+  }
+  return out;
+}
+
+Result<Buffer> SecureLink::unprotect(NodeId src, BytesView frame) {
+  if (level_ == SecurityLevel::kNone) {
+    ++stats_.opened_frames;
+    return Buffer(frame.begin(), frame.end());
+  }
+  BufReader r(frame);
+  auto lvl = r.u8();
+  auto counter = r.u32();
+  if (!lvl || !counter) {
+    ++stats_.malformed;
+    return Error{Error::Code::kMalformed, "seclink: truncated header"};
+  }
+  if (*lvl != static_cast<std::uint8_t>(level_)) {
+    ++stats_.auth_failures;
+    return Error{Error::Code::kSecurity, "seclink: level mismatch"};
+  }
+  // Replay: require strictly increasing counters per source.
+  auto it = rx_counters_.find(src);
+  if (it != rx_counters_.end() && *counter <= it->second) {
+    ++stats_.replay_drops;
+    return Error{Error::Code::kSecurity, "seclink: replayed counter"};
+  }
+
+  Buffer aad;
+  BufWriter aw(aad);
+  aw.u8(*lvl);
+  aw.u32(*counter);
+  aw.u32(src);
+
+  const CcmNonce nonce = make_nonce(src, *counter);
+  const std::size_t mic = mic_length(level_);
+  BytesView body = r.rest();
+
+  Buffer plain;
+  if (has_encryption(level_)) {
+    auto opened = ccm_.open(nonce, aad, body, mic);
+    if (!opened) {
+      ++stats_.auth_failures;
+      return Error{Error::Code::kSecurity, "seclink: bad MIC"};
+    }
+    plain = std::move(*opened);
+  } else {
+    if (body.size() < mic) {
+      ++stats_.malformed;
+      return Error{Error::Code::kMalformed, "seclink: short frame"};
+    }
+    BytesView msg = body.subspan(0, body.size() - mic);
+    BytesView tag = body.subspan(body.size() - mic);
+    if (!ccm_.verify_tag(nonce, aad, msg, tag)) {
+      ++stats_.auth_failures;
+      return Error{Error::Code::kSecurity, "seclink: bad MIC"};
+    }
+    plain.assign(msg.begin(), msg.end());
+  }
+  rx_counters_[src] = *counter;
+  ++stats_.opened_frames;
+  return plain;
+}
+
+}  // namespace iiot::security

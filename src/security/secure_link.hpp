@@ -1,0 +1,132 @@
+// 802.15.4-style link-layer security envelope.
+//
+// The paper (§V-E) notes that although "networking standards for such
+// devices do include provisions for a range of secure modes [14], they
+// are hardly implemented [46]" — largely because of their cost on
+// constrained hardware. This module implements the full range of levels
+// (MIC-only, ENC-only, ENC+MIC at 32/64/128-bit tags) with real CCM*
+// cryptography so that E10 can quantify exactly that cost: bytes on air,
+// CPU cycles, and energy per message.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "security/ccm.hpp"
+#include "security/sha256.hpp"
+
+namespace iiot::security {
+
+/// 802.15.4 security levels (Table 9-6 of the standard).
+enum class SecurityLevel : std::uint8_t {
+  kNone = 0,
+  kMic32 = 1,
+  kMic64 = 2,
+  kMic128 = 3,
+  kEnc = 4,
+  kEncMic32 = 5,
+  kEncMic64 = 6,
+  kEncMic128 = 7,
+};
+
+[[nodiscard]] constexpr std::size_t mic_length(SecurityLevel l) {
+  switch (l) {
+    case SecurityLevel::kMic32:
+    case SecurityLevel::kEncMic32: return 4;
+    case SecurityLevel::kMic64:
+    case SecurityLevel::kEncMic64: return 8;
+    case SecurityLevel::kMic128:
+    case SecurityLevel::kEncMic128: return 16;
+    default: return 0;
+  }
+}
+
+[[nodiscard]] constexpr bool has_encryption(SecurityLevel l) {
+  return static_cast<std::uint8_t>(l) >= 4;
+}
+
+[[nodiscard]] constexpr const char* level_name(SecurityLevel l) {
+  switch (l) {
+    case SecurityLevel::kNone: return "none";
+    case SecurityLevel::kMic32: return "mic-32";
+    case SecurityLevel::kMic64: return "mic-64";
+    case SecurityLevel::kMic128: return "mic-128";
+    case SecurityLevel::kEnc: return "enc";
+    case SecurityLevel::kEncMic32: return "enc-mic-32";
+    case SecurityLevel::kEncMic64: return "enc-mic-64";
+    case SecurityLevel::kEncMic128: return "enc-mic-128";
+  }
+  return "?";
+}
+
+/// Per-tenant network keys with HKDF-style derivation from a master
+/// secret (the commissioning credential).
+class KeyStore {
+ public:
+  void set_master(Buffer master) { master_ = std::move(master); }
+
+  [[nodiscard]] AesKey network_key(TenantId tenant) const {
+    Buffer ctx = to_buffer("iiot-net-key/");
+    ctx.push_back(static_cast<std::uint8_t>(tenant >> 8));
+    ctx.push_back(static_cast<std::uint8_t>(tenant & 0xFF));
+    return derive_key(master_, ctx);
+  }
+
+ private:
+  Buffer master_ = to_buffer("default-master-secret");
+};
+
+struct SecureLinkStats {
+  std::uint64_t protected_frames = 0;
+  std::uint64_t opened_frames = 0;
+  std::uint64_t auth_failures = 0;
+  std::uint64_t replay_drops = 0;
+  std::uint64_t malformed = 0;
+};
+
+/// Protects/unprotects link payloads. The auxiliary security header —
+/// [level:1][frame counter:4] — is authenticated as AAD together with the
+/// source address, and the frame counter provides replay protection.
+class SecureLink {
+ public:
+  SecureLink(const AesKey& key, SecurityLevel level)
+      : ccm_(key), level_(level) {}
+
+  /// Wire overhead added to every payload at this level.
+  [[nodiscard]] std::size_t overhead_bytes() const {
+    return level_ == SecurityLevel::kNone ? 0 : 5 + mic_length(level_);
+  }
+
+  [[nodiscard]] SecurityLevel level() const { return level_; }
+
+  /// Wraps `payload` from `src`. Always succeeds.
+  [[nodiscard]] Buffer protect(NodeId src, BytesView payload);
+
+  /// Unwraps a frame from `src`; authenticates, decrypts, and enforces a
+  /// strictly increasing frame counter per source.
+  [[nodiscard]] Result<Buffer> unprotect(NodeId src, BytesView frame);
+
+  [[nodiscard]] const SecureLinkStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t aes_blocks() const {
+    return ccm_.blocks_processed();
+  }
+
+  /// Estimated CPU cycles spent on crypto so far (software AES).
+  [[nodiscard]] std::uint64_t estimated_cycles() const {
+    return ccm_.blocks_processed() * Aes128::kCyclesPerBlock;
+  }
+
+ private:
+  [[nodiscard]] CcmNonce make_nonce(NodeId src, std::uint32_t counter) const;
+
+  AesCcm ccm_;
+  SecurityLevel level_;
+  std::uint32_t tx_counter_ = 0;
+  std::unordered_map<NodeId, std::uint32_t> rx_counters_;
+  SecureLinkStats stats_;
+};
+
+}  // namespace iiot::security

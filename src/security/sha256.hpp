@@ -1,0 +1,45 @@
+// SHA-256 and HMAC-SHA256 (FIPS 180-4 / RFC 2104): used for key
+// derivation and gateway-side authentication in the interop layer.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace iiot::security {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(BytesView data);
+  [[nodiscard]] Sha256Digest finish();
+
+  static Sha256Digest hash(BytesView data) {
+    Sha256 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// HMAC-SHA256 (RFC 2104).
+Sha256Digest hmac_sha256(BytesView key, BytesView message);
+
+/// HKDF-style key derivation: derives a 16-byte AES key from a master
+/// secret and a context label (simple single-block expand).
+std::array<std::uint8_t, 16> derive_key(BytesView master,
+                                        BytesView context);
+
+}  // namespace iiot::security

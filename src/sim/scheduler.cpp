@@ -1,0 +1,46 @@
+#include "sim/scheduler.hpp"
+
+#include <utility>
+
+namespace iiot::sim {
+
+EventHandle Scheduler::schedule_at(Time at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  auto cancelled = std::make_shared<bool>(false);
+  EventHandle handle{std::weak_ptr<bool>(cancelled)};
+  queue_.push(Event{at, next_seq_++, std::move(fn), std::move(cancelled)});
+  return handle;
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (*ev.cancelled) continue;
+    now_ = ev.at;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run_until(Time deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (*top.cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (top.at > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Scheduler::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace iiot::sim

@@ -1,0 +1,140 @@
+// Deterministic single-threaded discrete-event scheduler.
+//
+// This is the substrate substituting for real hardware testbeds (DESIGN.md
+// §1): every protocol stack in the repository runs as callbacks on this
+// scheduler's virtual clock. Determinism rules:
+//   * ties in firing time are broken by insertion order (monotone sequence),
+//   * no wall-clock or OS entropy is consulted anywhere.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace iiot::sim {
+
+/// Handle to a scheduled event; allows cancellation. Default-constructed
+/// handles are inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet. Idempotent.
+  void cancel() {
+    if (auto c = cancelled_.lock()) *c = true;
+  }
+
+  /// True if the event is still pending (scheduled, not fired, not cancelled).
+  [[nodiscard]] bool pending() const {
+    auto c = cancelled_.lock();
+    return c && !*c;
+  }
+
+ private:
+  friend class Scheduler;
+  explicit EventHandle(std::weak_ptr<bool> cancelled)
+      : cancelled_(std::move(cancelled)) {}
+
+  std::weak_ptr<bool> cancelled_;
+};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules fn at absolute time `at` (clamped to now()).
+  EventHandle schedule_at(Time at, std::function<void()> fn);
+
+  /// Schedules fn after the given delay.
+  EventHandle schedule_after(Duration delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue drains or the clock passes `deadline`.
+  /// Events scheduled exactly at the deadline still run.
+  void run_until(Time deadline);
+
+  /// Runs events until the queue drains entirely.
+  void run_all();
+
+  /// Runs a single event; returns false if the queue is empty.
+  bool step();
+
+  /// Number of pending (non-cancelled at pop time) events.
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Total events executed since construction (for perf accounting).
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// Repeating timer built on the scheduler; survives rescheduling and
+/// cancels cleanly on destruction (RAII).
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Scheduler& sched, Duration period, std::function<void()> fn)
+      : sched_(sched), period_(period), fn_(std::move(fn)) {}
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Starts (or restarts) firing every period, first firing after `phase`.
+  void start(Duration phase) {
+    stop();
+    running_ = true;
+    arm(phase);
+  }
+  void start() { start(period_); }
+
+  void stop() {
+    running_ = false;
+    handle_.cancel();
+  }
+
+  [[nodiscard]] bool running() const { return running_; }
+  void set_period(Duration period) { period_ = period; }
+  [[nodiscard]] Duration period() const { return period_; }
+
+ private:
+  void arm(Duration delay) {
+    handle_ = sched_.schedule_after(delay, [this] {
+      if (!running_) return;
+      arm(period_);
+      fn_();
+    });
+  }
+
+  Scheduler& sched_;
+  Duration period_;
+  std::function<void()> fn_;
+  EventHandle handle_;
+  bool running_ = false;
+};
+
+}  // namespace iiot::sim

@@ -1,0 +1,33 @@
+// Simulated time. One tick = one microsecond, stored in 64 bits, which
+// covers ~584k years of simulated time — enough for multi-year lifetime
+// experiments.
+#pragma once
+
+#include <cstdint>
+
+namespace iiot::sim {
+
+/// Absolute simulated time in microseconds since simulation start.
+using Time = std::uint64_t;
+
+/// Relative simulated duration in microseconds.
+using Duration = std::uint64_t;
+
+inline constexpr Duration operator""_us(unsigned long long v) { return v; }
+inline constexpr Duration operator""_ms(unsigned long long v) { return v * 1000ULL; }
+inline constexpr Duration operator""_s(unsigned long long v) { return v * 1000000ULL; }
+inline constexpr Duration operator""_min(unsigned long long v) { return v * 60000000ULL; }
+inline constexpr Duration operator""_h(unsigned long long v) { return v * 3600000000ULL; }
+
+constexpr Duration micros(std::uint64_t v) { return v; }
+constexpr Duration millis(std::uint64_t v) { return v * 1000ULL; }
+constexpr Duration seconds(double v) {
+  return static_cast<Duration>(v * 1e6);
+}
+constexpr Duration minutes(double v) { return seconds(v * 60.0); }
+constexpr Duration hours(double v) { return seconds(v * 3600.0); }
+
+constexpr double to_seconds(Duration d) { return static_cast<double>(d) / 1e6; }
+constexpr double to_millis(Duration d) { return static_cast<double>(d) / 1e3; }
+
+}  // namespace iiot::sim

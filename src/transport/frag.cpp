@@ -1,0 +1,84 @@
+#include "transport/frag.hpp"
+
+#include <cassert>
+
+namespace iiot::transport {
+
+std::vector<Buffer> fragment(BytesView datagram, std::size_t mtu,
+                             std::uint16_t tag) {
+  std::vector<Buffer> out;
+  const std::size_t chunk = mtu > kFragHeader ? mtu - kFragHeader : 1;
+  // The fragment index/count fields are one byte each; callers must keep
+  // datagram/mtu combinations within 255 fragments.
+  assert(datagram.empty() || (datagram.size() + chunk - 1) / chunk <= 255);
+  const std::size_t count = datagram.empty()
+                                ? 1
+                                : (datagram.size() + chunk - 1) / chunk;
+  for (std::size_t i = 0; i < count; ++i) {
+    Buffer f;
+    BufWriter w(f);
+    w.u16(tag);
+    w.u8(static_cast<std::uint8_t>(i));
+    w.u8(static_cast<std::uint8_t>(count));
+    const std::size_t off = i * chunk;
+    const std::size_t len = std::min(chunk, datagram.size() - off);
+    if (!datagram.empty()) w.bytes(datagram.subspan(off, len));
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::optional<Buffer> Reassembler::on_fragment(NodeId src, BytesView frag) {
+  BufReader r(frag);
+  auto tag = r.u16();
+  auto index = r.u8();
+  auto count = r.u8();
+  if (!tag || !index || !count || *count == 0 || *index >= *count) {
+    ++stats_.malformed;
+    return std::nullopt;
+  }
+  Buffer body(r.rest().begin(), r.rest().end());
+  if (*count == 1) {
+    ++stats_.completed;
+    return body;
+  }
+  sweep();
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(src) << 16) | *tag;
+  Partial& p = partial_[key];
+  if (p.pieces.empty()) {
+    p.pieces.resize(*count);
+    p.deadline = sched_.now() + timeout_;
+  }
+  if (p.pieces.size() != *count) {  // tag reuse with different shape
+    p.pieces.assign(*count, {});
+    p.received = 0;
+    p.deadline = sched_.now() + timeout_;
+  }
+  if (p.pieces[*index].empty()) {
+    p.pieces[*index] = std::move(body);
+    ++p.received;
+  }
+  if (p.received < *count) return std::nullopt;
+  Buffer whole;
+  for (auto& piece : p.pieces) {
+    whole.insert(whole.end(), piece.begin(), piece.end());
+  }
+  partial_.erase(key);
+  ++stats_.completed;
+  return whole;
+}
+
+void Reassembler::sweep() {
+  const sim::Time now = sched_.now();
+  for (auto it = partial_.begin(); it != partial_.end();) {
+    if (it->second.deadline <= now) {
+      ++stats_.expired;
+      it = partial_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace iiot::transport

@@ -1,0 +1,59 @@
+// Datagram fragmentation/reassembly (6LoWPAN-style, RFC 4944 [12] in
+// spirit): lets CoAP messages larger than a link frame cross the mesh.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "sim/scheduler.hpp"
+
+namespace iiot::transport {
+
+/// Per-fragment header: tag (datagram id), index, count.
+inline constexpr std::size_t kFragHeader = 4;
+
+/// Splits `datagram` into chunks of at most `mtu` payload bytes each,
+/// prefixed with the fragment header. mtu must exceed kFragHeader.
+std::vector<Buffer> fragment(BytesView datagram, std::size_t mtu,
+                             std::uint16_t tag);
+
+struct ReassemblyStats {
+  std::uint64_t completed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t malformed = 0;
+};
+
+class Reassembler {
+ public:
+  explicit Reassembler(sim::Scheduler& sched,
+                       sim::Duration timeout = 10'000'000)
+      : sched_(sched), timeout_(timeout) {}
+
+  /// Feeds one received fragment; returns the full datagram once the last
+  /// missing piece arrives.
+  std::optional<Buffer> on_fragment(NodeId src, BytesView frag);
+
+  [[nodiscard]] const ReassemblyStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t in_flight() const { return partial_.size(); }
+
+ private:
+  struct Partial {
+    std::vector<Buffer> pieces;
+    std::size_t received = 0;
+    sim::Time deadline = 0;
+  };
+
+  void sweep();
+
+  sim::Scheduler& sched_;
+  sim::Duration timeout_;
+  ReassemblyStats stats_;
+  std::unordered_map<std::uint64_t, Partial> partial_;
+};
+
+}  // namespace iiot::transport

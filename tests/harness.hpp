@@ -1,0 +1,86 @@
+// Shared test harness: builds small networks of nodes with a chosen MAC
+// on one simulated medium.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "energy/meter.hpp"
+#include "mac/csma.hpp"
+#include "mac/lpl.hpp"
+#include "mac/mac.hpp"
+#include "mac/rimac.hpp"
+#include "mac/tdma.hpp"
+#include "radio/medium.hpp"
+#include "sim/scheduler.hpp"
+
+namespace iiot::test {
+
+struct SimNode {
+  SimNode(radio::Medium& medium, sim::Scheduler& sched, NodeId id,
+          radio::Position pos)
+      : meter(), radio(medium, sched, id, pos, meter) {}
+
+  energy::Meter meter;
+  radio::Radio radio;
+  std::unique_ptr<mac::Mac> mac;
+};
+
+/// A little world: scheduler + medium + N nodes.
+class World {
+ public:
+  explicit World(std::uint64_t seed = 1,
+                 radio::PropagationConfig cfg = ideal_config())
+      : medium_(sched_, cfg, seed), rng_(seed) {}
+
+  static radio::PropagationConfig ideal_config() {
+    radio::PropagationConfig cfg;
+    cfg.shadowing_sigma_db = 0.0;
+    return cfg;
+  }
+
+  SimNode& add_node(NodeId id, radio::Position pos) {
+    nodes_.push_back(std::make_unique<SimNode>(medium_, sched_, id, pos));
+    return *nodes_.back();
+  }
+
+  /// Line topology: ids 0..n-1 spaced `spacing` meters apart.
+  void make_line(std::size_t n, double spacing = 20.0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      add_node(static_cast<NodeId>(i),
+               {static_cast<double>(i) * spacing, 0.0});
+    }
+  }
+
+  template <typename MacT, typename... Args>
+  MacT& with_mac(SimNode& node, Args&&... args) {
+    auto m = std::make_unique<MacT>(node.radio, sched_,
+                                    rng_.fork(node.radio.id() + 1), 0,
+                                    std::forward<Args>(args)...);
+    MacT& ref = *m;
+    node.mac = std::move(m);
+    return ref;
+  }
+
+  [[nodiscard]] sim::Scheduler& sched() { return sched_; }
+  [[nodiscard]] radio::Medium& medium() { return medium_; }
+  [[nodiscard]] SimNode& node(std::size_t i) { return *nodes_.at(i); }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  void start_all() {
+    for (auto& n : nodes_) {
+      if (n->mac) n->mac->start();
+    }
+  }
+
+ private:
+  sim::Scheduler sched_;
+  radio::Medium medium_;
+  Rng rng_;
+  std::vector<std::unique_ptr<SimNode>> nodes_;
+};
+
+}  // namespace iiot::test

@@ -1,0 +1,467 @@
+// CoAP tests: wire codec, reliability, dedup, observe, and end-to-end
+// operation over the simulated RPL mesh with fragmentation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "coap/endpoint.hpp"
+#include "coap/message.hpp"
+#include "harness.hpp"
+#include "net/rpl.hpp"
+#include "transport/frag.hpp"
+#include "transport/mesh_transport.hpp"
+
+namespace iiot::coap {
+namespace {
+
+using namespace sim;  // NOLINT: time literals
+
+// ------------------------------------------------------------------ codec
+
+TEST(CoapCodec, HeaderRoundTrip) {
+  Message m;
+  m.type = Type::kConfirmable;
+  m.code = Code::kGet;
+  m.message_id = 0xBEEF;
+  m.token = 0x1234;
+  Buffer wire = m.encode();
+  ASSERT_GE(wire.size(), 4u);
+  auto d = Message::decode(wire);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().type, Type::kConfirmable);
+  EXPECT_EQ(d.value().code, Code::kGet);
+  EXPECT_EQ(d.value().message_id, 0xBEEF);
+  EXPECT_EQ(d.value().token, 0x1234u);
+}
+
+TEST(CoapCodec, UriPathSegments) {
+  Message m;
+  m.code = Code::kGet;
+  m.set_uri_path("sensors/temp/3");
+  auto d = Message::decode(m.encode());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().uri_path(), "sensors/temp/3");
+}
+
+TEST(CoapCodec, PayloadMarker) {
+  Message m;
+  m.code = Code::kContent;
+  m.payload = to_buffer("21.5");
+  Buffer wire = m.encode();
+  auto d = Message::decode(wire);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(to_string(d.value().payload), "21.5");
+}
+
+TEST(CoapCodec, OptionsSortedAndDeltaEncoded) {
+  Message m;
+  m.code = Code::kGet;
+  // Add out of order; encoder must sort.
+  m.add_option(Option::make_uint(OptionNumber::kMaxAge, 60));
+  m.add_option(Option::make_uint(OptionNumber::kObserve, 0));
+  m.set_uri_path("a");
+  auto d = Message::decode(m.encode());
+  ASSERT_TRUE(d.ok());
+  const auto& opts = d.value().options;
+  ASSERT_EQ(opts.size(), 3u);
+  for (std::size_t i = 1; i < opts.size(); ++i) {
+    EXPECT_LE(opts[i - 1].number, opts[i].number);
+  }
+  EXPECT_EQ(d.value().find_option(OptionNumber::kMaxAge)->as_uint(), 60u);
+}
+
+TEST(CoapCodec, LargeOptionDeltaAndLength) {
+  Message m;
+  m.code = Code::kGet;
+  Option big;
+  big.number = 500;  // needs 14-style extended delta
+  big.value.assign(300, 0x7A);  // needs extended length
+  m.add_option(big);
+  auto d = Message::decode(m.encode());
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d.value().options.size(), 1u);
+  EXPECT_EQ(d.value().options[0].number, 500);
+  EXPECT_EQ(d.value().options[0].value.size(), 300u);
+}
+
+TEST(CoapCodec, ZeroLengthTokenAndEmptyMessage) {
+  Message m;
+  m.type = Type::kAck;
+  m.code = Code::kEmpty;
+  m.message_id = 7;
+  Buffer wire = m.encode();
+  EXPECT_EQ(wire.size(), 4u);  // pure header
+  auto d = Message::decode(wire);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().token, 0u);
+}
+
+TEST(CoapCodec, RejectsTruncatedHeader) {
+  Buffer wire{0x40, 0x01};
+  EXPECT_FALSE(Message::decode(wire).ok());
+}
+
+TEST(CoapCodec, RejectsBadVersion) {
+  Buffer wire{0x80, 0x01, 0x00, 0x01};  // version 2
+  EXPECT_FALSE(Message::decode(wire).ok());
+}
+
+TEST(CoapCodec, RejectsEmptyPayloadAfterMarker) {
+  Message m;
+  m.code = Code::kContent;
+  Buffer wire = m.encode();
+  wire.push_back(0xFF);  // marker with no payload
+  EXPECT_FALSE(Message::decode(wire).ok());
+}
+
+TEST(CoapCodec, UintOptionMinimalEncoding) {
+  auto o = Option::make_uint(OptionNumber::kObserve, 0);
+  EXPECT_TRUE(o.value.empty());  // zero encodes to zero bytes
+  auto o2 = Option::make_uint(OptionNumber::kObserve, 300);
+  EXPECT_EQ(o2.value.size(), 2u);
+  EXPECT_EQ(o2.as_uint(), 300u);
+}
+
+// -------------------------------------------------- endpoint pair harness
+
+/// Two endpoints joined by a delayed, optionally lossy pipe.
+struct Pair {
+  explicit Pair(std::uint64_t seed = 1, double loss = 0.0)
+      : rng(seed), loss_rng(seed ^ 0x10355), loss_prob(loss) {
+    client = std::make_unique<Endpoint>(
+        1, sched, rng.fork(1), make_send(2), CoapConfig{});
+    CoapConfig server_cfg;
+    server = std::make_unique<Endpoint>(2, sched, rng.fork(2), make_send(1),
+                                        server_cfg);
+  }
+
+  Endpoint::SendFn make_send(NodeId to) {
+    return [this, to](NodeId dst, Buffer bytes) {
+      EXPECT_EQ(dst, to);
+      if (loss_rng.chance(loss_prob)) return true;  // dropped in flight
+      sched.schedule_after(10'000, [this, to, bytes = std::move(bytes)] {
+        (to == 1 ? client : server)->on_datagram(to == 1 ? 2 : 1, bytes);
+      });
+      return true;
+    };
+  }
+
+  Scheduler sched;
+  Rng rng;
+  Rng loss_rng;
+  double loss_prob;
+  std::unique_ptr<Endpoint> client;
+  std::unique_ptr<Endpoint> server;
+};
+
+TEST(CoapEndpoint, GetReturnsContent) {
+  Pair p;
+  p.server->add_resource("temp", [](const Request&) {
+    Response r;
+    r.payload = to_buffer("22.0");
+    return r;
+  });
+  std::optional<Response> got;
+  p.client->get(2, "temp", [&](Result<Response> r) {
+    ASSERT_TRUE(r.ok());
+    got = r.value();
+  });
+  p.sched.run_until(1_s);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->code, Code::kContent);
+  EXPECT_EQ(to_string(got->payload), "22.0");
+}
+
+TEST(CoapEndpoint, UnknownResourceIs404) {
+  Pair p;
+  std::optional<Code> code;
+  p.client->get(2, "nope", [&](Result<Response> r) {
+    ASSERT_TRUE(r.ok());
+    code = r.value().code;
+  });
+  p.sched.run_until(1_s);
+  EXPECT_EQ(code, Code::kNotFound);
+}
+
+TEST(CoapEndpoint, PutUpdatesServerState) {
+  Pair p;
+  std::string setpoint = "unset";
+  p.server->add_resource("setpoint", [&](const Request& req) {
+    Response r;
+    if (req.method == Code::kPut) {
+      setpoint = to_string(req.payload);
+      r.code = Code::kChanged;
+    } else {
+      r.payload = to_buffer(setpoint);
+    }
+    return r;
+  });
+  std::optional<Code> code;
+  p.client->put(2, "setpoint", to_buffer("21.0"), [&](Result<Response> r) {
+    ASSERT_TRUE(r.ok());
+    code = r.value().code;
+  });
+  p.sched.run_until(1_s);
+  EXPECT_EQ(code, Code::kChanged);
+  EXPECT_EQ(setpoint, "21.0");
+}
+
+TEST(CoapEndpoint, MethodDispatchPostDelete) {
+  Pair p;
+  std::vector<Code> seen;
+  p.server->add_resource("r", [&](const Request& req) {
+    seen.push_back(req.method);
+    Response r;
+    r.code = req.method == Code::kDelete ? Code::kDeleted : Code::kCreated;
+    return r;
+  });
+  int done = 0;
+  p.client->post(2, "r", to_buffer("x"), [&](Result<Response> r) {
+    EXPECT_EQ(r.value().code, Code::kCreated);
+    ++done;
+  });
+  p.client->del(2, "r", [&](Result<Response> r) {
+    EXPECT_EQ(r.value().code, Code::kDeleted);
+    ++done;
+  });
+  p.sched.run_until(2_s);
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(CoapEndpoint, RetransmissionRecoversFromLoss) {
+  Pair p(7, 0.4);  // 40% datagram loss
+  p.server->add_resource("x", [](const Request&) {
+    Response r;
+    r.payload = to_buffer("ok");
+    return r;
+  });
+  int ok = 0, fail = 0;
+  for (int i = 0; i < 20; ++i) {
+    p.client->get(2, "x", [&](Result<Response> r) {
+      r.ok() ? ++ok : ++fail;
+    });
+  }
+  p.sched.run_until(300_s);
+  // With 4 retransmissions at 40% loss, most exchanges get through
+  // (per-try success = 0.6^2 = 0.36; P(all 5 tries fail) ≈ 0.11).
+  EXPECT_GE(ok, 15);
+  EXPECT_GT(p.client->stats().retransmissions, 0u);
+}
+
+TEST(CoapEndpoint, TimeoutAfterMaxRetransmit) {
+  Pair p(8, 1.0);  // pipe drops everything
+  bool done = false;
+  Time done_at = 0;
+  p.client->get(2, "x", [&](Result<Response> r) {
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, Error::Code::kTimeout);
+    done = true;
+    done_at = p.sched.now();
+  });
+  p.sched.run_until(600_s);
+  EXPECT_TRUE(done);
+  // 2+4+8+16+32 s ≈ at least 62 s with ACK_RANDOM_FACTOR ≥ 1.
+  EXPECT_GE(done_at, 60'000'000u);
+}
+
+TEST(CoapEndpoint, DuplicateRequestServedOnce) {
+  Pair p;
+  int invocations = 0;
+  p.server->add_resource("once", [&](const Request&) {
+    ++invocations;
+    Response r;
+    r.payload = to_buffer("v");
+    return r;
+  });
+  // Craft a CON GET and deliver the same wire bytes twice.
+  Message m;
+  m.type = Type::kConfirmable;
+  m.code = Code::kGet;
+  m.message_id = 42;
+  m.token = 99;
+  m.set_uri_path("once");
+  Buffer wire = m.encode();
+  p.server->on_datagram(1, wire);
+  p.server->on_datagram(1, wire);
+  p.sched.run_all();
+  EXPECT_EQ(invocations, 1);
+  EXPECT_EQ(p.server->stats().duplicates, 1u);
+}
+
+TEST(CoapEndpoint, ObserveDeliversNotifications) {
+  Pair p;
+  double temp = 20.0;
+  p.server->add_resource("temp", [&](const Request&) {
+    Response r;
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.1f", temp);
+    r.payload = to_buffer(buf);
+    return r;
+  });
+  std::vector<std::string> seen;
+  p.client->observe(2, "temp", [&](const Response& r) {
+    seen.push_back(to_string(r.payload));
+  });
+  p.sched.run_until(1_s);
+  EXPECT_EQ(p.server->observer_count("temp"), 1u);
+  for (int i = 0; i < 3; ++i) {
+    p.sched.schedule_after(0, [&, i] {
+      temp = 21.0 + i;
+      p.server->notify_observers("temp");
+    });
+    p.sched.run_until(p.sched.now() + 1'000'000);
+  }
+  ASSERT_EQ(seen.size(), 4u);  // initial + 3 notifications
+  EXPECT_EQ(seen[0], "20.0");
+  EXPECT_EQ(seen[3], "23.0");
+}
+
+TEST(CoapEndpoint, CancelObserveStopsNotifications) {
+  Pair p;
+  p.server->add_resource("temp", [](const Request&) {
+    Response r;
+    r.payload = to_buffer("t");
+    return r;
+  });
+  int notifications = 0;
+  p.client->observe(2, "temp", [&](const Response&) { ++notifications; });
+  p.sched.run_until(1_s);
+  p.client->cancel_observe(2, "temp");
+  p.sched.run_until(2_s);
+  EXPECT_EQ(p.server->observer_count("temp"), 0u);
+  int before = notifications;
+  p.server->notify_observers("temp");
+  p.sched.run_until(3_s);
+  EXPECT_EQ(notifications, before);
+}
+
+// ----------------------------------------------------------- fragmentation
+
+TEST(Fragmentation, SingleChunkWhenSmall) {
+  auto frags = transport::fragment(to_buffer("small"), 80, 1);
+  ASSERT_EQ(frags.size(), 1u);
+}
+
+TEST(Fragmentation, RoundTripLargeDatagram) {
+  Scheduler s;
+  transport::Reassembler re(s);
+  Buffer big(500);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  auto frags = transport::fragment(big, 80, 9);
+  EXPECT_GT(frags.size(), 5u);
+  std::optional<Buffer> whole;
+  for (auto& f : frags) {
+    auto r = re.on_fragment(3, f);
+    if (r) whole = r;
+  }
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_EQ(*whole, big);
+}
+
+TEST(Fragmentation, OutOfOrderReassembly) {
+  Scheduler s;
+  transport::Reassembler re(s);
+  Buffer data(200, 0xCD);
+  auto frags = transport::fragment(data, 64, 2);
+  std::optional<Buffer> whole;
+  for (auto it = frags.rbegin(); it != frags.rend(); ++it) {
+    auto r = re.on_fragment(3, *it);
+    if (r) whole = r;
+  }
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_EQ(*whole, data);
+}
+
+TEST(Fragmentation, InterleavedSourcesDoNotMix) {
+  Scheduler s;
+  transport::Reassembler re(s);
+  Buffer a(150, 0xAA), b(150, 0xBB);
+  auto fa = transport::fragment(a, 64, 5);
+  auto fb = transport::fragment(b, 64, 5);  // same tag, different source
+  int completed = 0;
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    if (auto r = re.on_fragment(1, fa[i])) {
+      EXPECT_EQ(*r, a);
+      ++completed;
+    }
+    if (auto r = re.on_fragment(2, fb[i])) {
+      EXPECT_EQ(*r, b);
+      ++completed;
+    }
+  }
+  EXPECT_EQ(completed, 2);
+}
+
+TEST(Fragmentation, IncompleteExpiresAfterTimeout) {
+  Scheduler s;
+  transport::Reassembler re(s, 1'000'000);
+  Buffer data(200, 0x11);
+  auto frags = transport::fragment(data, 64, 3);
+  re.on_fragment(1, frags[0]);
+  EXPECT_EQ(re.in_flight(), 1u);
+  s.run_until(2_s);
+  // Trigger sweep with any new fragment.
+  re.on_fragment(2, transport::fragment(Buffer(100, 1), 64, 4)[0]);
+  EXPECT_GE(re.stats().expired, 1u);
+}
+
+// ------------------------------------------------- CoAP over the RPL mesh
+
+TEST(CoapOverMesh, NodeReadsBorderRouterResourceAndViceVersa) {
+  test::World w(60);
+  w.make_line(4, 25.0);
+  net::RplConfig rcfg;
+  rcfg.trickle = net::TrickleConfig{250'000, 8, 3};
+  rcfg.dao_interval = 5'000'000;
+  std::vector<std::unique_ptr<net::RplRouting>> routers;
+  for (std::size_t i = 0; i < 4; ++i) {
+    auto& m = w.with_mac<mac::CsmaMac>(w.node(i));
+    routers.push_back(std::make_unique<net::RplRouting>(
+        m, w.sched(), w.rng().fork(500 + i), rcfg));
+  }
+  w.start_all();
+  routers[0]->start_root();
+  for (std::size_t i = 1; i < 4; ++i) routers[i]->start();
+
+  transport::MeshTransport root_tp(*routers[0], w.sched());
+  transport::MeshTransport leaf_tp(*routers[3], w.sched());
+  Endpoint root_ep(0, w.sched(), w.rng().fork(91), root_tp.sender());
+  Endpoint leaf_ep(3, w.sched(), w.rng().fork(92), leaf_tp.sender());
+  root_tp.bind(root_ep);
+  leaf_tp.bind(leaf_ep);
+
+  root_ep.add_resource("config", [](const Request&) {
+    Response r;
+    r.payload = to_buffer("sample-every-30s-and-please-aggregate-minmax");
+    return r;
+  });
+  leaf_ep.add_resource("sensor", [](const Request&) {
+    Response r;
+    r.payload = to_buffer("42.5");
+    return r;
+  });
+
+  w.sched().run_until(40_s);  // network + DAO formation
+
+  std::string got_config, got_sensor;
+  w.sched().schedule_at(41_s, [&] {
+    leaf_ep.get(0, "config", [&](Result<Response> r) {
+      if (r.ok()) got_config = to_string(r.value().payload);
+    });
+  });
+  w.sched().schedule_at(50_s, [&] {
+    root_ep.get(3, "sensor", [&](Result<Response> r) {
+      if (r.ok()) got_sensor = to_string(r.value().payload);
+    });
+  });
+  w.sched().run_until(80_s);
+  EXPECT_EQ(got_config, "sample-every-30s-and-please-aggregate-minmax");
+  EXPECT_EQ(got_sensor, "42.5");
+}
+
+}  // namespace
+}  // namespace iiot::coap

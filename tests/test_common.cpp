@@ -1,0 +1,170 @@
+// Unit tests for common utilities: byte codecs, CRCs, RNG, Result.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bytes.hpp"
+#include "common/crc.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+
+namespace iiot {
+namespace {
+
+TEST(Bytes, RoundTripIntegers) {
+  Buffer buf;
+  BufWriter w(buf);
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0102030405060708ULL);
+  w.f64(3.14159);
+
+  BufReader r(buf);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ULL);
+  EXPECT_DOUBLE_EQ(*r.f64(), 3.14159);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, BigEndianLayout) {
+  Buffer buf;
+  BufWriter w(buf);
+  w.u16(0x0102);
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[1], 0x02);
+}
+
+TEST(Bytes, UnderflowSticksToFailed) {
+  Buffer buf{0x01};
+  BufReader r(buf);
+  EXPECT_EQ(r.u32(), std::nullopt);
+  EXPECT_FALSE(r.ok());
+  // Even a 1-byte read must now fail: the reader is poisoned.
+  EXPECT_EQ(r.u8(), std::nullopt);
+}
+
+TEST(Bytes, LengthPrefixedStrings) {
+  Buffer buf;
+  BufWriter w(buf);
+  w.lp_str("hello");
+  w.lp_str("");
+  BufReader r(buf);
+  EXPECT_EQ(r.lp_str(), "hello");
+  EXPECT_EQ(r.lp_str(), "");
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Crc, KnownVectors) {
+  // CRC-16/CCITT-FALSE("123456789") = 0x29B1
+  auto data = to_buffer("123456789");
+  EXPECT_EQ(crc16_ccitt(data), 0x29B1);
+  // CRC-32("123456789") = 0xCBF43926
+  EXPECT_EQ(crc32_ieee(data), 0xCBF43926u);
+}
+
+TEST(Crc, DetectsSingleBitFlip) {
+  auto data = to_buffer("industrial iot frame payload");
+  auto original = crc16_ccitt(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Buffer corrupted = data;
+      corrupted[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      EXPECT_NE(crc16_ccitt(corrupted), original);
+    }
+  }
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, BelowIsBounded) {
+  Rng rng(9);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = rng.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(10.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.5);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.normal(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / kN;
+  double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, ForkedStreamsIndependent) {
+  Rng base(21);
+  Rng a = base.fork(1);
+  Rng b = base.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(5);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+
+  Result<int> err(Error{Error::Code::kTimeout, "late"});
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error().code, Error::Code::kTimeout);
+  EXPECT_EQ(err.error().message, "late");
+}
+
+TEST(Result, StatusDefaultsToSuccess) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  Status f(Error{Error::Code::kSecurity, "bad mic"});
+  EXPECT_FALSE(f.ok());
+  EXPECT_STREQ(to_string(f.error().code), "security");
+}
+
+}  // namespace
+}  // namespace iiot

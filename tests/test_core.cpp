@@ -1,0 +1,249 @@
+// Core façade tests: mesh building, the three-tier System, staged
+// deployment, multi-tenant coexistence, and diagnosis detectors.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/deployment.hpp"
+#include "core/network.hpp"
+#include "core/system.hpp"
+#include "core/tenant.hpp"
+#include "diagnosis/detectors.hpp"
+
+namespace iiot::core {
+namespace {
+
+using namespace sim;  // NOLINT: time literals
+
+radio::PropagationConfig clean_radio() {
+  radio::PropagationConfig cfg;
+  cfg.shadowing_sigma_db = 0.0;
+  return cfg;
+}
+
+NodeConfig fast_csma() {
+  NodeConfig cfg;
+  cfg.rpl.trickle = net::TrickleConfig{250'000, 8, 3};
+  cfg.rpl.dao_interval = 5'000'000;
+  return cfg;
+}
+
+TEST(MeshNetwork, GridFormsFully) {
+  Scheduler sched;
+  radio::Medium medium(sched, clean_radio(), 11);
+  MeshNetwork mesh(sched, medium, Rng(1), fast_csma());
+  mesh.build_grid(16, 22.0);
+  mesh.start();
+  sched.run_until(40_s);
+  EXPECT_DOUBLE_EQ(mesh.joined_fraction(), 1.0);
+  EXPECT_GT(mesh.total_energy_mj(), 0.0);
+}
+
+TEST(MeshNetwork, DepthGrowsWithLineLength) {
+  Scheduler sched;
+  radio::Medium medium(sched, clean_radio(), 12);
+  MeshNetwork mesh(sched, medium, Rng(2), fast_csma());
+  mesh.build_line(6, 25.0);
+  mesh.start();
+  sched.run_until(60_s);
+  ASSERT_DOUBLE_EQ(mesh.joined_fraction(), 1.0);
+  EXPECT_GE(mesh.depth_estimate(5), 4);
+  EXPECT_EQ(mesh.depth_estimate(0), 0);
+}
+
+TEST(MeshNetwork, IdBaseOffsetsNodeIds) {
+  Scheduler sched;
+  radio::Medium medium(sched, clean_radio(), 13);
+  MeshNetwork mesh(sched, medium, Rng(3), fast_csma(), /*id_base=*/500);
+  mesh.build_line(3, 25.0);
+  EXPECT_EQ(mesh.node(0).id, 500u);
+  EXPECT_EQ(mesh.node(2).id, 502u);
+}
+
+TEST(System, SensorDataFlowsIntoStoreAndRulesActuate) {
+  Scheduler sched;
+  SystemConfig scfg;
+  scfg.propagation = clean_radio();
+  System system(sched, 77, scfg);
+  auto& mesh = system.add_mesh("plant", fast_csma());
+  mesh.build_line(4, 25.0);
+  mesh.start();
+  system.bridge("plant", mesh);
+
+  // Node 3 reports rising temperature; node 2 hosts a vent actuator.
+  double temp = 20.0;
+  system.add_periodic_sensor(mesh.node(3), 3303, 5'000'000,
+                             [&temp] { return temp += 1.5; });
+  std::vector<double> vent_commands;
+  system.add_actuator(mesh.node(2), 3306, [&](double v) {
+    vent_commands.push_back(v);
+  });
+
+  backend::Condition cond;
+  cond.topic_filter = "plant/3/3303";
+  cond.op = backend::CmpOp::kGreater;
+  cond.threshold = 30.0;
+  backend::Action act;
+  act.callback = [&](const backend::RuleFiring&) {
+    system.actuate(mesh, 2, 3306, 100.0);
+  };
+  system.rules().add_rule("overheat", cond, act);
+
+  sched.run_until(120_s);
+  // Readings landed in the time-series store...
+  EXPECT_GT(system.store().points("plant/3/3303"), 5u);
+  // ...the rule fired and the command reached node 2 down the mesh.
+  EXPECT_GE(vent_commands.size(), 1u);
+  EXPECT_DOUBLE_EQ(vent_commands.front(), 100.0);
+}
+
+TEST(Deployment, StagedRolloutKeepsForming) {
+  Scheduler sched;
+  radio::Medium medium(sched, clean_radio(), 21);
+  MeshNetwork mesh(sched, medium, Rng(4), fast_csma());
+  // Snake layout: stays connected as it grows.
+  auto positions = [](std::size_t i) {
+    const std::size_t row = i / 8;
+    const std::size_t col = i % 8;
+    return radio::Position{static_cast<double>(col) * 22.0,
+                           static_cast<double>(row) * 22.0};
+  };
+  std::vector<StageReport> reports;
+  DeploymentPlan plan(mesh, positions);
+  plan.stage(4, 30'000'000)
+      .stage(16, 30'000'000)
+      .stage(40, 60'000'000);
+  plan.execute([&](const StageReport& r) { reports.push_back(r); });
+  sched.run_until(130_s);
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_EQ(reports[0].nodes_total, 4u);
+  EXPECT_EQ(reports[2].nodes_total, 40u);
+  for (const auto& r : reports) {
+    EXPECT_GE(r.joined_fraction, 0.95) << "stage " << r.stage;
+    EXPECT_GT(r.formation_time, 0u) << "stage " << r.stage;
+  }
+  EXPECT_GE(reports[2].max_depth, 2);
+}
+
+TEST(Tenants, SeparateChannelsIsolateTraffic) {
+  Scheduler sched;
+  radio::Medium medium(sched, clean_radio(), 31);
+  TenantManager mgr(sched, medium, Rng(5));
+  TenantSpec a;
+  a.id = 1;
+  a.nodes = 6;
+  a.node_cfg = fast_csma();
+  TenantSpec b;
+  b.id = 2;
+  b.nodes = 6;
+  b.node_cfg = fast_csma();
+  mgr.add_tenant(a, 60.0, {11, 15});
+  mgr.add_tenant(b, 60.0, {11, 15});
+  mgr.start_all();
+  sched.run_until(60_s);
+  EXPECT_GE(mgr.network(0).joined_fraction(), 0.99);
+  EXPECT_GE(mgr.network(1).joined_fraction(), 0.99);
+  // Cross-tenant frames never delivered upward.
+  for (std::size_t i = 0; i < mgr.network(0).size(); ++i) {
+    EXPECT_EQ(static_cast<mac::MacBase&>(*mgr.network(0).node(i).mac)
+                  .stats()
+                  .rx_foreign,
+              0u);
+  }
+}
+
+TEST(Tenants, SharedChannelCausesForeignTraffic) {
+  Scheduler sched;
+  radio::Medium medium(sched, clean_radio(), 32);
+  TenantManager mgr(sched, medium, Rng(6));
+  TenantSpec a;
+  a.id = 1;
+  a.nodes = 8;
+  a.node_cfg = fast_csma();
+  TenantSpec b;
+  b.id = 2;
+  b.nodes = 8;
+  b.node_cfg = fast_csma();
+  mgr.add_tenant(a, 50.0, {11});  // both forced onto channel 11
+  mgr.add_tenant(b, 50.0, {11});
+  mgr.start_all();
+  sched.run_until(60_s);
+  std::uint64_t foreign = 0;
+  for (std::size_t t = 0; t < 2; ++t) {
+    for (std::size_t i = 0; i < mgr.network(t).size(); ++i) {
+      foreign += static_cast<mac::MacBase&>(*mgr.network(t).node(i).mac)
+                     .stats()
+                     .rx_foreign;
+    }
+  }
+  EXPECT_GT(foreign, 0u);
+}
+
+// -------------------------------------------------------------- diagnosis
+
+TEST(Diagnosis, EnergyDrainOutlierFlagged) {
+  diagnosis::EnergyDrainDetector det(3.0);
+  for (NodeId n = 1; n <= 9; ++n) det.report(n, 1.0 + 0.05 * n);
+  det.report(10, 12.0);  // storm victim
+  auto anomalies = det.anomalies();
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].node, 10u);
+  EXPECT_EQ(anomalies[0].kind, diagnosis::Anomaly::Kind::kEnergyDrain);
+}
+
+TEST(Diagnosis, NoDrainAnomalyInHealthyFleet) {
+  diagnosis::EnergyDrainDetector det;
+  for (NodeId n = 1; n <= 10; ++n) det.report(n, 1.0 + 0.1 * n);
+  EXPECT_TRUE(det.anomalies().empty());
+}
+
+TEST(Diagnosis, StuckSensorFlaggedAfterWindow) {
+  diagnosis::StuckSensorDetector det(5);
+  for (int i = 0; i < 5; ++i) det.report(1, 21.37);
+  for (int i = 0; i < 5; ++i) det.report(2, 20.0 + i);
+  auto anomalies = det.anomalies();
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].node, 1u);
+}
+
+TEST(Diagnosis, StuckSensorNeedsFullWindow) {
+  diagnosis::StuckSensorDetector det(10);
+  for (int i = 0; i < 5; ++i) det.report(1, 5.0);
+  EXPECT_TRUE(det.anomalies().empty());
+}
+
+TEST(Diagnosis, RebootLoopDetected) {
+  diagnosis::RebootLoopDetector det(3, 600_s);
+  det.report_reboot(4, 100_s);
+  det.report_reboot(4, 200_s);
+  det.report_reboot(4, 300_s);
+  det.report_reboot(5, 100_s);  // single reboot: fine
+  auto anomalies = det.anomalies(400_s);
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].node, 4u);
+}
+
+TEST(Diagnosis, OldRebootsAgeOut) {
+  diagnosis::RebootLoopDetector det(3, 600_s);
+  det.report_reboot(4, 100_s);
+  det.report_reboot(4, 200_s);
+  det.report_reboot(4, 300_s);
+  EXPECT_TRUE(det.anomalies(2000_s).empty());
+}
+
+TEST(Diagnosis, AsymmetricLinkFlagged) {
+  diagnosis::LinkAsymmetryDetector det(2.5);
+  det.report_etx(1, 2, 1.1);
+  det.report_etx(2, 1, 4.5);  // way worse backwards
+  det.report_etx(3, 4, 1.2);
+  det.report_etx(4, 3, 1.4);
+  auto anomalies = det.anomalies();
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].kind, diagnosis::Anomaly::Kind::kAsymmetricLink);
+  EXPECT_EQ(anomalies[0].node, 1u);
+  EXPECT_EQ(anomalies[0].peer, 2u);
+}
+
+}  // namespace
+}  // namespace iiot::core

@@ -1,0 +1,491 @@
+// CRDT tests: unit behaviour plus property-based convergence sweeps.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "crdt/cfrc.hpp"
+#include "crdt/counters.hpp"
+#include "crdt/ormap.hpp"
+#include "crdt/registers.hpp"
+#include "crdt/sets.hpp"
+#include "crdt/vector_clock.hpp"
+
+namespace iiot::crdt {
+namespace {
+
+// ------------------------------------------------------------ VectorClock
+
+TEST(VectorClock, FreshClocksAreEqual) {
+  VectorClock a, b;
+  EXPECT_EQ(a.compare(b), Order::kEqual);
+}
+
+TEST(VectorClock, TickMakesAfter) {
+  VectorClock a, b;
+  a.tick(1);
+  EXPECT_EQ(a.compare(b), Order::kAfter);
+  EXPECT_EQ(b.compare(a), Order::kBefore);
+}
+
+TEST(VectorClock, IndependentTicksAreConcurrent) {
+  VectorClock a, b;
+  a.tick(1);
+  b.tick(2);
+  EXPECT_EQ(a.compare(b), Order::kConcurrent);
+  EXPECT_EQ(b.compare(a), Order::kConcurrent);
+}
+
+TEST(VectorClock, MergeDominatesBoth) {
+  VectorClock a, b;
+  a.tick(1);
+  a.tick(1);
+  b.tick(2);
+  VectorClock m = a;
+  m.merge(b);
+  EXPECT_TRUE(m.dominates(a));
+  EXPECT_TRUE(m.dominates(b));
+  EXPECT_EQ(m.get(1), 2u);
+  EXPECT_EQ(m.get(2), 1u);
+}
+
+TEST(VectorClock, CodecRoundTrip) {
+  VectorClock a;
+  a.tick(1);
+  a.tick(7);
+  a.tick(7);
+  Buffer buf;
+  BufWriter w(buf);
+  a.encode(w);
+  BufReader r(buf);
+  auto b = VectorClock::decode(r);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a.compare(*b), Order::kEqual);
+}
+
+// --------------------------------------------------------------- Counters
+
+TEST(GCounter, IncrementsSum) {
+  GCounter c;
+  c.increment(1, 3);
+  c.increment(2, 4);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(GCounter, MergeIsIdempotent) {
+  GCounter a;
+  a.increment(1, 5);
+  GCounter b = a;
+  a.merge(b);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 5u);
+}
+
+TEST(GCounter, ConcurrentIncrementsBothCounted) {
+  GCounter a, b;
+  a.increment(1, 2);
+  b.increment(2, 3);
+  a.merge(b);
+  b.merge(a);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(PnCounter, DecrementWorksAcrossReplicas) {
+  PnCounter a, b;
+  a.increment(1, 10);
+  b.decrement(2, 4);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 6);
+}
+
+TEST(PnCounter, CanGoNegative) {
+  PnCounter a;
+  a.decrement(1, 3);
+  EXPECT_EQ(a.value(), -3);
+}
+
+// ------------------------------------------------------------------- Sets
+
+TEST(GSet, UnionMerge) {
+  GSet<std::string> a, b;
+  a.add("x");
+  b.add("y");
+  a.merge(b);
+  EXPECT_TRUE(a.contains("x"));
+  EXPECT_TRUE(a.contains("y"));
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(TwoPSet, RemoveIsPermanent) {
+  TwoPSet<std::string> a;
+  a.add("x");
+  a.remove("x");
+  a.add("x");  // no effect: tombstone wins
+  EXPECT_FALSE(a.contains("x"));
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(TwoPSet, RemoveRequiresObservation) {
+  TwoPSet<std::string> a;
+  a.remove("ghost");  // not present: no tombstone created
+  a.add("ghost");
+  EXPECT_TRUE(a.contains("ghost"));
+}
+
+TEST(OrSet, AddWinsOverConcurrentRemove) {
+  OrSet<std::string> a, b;
+  a.add(1, "x");
+  b.merge(a);
+  // Concurrently: b removes x while a re-adds it with a new dot.
+  b.remove("x");
+  a.add(1, "x");
+  a.merge(b);
+  b.merge(a);
+  EXPECT_TRUE(a.contains("x"));  // the new dot survives b's tombstones
+  EXPECT_TRUE(b.contains("x"));
+}
+
+TEST(OrSet, ObservedRemoveActuallyRemoves) {
+  OrSet<std::string> a, b;
+  a.add(1, "x");
+  b.merge(a);
+  b.remove("x");
+  a.merge(b);
+  EXPECT_FALSE(a.contains("x"));
+}
+
+TEST(OrSet, ReAddAfterRemoveWorks) {
+  OrSet<std::uint64_t> a;
+  a.add(1, 42);
+  a.remove(42);
+  EXPECT_FALSE(a.contains(42));
+  a.add(1, 42);
+  EXPECT_TRUE(a.contains(42));
+}
+
+TEST(OrSet, CodecRoundTrip) {
+  OrSet<std::string> a;
+  a.add(1, "x");
+  a.add(2, "y");
+  a.remove("x");
+  Buffer buf;
+  BufWriter w(buf);
+  a.encode(w);
+  BufReader r(buf);
+  auto b = OrSet<std::string>::decode(r);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_FALSE(b->contains("x"));
+  EXPECT_TRUE(b->contains("y"));
+}
+
+// -------------------------------------------------------------- Registers
+
+TEST(LwwRegister, LaterTimestampWins) {
+  LwwRegister<std::string> a;
+  a.set(1, 100, "old");
+  a.set(2, 200, "new");
+  EXPECT_EQ(a.get(), "new");
+  a.set(3, 150, "stale");  // earlier: ignored
+  EXPECT_EQ(a.get(), "new");
+}
+
+TEST(LwwRegister, TieBrokenByReplicaId) {
+  LwwRegister<std::string> a, b;
+  a.set(1, 100, "from-1");
+  b.set(2, 100, "from-2");
+  a.merge(b);
+  b.merge(a);
+  EXPECT_EQ(a.get(), "from-2");
+  EXPECT_EQ(b.get(), "from-2");
+}
+
+TEST(MvRegister, ConcurrentWritesBothKept) {
+  MvRegister<std::string> a, b;
+  a.set(1, "alpha");
+  b.set(2, "beta");
+  a.merge(b);
+  EXPECT_TRUE(a.conflicted());
+  auto vals = a.values();
+  EXPECT_EQ(vals.size(), 2u);
+}
+
+TEST(MvRegister, CausalOverwriteCollapsesSiblings) {
+  MvRegister<std::string> a, b;
+  a.set(1, "alpha");
+  b.set(2, "beta");
+  a.merge(b);
+  ASSERT_TRUE(a.conflicted());
+  a.set(1, "resolved");  // causally after both siblings
+  b.merge(a);
+  EXPECT_FALSE(b.conflicted());
+  EXPECT_EQ(b.values(), std::vector<std::string>{"resolved"});
+}
+
+TEST(MvRegister, MergeIdempotent) {
+  MvRegister<std::string> a, b;
+  a.set(1, "x");
+  b.set(2, "y");
+  a.merge(b);
+  auto before = a.values().size();
+  a.merge(b);
+  a.merge(b);
+  EXPECT_EQ(a.values().size(), before);
+}
+
+// ------------------------------------------------------------------ OrMap
+
+TEST(OrMap, NestedRegisterMerges) {
+  OrMap<LwwRegister<double>> a, b;
+  a.apply(1, "temp", [](auto& reg) { reg.set(1, 100, 21.5); });
+  b.apply(2, "temp", [](auto& reg) { reg.set(2, 200, 22.5); });
+  a.merge(b);
+  ASSERT_NE(a.get("temp"), nullptr);
+  EXPECT_EQ(a.get("temp")->get(), 22.5);
+}
+
+TEST(OrMap, RemoveThenConcurrentUpdateRevives) {
+  OrMap<LwwRegister<double>> a, b;
+  a.apply(1, "k", [](auto& reg) { reg.set(1, 1, 1.0); });
+  b.merge(a);
+  b.remove("k");
+  a.apply(1, "k", [](auto& reg) { reg.set(1, 2, 2.0); });  // concurrent
+  b.merge(a);
+  EXPECT_TRUE(b.contains("k"));  // add-wins
+}
+
+TEST(OrMap, ObservedRemoveSticksWithoutConcurrentAdd) {
+  OrMap<LwwRegister<double>> a, b;
+  a.apply(1, "k", [](auto& reg) { reg.set(1, 1, 1.0); });
+  b.merge(a);
+  b.remove("k");
+  a.merge(b);
+  EXPECT_FALSE(a.contains("k"));
+}
+
+TEST(OrMap, CodecRoundTrip) {
+  OrMap<LwwRegister<double>> a;
+  a.apply(1, "x", [](auto& reg) { reg.set(1, 5, 1.25); });
+  a.apply(1, "y", [](auto& reg) { reg.set(1, 6, 2.5); });
+  a.remove("x");
+  Buffer buf;
+  BufWriter w(buf);
+  a.encode(w);
+  BufReader r(buf);
+  auto b = OrMap<LwwRegister<double>>::decode(r);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_FALSE(b->contains("x"));
+  ASSERT_TRUE(b->contains("y"));
+  EXPECT_EQ(b->get("y")->get(), 2.5);
+}
+
+// ------------------------------------------------------------------- CFRC
+
+TEST(Cfrc, SuspectVotesAreIdempotent) {
+  Cfrc c;
+  c.suspect(5);
+  c.suspect(5);
+  c.suspect(5);
+  EXPECT_EQ(c.suspect_count(), 1u);
+}
+
+TEST(Cfrc, MergeCountsDistinctVoters) {
+  Cfrc a, b;
+  a.suspect(1);
+  b.suspect(2);
+  b.suspect(3);
+  a.merge(b);
+  EXPECT_EQ(a.suspect_count(), 3u);
+}
+
+TEST(Cfrc, HigherEpochWinsAndClearsVotes) {
+  Cfrc a, b;
+  a.suspect(1);
+  a.suspect(2);
+  b.merge(a);
+  b.advance_epoch();  // root verified alive
+  a.merge(b);
+  EXPECT_EQ(a.epoch(), 1u);
+  EXPECT_EQ(a.suspect_count(), 0u);
+  // Stale low-epoch gossip cannot resurrect old votes.
+  Cfrc stale;
+  stale.suspect(9);
+  a.merge(stale);
+  EXPECT_EQ(a.suspect_count(), 0u);
+}
+
+TEST(Cfrc, SuspicionRatio) {
+  Cfrc c;
+  c.join(1);
+  c.join(2);
+  c.join(3);
+  c.join(4);
+  c.suspect(1);
+  c.suspect(2);
+  EXPECT_DOUBLE_EQ(c.suspicion_ratio(), 0.5);
+}
+
+TEST(Cfrc, CodecRoundTrip) {
+  Cfrc a;
+  a.advance_epoch();
+  a.suspect(7);
+  a.join(8);
+  Buffer buf;
+  BufWriter w(buf);
+  a.encode(w);
+  BufReader r(buf);
+  auto b = Cfrc::decode(r);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(a == *b);
+}
+
+// --------------------------------------------- property sweeps (TEST_P)
+
+/// Applies `ops` random operations to `n_replicas` divergent copies, then
+/// merges them in random pairwise order and checks convergence. This is
+/// the strong-eventual-consistency property: same set of updates ⇒ same
+/// state, regardless of merge order.
+class CrdtConvergence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrdtConvergence, GCounterConverges) {
+  Rng rng(GetParam());
+  constexpr int kReplicas = 5;
+  std::vector<GCounter> reps(kReplicas);
+  std::uint64_t expected = 0;
+  for (int op = 0; op < 200; ++op) {
+    int r = static_cast<int>(rng.below(kReplicas));
+    std::uint64_t by = 1 + rng.below(9);
+    reps[static_cast<size_t>(r)].increment(static_cast<ReplicaId>(r), by);
+    expected += by;
+  }
+  // Random gossip rounds until all merged with all.
+  for (int round = 0; round < 40; ++round) {
+    auto i = rng.below(kReplicas);
+    auto j = rng.below(kReplicas);
+    reps[i].merge(reps[j]);
+  }
+  for (auto& rep : reps) {
+    for (auto& other : reps) rep.merge(other);
+  }
+  for (const auto& rep : reps) EXPECT_EQ(rep.value(), expected);
+}
+
+TEST_P(CrdtConvergence, OrSetConverges) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  constexpr int kReplicas = 4;
+  std::vector<OrSet<std::uint64_t>> reps(kReplicas);
+  for (int op = 0; op < 300; ++op) {
+    auto r = rng.below(kReplicas);
+    std::uint64_t v = rng.below(20);
+    if (rng.chance(0.6)) {
+      reps[r].add(r + 1, v);
+    } else {
+      reps[r].remove(v);
+    }
+    if (rng.chance(0.2)) {
+      auto j = rng.below(kReplicas);
+      reps[r].merge(reps[j]);
+    }
+  }
+  for (auto& rep : reps) {
+    for (auto& other : reps) rep.merge(other);
+  }
+  for (int i = 1; i < kReplicas; ++i) {
+    EXPECT_EQ(reps[0].items(), reps[static_cast<size_t>(i)].items());
+  }
+}
+
+TEST_P(CrdtConvergence, LwwRegisterConvergesToGlobalMax) {
+  Rng rng(GetParam() ^ 0xF00D);
+  constexpr int kReplicas = 4;
+  std::vector<LwwRegister<std::uint64_t>> reps(kReplicas);
+  std::uint64_t best_ts = 0;
+  ReplicaId best_rep = 0;
+  std::uint64_t best_val = 0;
+  bool any = false;
+  for (int op = 0; op < 100; ++op) {
+    auto r = rng.below(kReplicas);
+    std::uint64_t ts = rng.below(1000);
+    std::uint64_t val = rng.next_u32();
+    reps[r].set(r + 1, ts, val);
+    if (!any || ts > best_ts || (ts == best_ts && r + 1 > best_rep)) {
+      best_ts = ts;
+      best_rep = r + 1;
+      best_val = val;
+      any = true;
+    }
+  }
+  for (auto& rep : reps) {
+    for (auto& other : reps) rep.merge(other);
+  }
+  for (const auto& rep : reps) EXPECT_EQ(rep.get(), best_val);
+}
+
+TEST_P(CrdtConvergence, MergeCommutesAssociatesIdempotent) {
+  Rng rng(GetParam() ^ 0xCAFE);
+  auto random_set = [&rng]() {
+    OrSet<std::uint64_t> s;
+    for (int i = 0; i < 30; ++i) {
+      if (rng.chance(0.7)) {
+        s.add(1 + rng.below(3), rng.below(12));
+      } else {
+        s.remove(rng.below(12));
+      }
+    }
+    return s;
+  };
+  OrSet<std::uint64_t> a = random_set(), b = random_set(), c = random_set();
+
+  // Commutativity: a⊔b == b⊔a.
+  auto ab = a;
+  ab.merge(b);
+  auto ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.items(), ba.items());
+
+  // Associativity: (a⊔b)⊔c == a⊔(b⊔c).
+  auto abc1 = ab;
+  abc1.merge(c);
+  auto bc = b;
+  bc.merge(c);
+  auto abc2 = a;
+  abc2.merge(bc);
+  EXPECT_EQ(abc1.items(), abc2.items());
+
+  // Idempotence: x⊔x == x.
+  auto aa = a;
+  aa.merge(a);
+  EXPECT_EQ(aa.items(), a.items());
+}
+
+TEST_P(CrdtConvergence, CfrcConvergesAcrossEpochChurn) {
+  Rng rng(GetParam() ^ 0x5EED);
+  constexpr int kReplicas = 5;
+  std::vector<Cfrc> reps(kReplicas);
+  for (int op = 0; op < 200; ++op) {
+    auto r = rng.below(kReplicas);
+    double dice = rng.uniform();
+    if (dice < 0.55) {
+      reps[r].suspect(rng.below(30));
+    } else if (dice < 0.6) {
+      reps[r].advance_epoch();
+    } else {
+      reps[r].merge(reps[rng.below(kReplicas)]);
+    }
+  }
+  for (int pass = 0; pass < 2; ++pass) {
+    for (auto& rep : reps) {
+      for (auto& other : reps) rep.merge(other);
+    }
+  }
+  for (int i = 1; i < kReplicas; ++i) {
+    EXPECT_TRUE(reps[0] == reps[static_cast<size_t>(i)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrdtConvergence,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace iiot::crdt

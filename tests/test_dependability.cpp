@@ -1,0 +1,244 @@
+// Dependability tests: FEC codes, voting, ARQ model, fault injection and
+// reliability accounting.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dependability/coding.hpp"
+#include "dependability/faults.hpp"
+#include "dependability/redundancy.hpp"
+#include "sim/scheduler.hpp"
+
+namespace iiot::dependability {
+namespace {
+
+using namespace sim;  // NOLINT: time literals
+
+// ----------------------------------------------------------------- coding
+
+TEST(Hamming, CleanRoundTrip) {
+  HammingCode code;
+  auto data = to_buffer("industrial-iot payload 123");
+  auto coded = code.encode(data);
+  auto decoded = code.decode(coded, data.size());
+  EXPECT_EQ(decoded.data, data);
+  EXPECT_EQ(decoded.corrections, 0);
+}
+
+TEST(Hamming, ExpandsByRate) {
+  HammingCode code;
+  Buffer data(100, 0x5A);
+  auto coded = code.encode(data);
+  // 100 bytes -> 200 nibbles -> 1400 bits -> 175 bytes.
+  EXPECT_EQ(coded.size(), 175u);
+}
+
+TEST(Hamming, CorrectsSingleBitPerCodeword) {
+  HammingCode code;
+  auto data = to_buffer("abcdef");
+  auto coded = code.encode(data);
+  // Flip exactly one bit in each 7-bit codeword region (depth=1:
+  // codewords are consecutive 7-bit groups).
+  Buffer corrupted = coded;
+  for (std::size_t word = 0; word < data.size() * 2; ++word) {
+    const std::size_t bitpos = word * 7 + (word % 7);
+    corrupted[bitpos / 8] ^= static_cast<std::uint8_t>(1 << (7 - bitpos % 8));
+  }
+  auto decoded = code.decode(corrupted, data.size());
+  EXPECT_EQ(decoded.data, data);
+  EXPECT_EQ(decoded.corrections, static_cast<int>(data.size() * 2));
+}
+
+TEST(Hamming, RandomSparseErrorsUsuallyCorrected) {
+  HammingCode code;
+  Rng rng(77);
+  int recovered = 0;
+  constexpr int kTrials = 200;
+  for (int t = 0; t < kTrials; ++t) {
+    Buffer data(20);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u32());
+    auto coded = code.encode(data);
+    Buffer noisy = coded;
+    inject_bit_errors(noisy, 0.005, rng);  // ~1.4 errors per packet
+    if (code.decode(noisy, data.size()).data == data) ++recovered;
+  }
+  EXPECT_GT(recovered, 170);  // >85 % packet recovery at this BER
+}
+
+TEST(Hamming, InterleavingSurvivesBursts) {
+  Rng rng(88);
+  Buffer data(40);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u32());
+  int plain_ok = 0, interleaved_ok = 0;
+  constexpr int kTrials = 100;
+  for (int t = 0; t < kTrials; ++t) {
+    HammingCode plain(1), inter(16);
+    auto c1 = plain.encode(data);
+    auto c2 = inter.encode(data);
+    inject_burst(c1, 10, rng);  // 10-bit burst
+    inject_burst(c2, 10, rng);
+    if (plain.decode(c1, data.size()).data == data) ++plain_ok;
+    if (inter.decode(c2, data.size()).data == data) ++interleaved_ok;
+  }
+  // A 10-bit burst hits >1 bit of some codeword without interleaving,
+  // but at depth 16 consecutive bits belong to different codewords.
+  EXPECT_EQ(interleaved_ok, kTrials);
+  EXPECT_LT(plain_ok, kTrials / 2);
+}
+
+TEST(Repetition, MajorityCorrectsHeavyNoise) {
+  RepetitionCode code(5);
+  Rng rng(99);
+  auto data = to_buffer("vote");
+  auto coded = code.encode(data);
+  EXPECT_EQ(coded.size(), data.size() * 5);
+  int ok = 0;
+  constexpr int kTrials = 100;
+  for (int t = 0; t < kTrials; ++t) {
+    Buffer noisy = coded;
+    inject_bit_errors(noisy, 0.05, rng);
+    if (code.decode(noisy, data.size()) == data) ++ok;
+  }
+  EXPECT_GT(ok, 90);  // 5x repetition shrugs off 5% BER
+}
+
+TEST(Repetition, EvenNForcedOdd) {
+  RepetitionCode code(4);
+  EXPECT_EQ(code.n(), 5);
+}
+
+TEST(Coding, BitErrorCount) {
+  Buffer a{0xFF, 0x00};
+  Buffer b{0xFE, 0x01};
+  EXPECT_EQ(bit_errors(a, b), 2u);
+  EXPECT_EQ(bit_errors(a, a), 0u);
+}
+
+// ----------------------------------------------------------------- voting
+
+TEST(KOfNVoter, MajorityWins) {
+  KOfNVoter<int> voter(2, 3);
+  EXPECT_EQ(voter.vote({7, 7, 3}), 7);
+  EXPECT_EQ(voter.vote({7, 3, 7}), 7);
+}
+
+TEST(KOfNVoter, NoQuorumNoAnswer) {
+  KOfNVoter<int> voter(2, 3);
+  EXPECT_EQ(voter.vote({1, 2, 3}), std::nullopt);
+  EXPECT_EQ(voter.vote({1}), std::nullopt);
+}
+
+TEST(KOfNVoter, ToleratesMissingReplies) {
+  KOfNVoter<std::string> voter(2, 4);
+  EXPECT_EQ(voter.vote({"on", "on"}), "on");  // 2 of 4 replied, agree
+}
+
+TEST(MedianVote, RobustToOutlier) {
+  auto v = median_vote({21.0, 21.4, 98.6}, 3);  // one stuck sensor
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(*v, 21.4);
+}
+
+TEST(MedianVote, QuorumEnforced) {
+  EXPECT_EQ(median_vote({21.0}, 2), std::nullopt);
+}
+
+// -------------------------------------------------------------------- ARQ
+
+TEST(ArqPolicy, FirstTrySuccessHasMinimalLatency) {
+  ArqPolicy arq;
+  Rng rng(5);
+  auto o = arq.run(1.0, rng, 2'000);
+  EXPECT_TRUE(o.success);
+  EXPECT_EQ(o.attempts, 1);
+  EXPECT_EQ(o.latency, 2'000u);
+}
+
+TEST(ArqPolicy, ZeroSuccessExhaustsAttempts) {
+  ArqPolicy arq;
+  arq.max_attempts = 3;
+  Rng rng(6);
+  auto o = arq.run(0.0, rng, 2'000);
+  EXPECT_FALSE(o.success);
+  EXPECT_EQ(o.attempts, 3);
+  // 3 attempts + 2 waits.
+  EXPECT_EQ(o.latency, 3 * 2'000u + 2 * arq.retry_spacing);
+}
+
+TEST(ArqPolicy, DeliverySaturatesWithAttempts) {
+  Rng rng(7);
+  auto measure = [&rng](int attempts) {
+    ArqPolicy arq;
+    arq.max_attempts = attempts;
+    int ok = 0;
+    for (int i = 0; i < 2000; ++i) {
+      if (arq.run(0.5, rng, 1'000).success) ++ok;
+    }
+    return ok / 2000.0;
+  };
+  const double one = measure(1);
+  const double four = measure(4);
+  EXPECT_NEAR(one, 0.5, 0.05);
+  EXPECT_NEAR(four, 1.0 - 0.0625, 0.02);  // 1 - 0.5^4
+}
+
+// --------------------------------------------------------- fault injection
+
+TEST(CrashProcess, CrashAndRepairCycle) {
+  Scheduler sched;
+  int fails = 0, repairs = 0;
+  FaultConfig cfg;
+  cfg.mttf_seconds = 100.0;
+  cfg.mttr_seconds = 10.0;
+  CrashProcess proc(sched, Rng(11), cfg, [&] { ++fails; },
+                    [&] { ++repairs; });
+  proc.start();
+  sched.run_until(3600_s);  // 1 simulated hour
+  proc.stats().settle(sched.now());
+  EXPECT_GT(fails, 10);  // ~32 expected
+  EXPECT_GE(repairs, fails - 1);
+  // Availability should hover near MTTF/(MTTF+MTTR) = 100/110.
+  EXPECT_NEAR(proc.stats().availability(), 100.0 / 110.0, 0.08);
+  EXPECT_NEAR(proc.stats().mttf_seconds(), 100.0, 40.0);
+  EXPECT_NEAR(proc.stats().mttr_seconds(), 10.0, 5.0);
+}
+
+TEST(CrashProcess, NoRepairMeansPermanentFailure) {
+  Scheduler sched;
+  int fails = 0, repairs = 0;
+  FaultConfig cfg;
+  cfg.mttf_seconds = 50.0;
+  cfg.repair = false;
+  CrashProcess proc(sched, Rng(12), cfg, [&] { ++fails; },
+                    [&] { ++repairs; });
+  proc.start();
+  sched.run_until(3600_s);
+  EXPECT_EQ(fails, 1);
+  EXPECT_EQ(repairs, 0);
+  EXPECT_FALSE(proc.up());
+}
+
+TEST(ReliabilityStats, AvailabilityMath) {
+  ReliabilityStats s;
+  s.start(0);
+  s.record_failure(90_s);
+  s.record_repair(100_s);
+  s.settle(190_s);
+  // 90 s up, 10 s down, then 90 s up: availability = 180/190.
+  EXPECT_NEAR(s.availability(), 180.0 / 190.0, 1e-9);
+  // MTTF estimator = total uptime / failures, so the censored trailing
+  // 90 s of uptime counts toward the estimate.
+  EXPECT_DOUBLE_EQ(s.mttf_seconds(), 180.0);
+  EXPECT_DOUBLE_EQ(s.mttr_seconds(), 10.0);
+}
+
+TEST(ReliabilityStats, DoubleFailureIgnored) {
+  ReliabilityStats s;
+  s.start(0);
+  s.record_failure(10_s);
+  s.record_failure(20_s);  // already down: no-op
+  EXPECT_EQ(s.failures(), 1u);
+}
+
+}  // namespace
+}  // namespace iiot::dependability

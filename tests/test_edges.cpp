@@ -1,0 +1,278 @@
+// Edge-case tests gathered across modules: unusual configurations,
+// boundary inputs, and API misuse that must fail cleanly.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "backend/registry.hpp"
+#include "backend/topic_bus.hpp"
+#include "core/system.hpp"
+#include "crdt/registers.hpp"
+#include "harness.hpp"
+#include "mac/tdma.hpp"
+#include "net/trickle.hpp"
+#include "replication/kv.hpp"
+
+namespace iiot {
+namespace {
+
+using namespace sim;  // NOLINT: time literals
+
+// ------------------------------------------------------- TDMA unaligned
+
+TEST(TdmaUnaligned, LineDeliversWithRandomPhases) {
+  test::World w(90);
+  w.make_line(4);
+  mac::TdmaConfig cfg;
+  cfg.epoch = 1'000'000;
+  cfg.slot = 40'000;
+  cfg.staggered = false;
+  Rng phase_rng(5);
+  std::vector<Duration> phases(4);
+  for (auto& p : phases) {
+    p = phase_rng.below(static_cast<std::uint32_t>(cfg.epoch - 2 * cfg.slot));
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    auto& m = w.with_mac<mac::TdmaMac>(w.node(i), cfg);
+    mac::TdmaSchedule s;
+    s.parent = i == 0 ? kInvalidNode : static_cast<NodeId>(i - 1);
+    s.depth = static_cast<int>(i);
+    s.max_depth = 3;
+    s.has_children = i + 1 < 4;
+    s.phase = phases[i];
+    s.parent_phase = i == 0 ? 0 : phases[i - 1];
+    m.configure(s);
+  }
+  int at_root = 0;
+  w.node(0).mac->set_receive_handler(
+      [&](NodeId, BytesView, double) { ++at_root; });
+  for (std::size_t i = 1; i < 4; ++i) {
+    auto* m = w.node(i).mac.get();
+    const NodeId parent = static_cast<NodeId>(i - 1);
+    m->set_receive_handler([m, parent](NodeId, BytesView p, double) {
+      m->send(parent, Buffer(p.begin(), p.end()));
+    });
+  }
+  w.start_all();
+  for (int pkt = 0; pkt < 8; ++pkt) {
+    w.sched().schedule_at(2_s + static_cast<Time>(pkt) * 5_s, [&] {
+      w.node(3).mac->send(2, to_buffer("u"));
+    });
+  }
+  w.sched().run_until(60_s);
+  EXPECT_EQ(at_root, 8);
+}
+
+// -------------------------------------------------------- System edges
+
+TEST(SystemEdges, ActuateFailsWithoutDownwardRoute) {
+  Scheduler sched;
+  core::SystemConfig scfg;
+  scfg.propagation.shadowing_sigma_db = 0.0;
+  core::System system(sched, 3, scfg);
+  core::NodeConfig ncfg;
+  ncfg.rpl.trickle = net::TrickleConfig{250'000, 8, 3};
+  auto& mesh = system.add_mesh("m", ncfg);
+  mesh.build_line(3, 25.0);
+  mesh.start();
+  // No DAO has propagated yet: send_down must refuse, not crash.
+  EXPECT_FALSE(system.actuate(mesh, 2, 3306, 1.0));
+}
+
+TEST(SystemEdges, TwoMeshesCoexistInOneSystem) {
+  Scheduler sched;
+  core::SystemConfig scfg;
+  scfg.propagation.shadowing_sigma_db = 0.0;
+  core::System system(sched, 4, scfg);
+  core::NodeConfig ncfg;
+  ncfg.rpl.trickle = net::TrickleConfig{250'000, 8, 3};
+  auto& site_a = system.add_mesh("a", ncfg);
+  site_a.build_line(3, 25.0);
+  site_a.start();
+  auto& site_b = system.add_mesh("b", ncfg);
+  site_b.build_line(3, 25.0);
+  site_b.start();
+  system.bridge("a", site_a);
+  system.bridge("b", site_b);
+  system.add_periodic_sensor(site_a.node(2), 3303, 5_s, [] { return 1.0; });
+  system.add_periodic_sensor(site_b.node(2), 3303, 5_s, [] { return 2.0; });
+  sched.run_until(60_s);
+  // Separate mediums: both form and report under the same backend.
+  EXPECT_GT(system.store().points("a/2/3303"), 3u);
+  EXPECT_GT(system.store().points("b/2/3303"), 3u);
+  EXPECT_EQ(system.mesh_count(), 2u);
+}
+
+// ------------------------------------------------------- bus/ring edges
+
+TEST(TopicBusEdges, RootLevelWildcards) {
+  backend::TopicBus bus;
+  int n = 0;
+  bus.subscribe("+", [&](const std::string&, BytesView) { ++n; });
+  bus.publish("single", std::string("1"));
+  bus.publish("two/levels", std::string("1"));
+  EXPECT_EQ(n, 1);
+}
+
+TEST(TopicBusEdges, EmptyLevelsMatchExactly) {
+  EXPECT_TRUE(backend::topic_matches("a//b", "a//b"));
+  EXPECT_FALSE(backend::topic_matches("a//b", "a/b"));
+}
+
+TEST(RingEdges, SingleNodeOwnsEverything) {
+  backend::ConsistentHashRing ring;
+  ring.add_node("only");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(ring.owner("key" + std::to_string(i)), "only");
+  }
+}
+
+TEST(RingEdges, EmptyRingReturnsNullopt) {
+  backend::ConsistentHashRing ring;
+  EXPECT_EQ(ring.owner("x"), std::nullopt);
+  ring.add_node("a");
+  ring.remove_node("a");
+  EXPECT_EQ(ring.owner("x"), std::nullopt);
+}
+
+// --------------------------------------------------------- CRDT codecs
+
+TEST(CrdtCodecs, MvRegisterRoundTrip) {
+  crdt::MvRegister<std::string> a, b;
+  a.set(1, "x");
+  b.set(2, "y");
+  a.merge(b);
+  Buffer buf;
+  BufWriter w(buf);
+  a.encode(w);
+  BufReader r(buf);
+  auto decoded = crdt::MvRegister<std::string>::decode(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->values().size(), 2u);
+  EXPECT_TRUE(decoded->conflicted());
+}
+
+TEST(CrdtCodecs, TruncatedInputRejectedEverywhere) {
+  // Every CRDT decoder must fail cleanly on truncation, not crash.
+  crdt::OrSet<std::string> s;
+  s.add(1, "hello");
+  Buffer buf;
+  BufWriter w(buf);
+  s.encode(w);
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    BytesView view(buf.data(), cut);
+    BufReader r(view);
+    auto decoded = crdt::OrSet<std::string>::decode(r);
+    if (decoded.has_value()) {
+      // Only acceptable if the prefix happened to be self-consistent;
+      // decoding must at least not produce a larger set.
+      EXPECT_LE(decoded->size(), s.size());
+    }
+  }
+}
+
+// ------------------------------------------------------ replication edge
+
+TEST(ReplicationEdges, SingleReplicaClusterIsTrivialQuorum) {
+  Scheduler sched;
+  replication::BackendNet net(sched, Rng(1));
+  replication::CpReplica solo(1, 1, {1}, net, sched, Rng(2));
+  solo.start();
+  bool ok = false;
+  solo.put("k", "v", [&](bool r) { ok = r; });
+  sched.run_all();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(solo.get("k"), "v");
+}
+
+TEST(ReplicationEdges, StoppedReplicaRefusesWrites) {
+  Scheduler sched;
+  replication::BackendNet net(sched, Rng(1));
+  replication::CpReplica r(1, 1, {1}, net, sched, Rng(2));
+  bool ok = true;
+  r.put("k", "v", [&](bool res) { ok = res; });
+  sched.run_all();
+  EXPECT_FALSE(ok);  // never started
+}
+
+// --------------------------------------------------------- trickle edge
+
+TEST(TrickleEdges, StopPreventsFurtherFiring) {
+  Scheduler s;
+  int tx = 0;
+  net::Trickle t(s, Rng(1), net::TrickleConfig{100'000, 4, 100},
+                 [&] { ++tx; });
+  t.start();
+  s.run_until(150'000);
+  const int before = tx;
+  t.stop();
+  s.run_until(10'000'000);
+  EXPECT_EQ(tx, before);
+  EXPECT_FALSE(t.running());
+}
+
+TEST(TrickleEdges, RestartResetsInterval) {
+  Scheduler s;
+  int tx = 0;
+  net::Trickle t(s, Rng(2), net::TrickleConfig{100'000, 6, 100},
+                 [&] { ++tx; });
+  t.start();
+  s.run_until(3'000'000);
+  EXPECT_GT(t.interval(), 100'000u);
+  t.stop();
+  t.start();
+  EXPECT_EQ(t.interval(), 100'000u);
+}
+
+// ----------------------------------------------------------- meter edge
+
+TEST(EnergyMeterEdges, ResetClearsAccumulation) {
+  energy::Meter m;
+  m.radio_state(energy::RadioState::kListen, 0);
+  m.settle(1'000'000);
+  EXPECT_GT(m.total_mj(), 0.0);
+  m.reset(1'000'000);
+  EXPECT_DOUBLE_EQ(m.total_mj(), 0.0);
+  // Still tracking from the reset point in the prior state.
+  m.settle(2'000'000);
+  EXPECT_GT(m.total_mj(), 0.0);
+}
+
+// ----------------------------------------------------------- mac queue
+
+TEST(MacEdges, CallbackFiresExactlyOncePerSend) {
+  test::World w(91);
+  w.make_line(2);
+  auto& a = w.with_mac<mac::CsmaMac>(w.node(0));
+  w.with_mac<mac::CsmaMac>(w.node(1));
+  w.start_all();
+  std::vector<int> calls(10, 0);
+  for (int i = 0; i < 10; ++i) {
+    a.send(1, Buffer(4, static_cast<std::uint8_t>(i)),
+           [&calls, i](const mac::SendStatus&) { ++calls[static_cast<size_t>(i)]; });
+  }
+  w.sched().run_until(10_s);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(calls[static_cast<size_t>(i)], 1) << i;
+}
+
+TEST(MacEdges, StopMidTransferDoesNotCrash) {
+  test::World w(92);
+  w.make_line(2);
+  auto& a = w.with_mac<mac::CsmaMac>(w.node(0));
+  w.with_mac<mac::CsmaMac>(w.node(1));
+  w.start_all();
+  a.send(1, Buffer(50, 0x1));
+  w.sched().schedule_at(100, [&] { a.stop(); });
+  w.sched().run_until(5_s);
+  a.start();
+  bool ok = false;
+  a.send(1, Buffer(4, 0x2), [&](const mac::SendStatus& s) {
+    ok = s.delivered;
+  });
+  w.sched().run_until(10_s);
+  EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace iiot

@@ -1,0 +1,426 @@
+// Cross-module integration tests: the full stack under fault injection,
+// CoAP Observe across the mesh, diagnosis fed from live telemetry, and
+// property sweeps that tie subsystems together.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "coap/endpoint.hpp"
+#include "core/system.hpp"
+#include "dependability/faults.hpp"
+#include "diagnosis/detectors.hpp"
+#include "harness.hpp"
+#include "net/rnfd.hpp"
+#include "security/secure_link.hpp"
+#include "transport/mesh_transport.hpp"
+
+namespace iiot {
+namespace {
+
+using namespace sim;  // NOLINT: time literals
+
+core::NodeConfig fast_cfg() {
+  core::NodeConfig cfg;
+  cfg.rpl.trickle = net::TrickleConfig{250'000, 8, 3};
+  cfg.rpl.dao_interval = 5'000'000;
+  return cfg;
+}
+
+radio::PropagationConfig clean_radio() {
+  radio::PropagationConfig cfg;
+  cfg.shadowing_sigma_db = 0.0;
+  return cfg;
+}
+
+// ------------------------------------------------- fault-injected mesh
+
+TEST(SelfHealing, MeshSurvivesRelayCrashReboot) {
+  // 4x4 grid with periodic traffic; one relay node crash-loops. The
+  // network must keep delivering from everyone else (self-organization,
+  // §V-D) and re-absorb the crashing node after each reboot.
+  Scheduler sched;
+  radio::Medium medium(sched, clean_radio(), 5);
+  core::MeshNetwork mesh(sched, medium, Rng(5), fast_cfg());
+  mesh.build_grid(16, 22.0);
+  mesh.start();
+  sched.run_until(30_s);
+  ASSERT_DOUBLE_EQ(mesh.joined_fraction(), 1.0);
+
+  // Crash process on node 1 (adjacent to the root: a busy relay).
+  dependability::FaultConfig fcfg;
+  fcfg.mttf_seconds = 60.0;
+  fcfg.mttr_seconds = 20.0;
+  dependability::CrashProcess chaos(
+      sched, Rng(6), fcfg,
+      [&] {
+        mesh.node(1).routing->stop();
+        mesh.node(1).mac->stop();
+      },
+      [&] {
+        mesh.node(1).mac->start();
+        mesh.node(1).routing->start();
+      });
+  chaos.start();
+
+  int delivered = 0, sent = 0;
+  mesh.root().routing->set_delivery_handler(
+      [&](NodeId, BytesView, std::uint8_t) { ++delivered; });
+  // Nodes 5..15 send every 5 s for 5 minutes.
+  for (int round = 0; round < 60; ++round) {
+    for (std::size_t i = 5; i < 16; ++i) {
+      sched.schedule_at(30_s + static_cast<Time>(round) * 5_s +
+                            static_cast<Time>(i) * 100'000,
+                        [&, i] {
+                          if (mesh.node(i).routing->send_up(
+                                  to_buffer("x"))) {
+                            ++sent;
+                          }
+                        });
+    }
+  }
+  sched.run_until(340_s);
+  EXPECT_GT(chaos.stats().failures(), 1u);
+  EXPECT_GT(sent, 500);
+  // Healthy nodes keep >90% delivery despite the crash-looping relay.
+  EXPECT_GT(static_cast<double>(delivered) / sent, 0.90);
+}
+
+TEST(SelfHealing, NetworkReformsAfterMassReboot) {
+  Scheduler sched;
+  radio::Medium medium(sched, clean_radio(), 7);
+  core::MeshNetwork mesh(sched, medium, Rng(7), fast_cfg());
+  mesh.build_grid(12, 22.0);
+  mesh.start();
+  sched.run_until(30_s);
+  ASSERT_DOUBLE_EQ(mesh.joined_fraction(), 1.0);
+  // Power-cycle everything except the root at once.
+  for (std::size_t i = 1; i < mesh.size(); ++i) {
+    mesh.node(i).routing->stop();
+    mesh.node(i).mac->stop();
+  }
+  sched.run_until(40_s);
+  EXPECT_EQ(mesh.joined_fraction(), 0.0);
+  for (std::size_t i = 1; i < mesh.size(); ++i) {
+    mesh.node(i).mac->start();
+    mesh.node(i).routing->start();
+  }
+  sched.run_until(100_s);
+  EXPECT_DOUBLE_EQ(mesh.joined_fraction(), 1.0);
+}
+
+// --------------------------------------------------- observe over mesh
+
+TEST(CoapOverMesh, ObserveStreamsNotificationsAcrossHops) {
+  test::World w(61);
+  w.make_line(4, 25.0);
+  std::vector<std::unique_ptr<net::RplRouting>> routers;
+  net::RplConfig rcfg;
+  rcfg.trickle = net::TrickleConfig{250'000, 8, 3};
+  rcfg.dao_interval = 5'000'000;
+  for (std::size_t i = 0; i < 4; ++i) {
+    auto& m = w.with_mac<mac::CsmaMac>(w.node(i));
+    routers.push_back(std::make_unique<net::RplRouting>(
+        m, w.sched(), w.rng().fork(300 + i), rcfg));
+  }
+  w.start_all();
+  routers[0]->start_root();
+  for (std::size_t i = 1; i < 4; ++i) routers[i]->start();
+
+  transport::MeshTransport root_tp(*routers[0], w.sched());
+  transport::MeshTransport leaf_tp(*routers[3], w.sched());
+  coap::Endpoint root_ep(0, w.sched(), w.rng().fork(71), root_tp.sender());
+  coap::Endpoint leaf_ep(3, w.sched(), w.rng().fork(72), leaf_tp.sender());
+  root_tp.bind(root_ep);
+  leaf_tp.bind(leaf_ep);
+
+  double vibration = 0.1;
+  leaf_ep.add_resource("vib", [&](const coap::Request&) {
+    coap::Response r;
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.2f", vibration);
+    r.payload = to_buffer(buf);
+    return r;
+  });
+
+  w.sched().run_until(40_s);  // formation incl. DAO routes
+
+  std::vector<std::string> seen;
+  w.sched().schedule_at(41_s, [&] {
+    root_ep.observe(3, "vib", [&](const coap::Response& r) {
+      seen.push_back(to_string(r.payload));
+    });
+  });
+  for (int i = 1; i <= 3; ++i) {
+    w.sched().schedule_at(45_s + static_cast<Time>(i) * 5_s, [&, i] {
+      vibration = 0.1 * (i + 1);
+      leaf_ep.notify_observers("vib");
+    });
+  }
+  w.sched().run_until(70_s);
+  ASSERT_GE(seen.size(), 4u);  // initial + 3 notifications
+  EXPECT_EQ(seen.front(), "0.10");
+  EXPECT_EQ(seen.back(), "0.40");
+  EXPECT_EQ(leaf_ep.observer_count("vib"), 1u);
+}
+
+// ------------------------------------------------ diagnosis on live data
+
+TEST(DiagnosisIntegration, StormNodeFlaggedByEnergyDetector) {
+  // One node runs an always-on MAC among duty-cycled peers — the classic
+  // misconfigured/storming device. The fleet-level detector must single
+  // it out from reported power draws.
+  Scheduler sched;
+  radio::Medium medium(sched, clean_radio(), 9);
+  Rng rng(9);
+  std::vector<std::unique_ptr<test::SimNode>> nodes;
+  for (std::size_t i = 0; i < 8; ++i) {
+    nodes.push_back(std::make_unique<test::SimNode>(
+        medium, sched, static_cast<NodeId>(i),
+        radio::Position{static_cast<double>(i % 4) * 20.0,
+                        static_cast<double>(i / 4) * 20.0}));
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (i == 3) {
+      nodes[i]->mac = std::make_unique<mac::CsmaMac>(
+          nodes[i]->radio, sched, rng.fork(i), 0);
+    } else {
+      mac::LplConfig lcfg;
+      lcfg.wake_interval = 250'000;
+      nodes[i]->mac = std::make_unique<mac::LplMac>(
+          nodes[i]->radio, sched, rng.fork(i), 0, lcfg);
+    }
+    nodes[i]->mac->start();
+  }
+  sched.run_until(120_s);
+
+  diagnosis::EnergyDrainDetector detector(3.0);
+  for (std::size_t i = 0; i < 8; ++i) {
+    nodes[i]->meter.settle(sched.now());
+    const double avg_mw =
+        nodes[i]->meter.total_mj() / sim::to_seconds(sched.now());
+    detector.report(static_cast<NodeId>(i), avg_mw);
+  }
+  auto anomalies = detector.anomalies();
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].node, 3u);
+}
+
+TEST(DiagnosisIntegration, StuckSensorInTimeSeries) {
+  Scheduler sched;
+  core::SystemConfig scfg;
+  scfg.propagation = clean_radio();
+  core::System system(sched, 31, scfg);
+  auto& mesh = system.add_mesh("plant", fast_cfg());
+  mesh.build_line(3, 25.0);
+  mesh.start();
+  system.bridge("plant", mesh);
+  // Node 1 reports varying values; node 2's sensor is stuck.
+  double t1 = 20.0;
+  system.add_periodic_sensor(mesh.node(1), 3303, 5'000'000,
+                             [&t1] { return t1 += 0.3; });
+  system.add_periodic_sensor(mesh.node(2), 3303, 5'000'000,
+                             [] { return 21.37; });
+  sched.run_until(300_s);
+
+  diagnosis::StuckSensorDetector det(20);
+  for (const auto& series : system.store().series_names()) {
+    const NodeId node = series.find("/1/") != std::string::npos ? 1 : 2;
+    for (const auto& p : system.store().query(series, 0, sched.now())) {
+      det.report(node, p.value);
+    }
+  }
+  auto anomalies = det.anomalies();
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].node, 2u);
+  EXPECT_EQ(anomalies[0].kind, diagnosis::Anomaly::Kind::kStuckSensor);
+}
+
+// ----------------------------------------------------- property sweeps
+
+class RadioProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RadioProperties, PrrMonotonicallyDecreasesWithDistance) {
+  Scheduler sched;
+  radio::PropagationConfig cfg;
+  cfg.shadowing_sigma_db = 0.0;
+  radio::Medium medium(sched, cfg, GetParam());
+  test::SimNode a(medium, sched, 1, {0, 0});
+  double prev = 1.1;
+  for (double d : {5.0, 15.0, 30.0, 45.0, 60.0, 90.0}) {
+    test::SimNode b(medium, sched, 2, {d, 0});
+    const double prr = medium.link_prr(a.radio, b.radio);
+    EXPECT_LE(prr, prev + 1e-9) << "distance " << d;
+    prev = prr;
+  }
+  EXPECT_GT(medium.link_prr(a.radio, a.radio), -1.0);  // no crash self
+}
+
+TEST_P(RadioProperties, MeshAlwaysFormsOnConnectedGrids) {
+  Scheduler sched;
+  radio::PropagationConfig rcfg;
+  rcfg.shadowing_sigma_db = 2.0;  // mild randomness per seed
+  radio::Medium medium(sched, rcfg, GetParam());
+  core::MeshNetwork mesh(sched, medium, Rng(GetParam()), fast_cfg());
+  mesh.build_grid(16, 20.0);
+  mesh.start();
+  sched.run_until(60_s);
+  EXPECT_GE(mesh.joined_fraction(), 0.95) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RadioProperties,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 17, 23));
+
+class FragProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FragProperties, RandomSizesRoundTrip) {
+  Scheduler sched;
+  transport::Reassembler re(sched);
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t size = 1 + rng.below(900);
+    const std::size_t mtu = transport::kFragHeader + 4 + rng.below(120);
+    Buffer data(size);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u32());
+    auto frags = transport::fragment(
+        data, mtu, static_cast<std::uint16_t>(trial + 1));
+    // Shuffle fragments.
+    for (std::size_t i = frags.size(); i > 1; --i) {
+      std::swap(frags[i - 1], frags[rng.below(static_cast<std::uint32_t>(i))]);
+    }
+    std::optional<Buffer> whole;
+    for (auto& f : frags) {
+      auto r = re.on_fragment(static_cast<NodeId>(trial), f);
+      if (r) whole = r;
+    }
+    ASSERT_TRUE(whole.has_value()) << "size " << size << " mtu " << mtu;
+    EXPECT_EQ(*whole, data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FragProperties,
+                         ::testing::Values(101, 202, 303, 404));
+
+class CoapFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CoapFuzz, RandomBytesNeverCrashDecoder) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 2000; ++trial) {
+    Buffer junk(rng.below(64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u32());
+    auto result = coap::Message::decode(junk);
+    if (result.ok()) {
+      // Whatever decoded must re-encode without crashing.
+      (void)result.value().encode();
+    }
+  }
+}
+
+TEST_P(CoapFuzz, ValidMessagesSurviveReEncode) {
+  Rng rng(GetParam() ^ 0xC0AF);
+  for (int trial = 0; trial < 200; ++trial) {
+    coap::Message m;
+    m.type = static_cast<coap::Type>(rng.below(4));
+    m.code = coap::Code::kContent;
+    m.message_id = static_cast<std::uint16_t>(rng.next_u32());
+    m.token = rng.next_u64() >> rng.below(64);
+    if (rng.chance(0.7)) m.set_uri_path("a/b/c");
+    if (rng.chance(0.5)) {
+      m.add_option(coap::Option::make_uint(coap::OptionNumber::kMaxAge,
+                                           rng.below(10000)));
+    }
+    m.payload.assign(rng.below(64), 0x5A);
+    auto decoded = coap::Message::decode(m.encode());
+    ASSERT_TRUE(decoded.ok());
+    auto& d = decoded.value();
+    EXPECT_EQ(d.type, m.type);
+    EXPECT_EQ(d.message_id, m.message_id);
+    EXPECT_EQ(d.token, m.token);
+    EXPECT_EQ(d.payload, m.payload);
+    // Second round trip must be byte-identical (canonical form).
+    EXPECT_EQ(d.encode(), coap::Message::decode(d.encode()).value().encode());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoapFuzz, ::testing::Values(1, 7, 13));
+
+class SecureLinkFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SecureLinkFuzz, RandomCorruptionNeverAuthenticates) {
+  Rng rng(GetParam());
+  security::AesKey key{0x11};
+  security::SecureLink tx(key, security::SecurityLevel::kEncMic64);
+  security::SecureLink rx(key, security::SecurityLevel::kEncMic64);
+  int false_accepts = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    Buffer payload(8 + rng.below(40));
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u32());
+    Buffer wire = tx.protect(9, payload);
+    // Corrupt 1..4 random bytes.
+    const int flips = 1 + static_cast<int>(rng.below(4));
+    for (int f = 0; f < flips; ++f) {
+      wire[rng.below(static_cast<std::uint32_t>(wire.size()))] ^=
+          static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    auto opened = rx.unprotect(9, wire);
+    if (opened.ok() && opened.value() != payload) ++false_accepts;
+  }
+  // A corrupted frame must never authenticate as a different payload.
+  EXPECT_EQ(false_accepts, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SecureLinkFuzz,
+                         ::testing::Values(2, 4, 8));
+
+// -------------------------------------------------------- RNFD sweeps
+
+class RnfdQuorum : public ::testing::TestWithParam<double> {};
+
+TEST_P(RnfdQuorum, DetectsAtEveryQuorumSetting) {
+  test::World w(80);
+  w.add_node(0, {0, 0});
+  for (NodeId i = 1; i <= 5; ++i) {
+    const double angle = i * 1.25;
+    w.add_node(i, {20.0 * std::cos(angle), 20.0 * std::sin(angle)});
+  }
+  std::vector<std::unique_ptr<net::RplRouting>> routers;
+  net::RplConfig rcfg;
+  rcfg.trickle = net::TrickleConfig{250'000, 8, 3};
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    auto& m = w.with_mac<mac::CsmaMac>(w.node(i));
+    routers.push_back(std::make_unique<net::RplRouting>(
+        m, w.sched(), w.rng().fork(400 + i), rcfg));
+  }
+  w.start_all();
+  routers[0]->start_root();
+  for (std::size_t i = 1; i < w.size(); ++i) routers[i]->start();
+
+  net::RnfdConfig cfg;
+  cfg.probe_interval = 5_s;
+  cfg.probe_jitter = 2_s;
+  cfg.gossip_interval = 500'000;
+  cfg.quorum_ratio = GetParam();
+  cfg.quorum_min = 2;
+  std::vector<std::unique_ptr<net::RnfdDetector>> detectors;
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    detectors.push_back(std::make_unique<net::RnfdDetector>(
+        *routers[i], w.sched(), w.rng().fork(800 + i), cfg));
+    detectors.back()->start();
+  }
+  w.sched().run_until(60_s);
+  for (auto& d : detectors) EXPECT_FALSE(d->root_declared_dead());
+  w.node(0).mac->stop();
+  w.sched().run_until(180_s);
+  int dead = 0;
+  for (auto& d : detectors) {
+    if (d->root_declared_dead()) ++dead;
+  }
+  EXPECT_EQ(dead, 5) << "quorum ratio " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, RnfdQuorum,
+                         ::testing::Values(0.25, 0.5, 0.75));
+
+}  // namespace
+}  // namespace iiot

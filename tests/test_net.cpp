@@ -1,0 +1,420 @@
+// Network layer tests: Trickle, link estimation, RPL formation/repair,
+// up/down routing, and RNFD root-failure detection.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "harness.hpp"
+#include "net/link_estimator.hpp"
+#include "net/rnfd.hpp"
+#include "net/rpl.hpp"
+#include "net/trickle.hpp"
+
+namespace iiot::net {
+namespace {
+
+using namespace sim;  // NOLINT: time literals
+using test::World;
+
+// ---------------------------------------------------------------- Trickle
+
+TEST(Trickle, TransmitsWithinFirstInterval) {
+  Scheduler s;
+  int tx = 0;
+  Trickle t(s, Rng(1), TrickleConfig{1'000'000, 4, 3}, [&] { ++tx; });
+  t.start();
+  s.run_until(1'000'000);
+  EXPECT_EQ(tx, 1);
+}
+
+TEST(Trickle, BacksOffExponentially) {
+  Scheduler s;
+  int tx = 0;
+  Trickle t(s, Rng(2), TrickleConfig{1'000'000, 4, 100}, [&] { ++tx; });
+  t.start();
+  // With huge k nothing suppresses; intervals are 1,2,4,8,16,16,16... s.
+  s.run_until(63'000'000);
+  // 1+2+4+8+16+16+16 = 63 s -> 7 transmissions.
+  EXPECT_EQ(tx, 7);
+  EXPECT_EQ(t.interval(), 16'000'000u);
+}
+
+TEST(Trickle, SuppressionWithHighRedundancy) {
+  Scheduler s;
+  int tx = 0;
+  Trickle t(s, Rng(3), TrickleConfig{1'000'000, 2, 1}, [&] { ++tx; });
+  t.start();
+  // Feed a consistent message early in every interval.
+  for (int i = 0; i < 40; ++i) {
+    s.schedule_at(static_cast<Time>(i) * 500'000 + 1,
+                  [&] { t.consistent(); });
+  }
+  s.run_until(20'000'000);
+  EXPECT_EQ(tx, 0);
+  EXPECT_GT(t.suppressions(), 0u);
+}
+
+TEST(Trickle, InconsistencyResetsInterval) {
+  Scheduler s;
+  int tx = 0;
+  Trickle t(s, Rng(4), TrickleConfig{1'000'000, 6, 100}, [&] { ++tx; });
+  t.start();
+  s.run_until(30'000'000);
+  int before = tx;
+  EXPECT_GT(t.interval(), 1'000'000u);
+  s.schedule_at(30'500'000, [&] { t.inconsistent(); });
+  s.run_until(30'600'000);
+  EXPECT_EQ(t.interval(), 1'000'000u);  // snapped back to Imin
+  s.run_until(31'600'000);
+  EXPECT_GT(tx, before);  // fired again quickly after reset
+}
+
+// ----------------------------------------------------------- LinkEstimator
+
+TEST(LinkEstimator, StartsWithOptimisticPrior) {
+  LinkEstimator le;
+  EXPECT_DOUBLE_EQ(le.etx(7), LinkEstimator::kUnknownEtx);
+}
+
+TEST(LinkEstimator, PerfectLinkConvergesToOne) {
+  LinkEstimator le;
+  for (int i = 0; i < 50; ++i) le.record_tx(7, 1, true);
+  EXPECT_NEAR(le.etx(7), 1.0, 0.01);
+}
+
+TEST(LinkEstimator, LossyLinkEtxRises) {
+  LinkEstimator le;
+  for (int i = 0; i < 50; ++i) le.record_tx(7, 3, true);  // 3 tries each
+  EXPECT_NEAR(le.etx(7), 3.0, 0.1);
+}
+
+TEST(LinkEstimator, FailuresTracked) {
+  LinkEstimator le;
+  le.record_tx(7, 5, false);
+  le.record_tx(7, 5, false);
+  EXPECT_EQ(le.consecutive_failures(7), 2);
+  le.record_tx(7, 1, true);
+  EXPECT_EQ(le.consecutive_failures(7), 0);
+}
+
+// ------------------------------------------------------------ RPL harness
+
+struct RplNet {
+  explicit RplNet(World& w, RplConfig cfg = fast_config()) : world(w) {
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      auto& m = w.with_mac<mac::CsmaMac>(w.node(i));
+      routers.push_back(std::make_unique<RplRouting>(
+          m, w.sched(), w.rng().fork(1000 + i), cfg));
+    }
+  }
+
+  static RplConfig fast_config() {
+    RplConfig cfg;
+    cfg.trickle = TrickleConfig{250'000, 8, 3};
+    cfg.dao_interval = 5'000'000;
+    cfg.dis_interval = 2'000'000;
+    return cfg;
+  }
+
+  void start(std::size_t root_index = 0) {
+    world.start_all();
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+      if (i == root_index) {
+        routers[i]->start_root();
+      } else {
+        routers[i]->start();
+      }
+    }
+  }
+
+  [[nodiscard]] bool all_joined() const {
+    for (const auto& r : routers) {
+      if (!r->joined()) return false;
+    }
+    return true;
+  }
+
+  World& world;
+  std::vector<std::unique_ptr<RplRouting>> routers;
+};
+
+// ---------------------------------------------------------------- RPL core
+
+TEST(Rpl, LineFormsDodagWithMonotoneRanks) {
+  World w(41);
+  w.make_line(5, 25.0);
+  RplNet net(w);
+  net.start();
+  w.sched().run_until(30_s);
+  ASSERT_TRUE(net.all_joined());
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_LT(net.routers[i - 1]->rank(), net.routers[i]->rank());
+    EXPECT_EQ(net.routers[i]->preferred_parent(),
+              static_cast<NodeId>(i - 1));
+    EXPECT_EQ(net.routers[i]->root_id(), 0u);
+  }
+}
+
+TEST(Rpl, DataFlowsUpAcrossHops) {
+  World w(42);
+  w.make_line(5, 25.0);
+  RplNet net(w);
+  net.start();
+  std::vector<std::pair<NodeId, std::uint8_t>> arrivals;
+  net.routers[0]->set_delivery_handler(
+      [&](NodeId origin, BytesView, std::uint8_t hops) {
+        arrivals.emplace_back(origin, hops);
+      });
+  w.sched().run_until(30_s);
+  ASSERT_TRUE(net.all_joined());
+  w.sched().schedule_at(31_s, [&] {
+    net.routers[4]->send_up(to_buffer("hello-from-leaf"));
+  });
+  w.sched().run_until(35_s);
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0].first, 4u);
+  EXPECT_EQ(arrivals[0].second, 4u);  // 4 hops on a 5-node line
+}
+
+TEST(Rpl, ManyOriginsAllDeliver) {
+  World w(43);
+  // 3x3 grid, 22 m pitch.
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 3; ++x) {
+      w.add_node(static_cast<NodeId>(y * 3 + x), {x * 22.0, y * 22.0});
+    }
+  }
+  RplNet net(w);
+  net.start();
+  int delivered = 0;
+  net.routers[0]->set_delivery_handler(
+      [&](NodeId, BytesView, std::uint8_t) { ++delivered; });
+  w.sched().run_until(30_s);
+  ASSERT_TRUE(net.all_joined());
+  for (std::size_t i = 1; i < 9; ++i) {
+    w.sched().schedule_at(30_s + static_cast<Time>(i) * 200'000, [&, i] {
+      net.routers[i]->send_up(to_buffer("reading"));
+    });
+  }
+  w.sched().run_until(40_s);
+  EXPECT_EQ(delivered, 8);
+}
+
+TEST(Rpl, DownwardRoutesViaDao) {
+  World w(44);
+  w.make_line(4, 25.0);
+  RplNet net(w);
+  net.start();
+  std::vector<NodeId> leaf_rx;
+  net.routers[3]->set_delivery_handler(
+      [&](NodeId origin, BytesView p, std::uint8_t) {
+        leaf_rx.push_back(origin);
+        EXPECT_EQ(to_string(p), "actuate!");
+      });
+  w.sched().run_until(40_s);  // allow DAOs to propagate
+  ASSERT_TRUE(net.all_joined());
+  EXPECT_GE(net.routers[0]->downward_table_size(), 3u);
+  bool sent = false;
+  w.sched().schedule_at(41_s, [&] {
+    sent = net.routers[0]->send_down(3, to_buffer("actuate!"));
+  });
+  w.sched().run_until(45_s);
+  EXPECT_TRUE(sent);
+  ASSERT_EQ(leaf_rx.size(), 1u);
+  EXPECT_EQ(leaf_rx[0], 0u);
+}
+
+TEST(Rpl, ReroutesAroundFailedParent) {
+  // Diamond: 0(root) - {1,2} - 3. Node 3 is out of the root's radio
+  // range, so it must relay via 1 or 2; kill whichever it prefers.
+  World w(45);
+  w.add_node(0, {0, 0});
+  w.add_node(1, {25, 12});
+  w.add_node(2, {25, -12});
+  w.add_node(3, {50, 0});
+  RplNet net(w);
+  net.start();
+  int delivered = 0;
+  net.routers[0]->set_delivery_handler(
+      [&](NodeId, BytesView, std::uint8_t) { ++delivered; });
+  w.sched().run_until(20_s);
+  ASSERT_TRUE(net.all_joined());
+  const NodeId first_parent = net.routers[3]->preferred_parent();
+  ASSERT_TRUE(first_parent == 1 || first_parent == 2);
+  // Kill the preferred relay's MAC (simulates node crash).
+  w.sched().schedule_at(20_s, [&] {
+    w.node(first_parent).mac->stop();
+    net.routers[first_parent]->stop();
+  });
+  // Leaf keeps sending periodic data; after a few failures it must
+  // switch to the surviving relay.
+  for (int i = 0; i < 20; ++i) {
+    w.sched().schedule_at(21_s + static_cast<Time>(i) * 1'000'000,
+                          [&] { net.routers[3]->send_up(to_buffer("d")); });
+  }
+  w.sched().run_until(60_s);
+  EXPECT_NE(net.routers[3]->preferred_parent(), first_parent);
+  EXPECT_GE(delivered, 10);
+}
+
+TEST(Rpl, GlobalRepairPropagatesNewVersion) {
+  World w(46);
+  w.make_line(4, 25.0);
+  RplNet net(w);
+  net.start();
+  w.sched().run_until(20_s);
+  ASSERT_TRUE(net.all_joined());
+  EXPECT_EQ(net.routers[3]->version(), 0);
+  w.sched().schedule_at(20_s, [&] { net.routers[0]->global_repair(); });
+  w.sched().run_until(60_s);
+  for (auto& r : net.routers) EXPECT_EQ(r->version(), 1);
+  EXPECT_TRUE(net.all_joined());
+}
+
+TEST(Rpl, TrickleKeepsControlOverheadSublinear) {
+  // In steady state, DIO rate must decay (interval doubling).
+  World w(47);
+  w.make_line(4, 25.0);
+  RplNet net(w);
+  net.start();
+  w.sched().run_until(30_s);
+  std::uint64_t early = 0;
+  for (auto& r : net.routers) early += r->stats().dio_tx;
+  w.sched().run_until(60_s);
+  std::uint64_t late = 0;
+  for (auto& r : net.routers) late += r->stats().dio_tx;
+  // Second 30 s window must produce far fewer DIOs than the first.
+  EXPECT_LT(late - early, early / 2 + 2);
+}
+
+TEST(Rpl, SendUpFailsWhenNotJoined) {
+  World w(48);
+  w.make_line(2, 25.0);
+  RplNet net(w);
+  // Do not start: not joined.
+  EXPECT_FALSE(net.routers[1]->send_up(to_buffer("x")));
+}
+
+// ------------------------------------------------------------------- RNFD
+
+struct RnfdNet {
+  RnfdNet(World& w, RplNet& net, RnfdConfig cfg) {
+    for (std::size_t i = 1; i < net.routers.size(); ++i) {
+      detectors.push_back(std::make_unique<RnfdDetector>(
+          *net.routers[i], w.sched(), w.rng().fork(2000 + i), cfg));
+    }
+  }
+  void start() {
+    for (auto& d : detectors) d->start();
+  }
+  [[nodiscard]] int dead_count() const {
+    int n = 0;
+    for (const auto& d : detectors) {
+      if (d->root_declared_dead()) ++n;
+    }
+    return n;
+  }
+  std::vector<std::unique_ptr<RnfdDetector>> detectors;
+};
+
+RnfdConfig fast_rnfd() {
+  RnfdConfig cfg;
+  cfg.probe_interval = 5'000'000;
+  cfg.probe_jitter = 2'000'000;
+  cfg.gossip_interval = 500'000;
+  cfg.quorum_min = 2;
+  cfg.quorum_ratio = 0.5;
+  return cfg;
+}
+
+TEST(Rnfd, NoFalseAlarmsWhileRootAlive) {
+  World w(50);
+  w.add_node(0, {0, 0});
+  w.add_node(1, {20, 0});
+  w.add_node(2, {0, 20});
+  w.add_node(3, {-20, 0});
+  w.add_node(4, {40, 0});
+  RplNet net(w);
+  RnfdNet rnfd(w, net, fast_rnfd());
+  net.start();
+  w.sched().run_until(15_s);
+  rnfd.start();
+  w.sched().run_until(120_s);
+  EXPECT_EQ(rnfd.dead_count(), 0);
+}
+
+TEST(Rnfd, DetectsRootDeathAndSpreadsVerdict) {
+  World w(51);
+  w.add_node(0, {0, 0});    // root
+  w.add_node(1, {20, 0});   // sentinel
+  w.add_node(2, {0, 20});   // sentinel
+  w.add_node(3, {-20, 0});  // sentinel
+  w.add_node(4, {40, 0});   // 2 hops away (via 1)
+  RplNet net(w);
+  RnfdNet rnfd(w, net, fast_rnfd());
+  net.start();
+  w.sched().run_until(15_s);
+  rnfd.start();
+  w.sched().run_until(30_s);
+  int sentinels = 0;
+  for (auto& d : rnfd.detectors) {
+    if (d->is_sentinel()) ++sentinels;
+  }
+  EXPECT_GE(sentinels, 2);
+  // Root dies.
+  w.sched().schedule_at(30_s, [&] {
+    w.node(0).mac->stop();
+    net.routers[0]->stop();
+  });
+  w.sched().run_until(90_s);
+  // All nodes (including the 2-hop one) learn the verdict via gossip.
+  EXPECT_EQ(rnfd.dead_count(), 4);
+}
+
+TEST(Rnfd, RootRecoveryAdvancesEpochAndClearsVerdict) {
+  World w(52);
+  w.add_node(0, {0, 0});
+  w.add_node(1, {20, 0});
+  w.add_node(2, {0, 20});
+  w.add_node(3, {-20, 0});
+  RplNet net(w);
+  RnfdNet rnfd(w, net, fast_rnfd());
+  net.start();
+  w.sched().run_until(15_s);
+  rnfd.start();
+  // Kill and later revive the root MAC.
+  w.sched().schedule_at(30_s, [&] { w.node(0).mac->stop(); });
+  w.sched().run_until(80_s);
+  EXPECT_GE(rnfd.dead_count(), 2);
+  w.sched().schedule_at(80_s, [&] { w.node(0).mac->start(); });
+  w.sched().run_until(140_s);
+  EXPECT_EQ(rnfd.dead_count(), 0);
+  std::uint64_t advances = 0;
+  for (auto& d : rnfd.detectors) advances += d->stats().epoch_advances;
+  EXPECT_GE(advances, 1u);
+}
+
+TEST(Keepalive, DetectsAfterKMisses) {
+  World w(53);
+  w.add_node(0, {0, 0});
+  w.add_node(1, {20, 0});
+  RplNet net(w);
+  KeepaliveConfig cfg;
+  cfg.probe_interval = 5'000'000;
+  cfg.probe_jitter = 1'000'000;
+  cfg.k_missed = 3;
+  KeepaliveDetector det(*net.routers[1], w.sched(), w.rng().fork(77), cfg);
+  net.start();
+  w.sched().run_until(10_s);
+  det.start();
+  w.sched().run_until(30_s);
+  EXPECT_FALSE(det.root_declared_dead());
+  Time death = 30_s;
+  w.sched().schedule_at(death, [&] { w.node(0).mac->stop(); });
+  w.sched().run_until(80_s);
+  EXPECT_TRUE(det.root_declared_dead());
+}
+
+}  // namespace
+}  // namespace iiot::net

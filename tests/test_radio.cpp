@@ -1,0 +1,286 @@
+// Tests for the radio + medium substrate: delivery, loss, collisions,
+// capture, CCA, half-duplex and duty-cycling semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "energy/meter.hpp"
+#include "radio/medium.hpp"
+#include "radio/radio.hpp"
+#include "sim/scheduler.hpp"
+
+namespace iiot::radio {
+namespace {
+
+using namespace sim;  // NOLINT: time literals
+
+struct TestNode {
+  TestNode(Medium& medium, Scheduler& sched, NodeId id, Position pos)
+      : meter(), radio(medium, sched, id, pos, meter) {}
+  energy::Meter meter;
+  Radio radio;
+  std::optional<Frame> last_rx;
+  int rx_count = 0;
+
+  void listen() {
+    radio.set_mode(Mode::kListen);
+    radio.set_receive_handler([this](const Frame& f, double) {
+      last_rx = f;
+      ++rx_count;
+    });
+  }
+};
+
+PropagationConfig ideal_config() {
+  PropagationConfig cfg;
+  cfg.shadowing_sigma_db = 0.0;
+  cfg.exponent = 3.0;
+  return cfg;
+}
+
+Frame make_frame(NodeId src, NodeId dst, std::size_t payload = 10) {
+  Frame f;
+  f.src = src;
+  f.dst = dst;
+  f.payload.assign(payload, 0x55);
+  return f;
+}
+
+class RadioTest : public ::testing::Test {
+ protected:
+  Scheduler sched;
+  Medium medium{sched, ideal_config(), 1234};
+};
+
+TEST_F(RadioTest, CloseLinkDeliversReliably) {
+  TestNode a(medium, sched, 1, {0, 0});
+  TestNode b(medium, sched, 2, {10, 0});
+  b.listen();
+  a.radio.set_mode(Mode::kListen);
+
+  int sent = 0;
+  for (int i = 0; i < 50; ++i) {
+    sched.schedule_at(static_cast<Time>(i) * 10'000, [&] {
+      a.radio.transmit(make_frame(1, 2), nullptr);
+      ++sent;
+    });
+  }
+  sched.run_all();
+  EXPECT_EQ(sent, 50);
+  EXPECT_EQ(b.rx_count, 50);  // 10 m at exponent 3: SNR >> threshold
+}
+
+TEST_F(RadioTest, FarLinkNeverDelivers) {
+  TestNode a(medium, sched, 1, {0, 0});
+  TestNode b(medium, sched, 2, {10'000, 0});  // 10 km: below sensitivity
+  b.listen();
+  a.radio.set_mode(Mode::kListen);
+  a.radio.transmit(make_frame(1, 2), nullptr);
+  sched.run_all();
+  EXPECT_EQ(b.rx_count, 0);
+}
+
+TEST_F(RadioTest, IntermediateDistanceIsLossy) {
+  // Find PRR at a distance engineered to be in the transitional region.
+  TestNode a(medium, sched, 1, {0, 0});
+  TestNode b(medium, sched, 2, {55, 0});
+  double prr = medium.link_prr(a.radio, b.radio);
+  EXPECT_GT(prr, 0.02);
+  EXPECT_LT(prr, 0.98);
+
+  b.listen();
+  a.radio.set_mode(Mode::kListen);
+  constexpr int kSent = 400;
+  for (int i = 0; i < kSent; ++i) {
+    sched.schedule_at(static_cast<Time>(i) * 10'000,
+                      [&] { a.radio.transmit(make_frame(1, 2), nullptr); });
+  }
+  sched.run_all();
+  double observed = static_cast<double>(b.rx_count) / kSent;
+  EXPECT_NEAR(observed, prr, 0.12);
+}
+
+TEST_F(RadioTest, SleepingReceiverMissesFrame) {
+  TestNode a(medium, sched, 1, {0, 0});
+  TestNode b(medium, sched, 2, {10, 0});
+  b.listen();
+  b.radio.set_mode(Mode::kSleep);
+  a.radio.set_mode(Mode::kListen);
+  a.radio.transmit(make_frame(1, 2), nullptr);
+  sched.run_all();
+  EXPECT_EQ(b.rx_count, 0);
+}
+
+TEST_F(RadioTest, ReceiverLeavingListenMidFrameAborts) {
+  TestNode a(medium, sched, 1, {0, 0});
+  TestNode b(medium, sched, 2, {10, 0});
+  b.listen();
+  a.radio.set_mode(Mode::kListen);
+  a.radio.transmit(make_frame(1, 2, 50), nullptr);
+  // Frame airtime is (6+9+50+2)*32 us = 2144 us; sleep at 1 ms.
+  sched.schedule_at(1'000, [&] { b.radio.set_mode(Mode::kSleep); });
+  sched.run_all();
+  EXPECT_EQ(b.rx_count, 0);
+  EXPECT_GE(medium.stats().aborted, 1u);
+}
+
+TEST_F(RadioTest, WakingMidFrameDoesNotReceive) {
+  TestNode a(medium, sched, 1, {0, 0});
+  TestNode b(medium, sched, 2, {10, 0});
+  b.listen();
+  b.radio.set_mode(Mode::kSleep);
+  a.radio.set_mode(Mode::kListen);
+  a.radio.transmit(make_frame(1, 2, 50), nullptr);
+  sched.schedule_at(500, [&] { b.radio.set_mode(Mode::kListen); });
+  sched.run_all();
+  EXPECT_EQ(b.rx_count, 0);
+}
+
+TEST_F(RadioTest, ConcurrentTransmissionsCollideAtReceiver) {
+  TestNode a(medium, sched, 1, {0, 0});
+  TestNode b(medium, sched, 2, {20, 10});
+  TestNode rx(medium, sched, 3, {10, 5});  // equidistant-ish: no capture
+  rx.listen();
+  a.radio.set_mode(Mode::kListen);
+  b.radio.set_mode(Mode::kListen);
+  a.radio.transmit(make_frame(1, 3, 40), nullptr);
+  sched.schedule_at(100, [&] { b.radio.transmit(make_frame(2, 3, 40), nullptr); });
+  sched.run_all();
+  EXPECT_EQ(rx.rx_count, 0);
+  EXPECT_GE(medium.stats().collisions, 1u);
+}
+
+TEST_F(RadioTest, CaptureLetsStrongSignalWin) {
+  TestNode strong(medium, sched, 1, {2, 0});
+  TestNode weak(medium, sched, 2, {60, 0});
+  TestNode rx(medium, sched, 3, {0, 0});
+  rx.listen();
+  strong.radio.set_mode(Mode::kListen);
+  weak.radio.set_mode(Mode::kListen);
+  // Weak starts first; strong (close) frame overlaps and captures.
+  weak.radio.transmit(make_frame(2, 3, 40), nullptr);
+  sched.schedule_at(50, [&] { strong.radio.transmit(make_frame(1, 3, 40), nullptr); });
+  sched.run_all();
+  ASSERT_EQ(rx.rx_count, 1);
+  EXPECT_EQ(rx.last_rx->src, 1u);
+}
+
+TEST_F(RadioTest, HalfDuplexTransmitterCannotReceive) {
+  TestNode a(medium, sched, 1, {0, 0});
+  TestNode b(medium, sched, 2, {10, 0});
+  a.listen();
+  b.listen();
+  // Both transmit simultaneously: neither receives.
+  a.radio.transmit(make_frame(1, 2, 30), nullptr);
+  b.radio.transmit(make_frame(2, 1, 30), nullptr);
+  sched.run_all();
+  EXPECT_EQ(a.rx_count, 0);
+  EXPECT_EQ(b.rx_count, 0);
+}
+
+TEST_F(RadioTest, DifferentChannelsDoNotInterfere) {
+  TestNode a(medium, sched, 1, {0, 0});
+  TestNode b(medium, sched, 2, {10, 0});
+  TestNode c(medium, sched, 3, {5, 5});
+  TestNode d(medium, sched, 4, {15, 5});
+  b.listen();
+  d.listen();
+  a.radio.set_mode(Mode::kListen);
+  c.radio.set_mode(Mode::kListen);
+  c.radio.set_channel(15);
+  d.radio.set_channel(15);
+  // Overlapping transmissions on channels 11 and 15.
+  a.radio.transmit(make_frame(1, 2, 40), nullptr);
+  c.radio.transmit(make_frame(3, 4, 40), nullptr);
+  sched.run_all();
+  EXPECT_EQ(b.rx_count, 1);
+  EXPECT_EQ(d.rx_count, 1);
+  EXPECT_EQ(medium.stats().collisions, 0u);
+}
+
+TEST_F(RadioTest, CcaDetectsNearbyTransmission) {
+  TestNode a(medium, sched, 1, {0, 0});
+  TestNode b(medium, sched, 2, {10, 0});
+  a.radio.set_mode(Mode::kListen);
+  b.radio.set_mode(Mode::kListen);
+  EXPECT_TRUE(b.radio.cca_clear());
+  a.radio.transmit(make_frame(1, kBroadcastNode, 60), nullptr);
+  sched.schedule_at(200, [&] { EXPECT_FALSE(b.radio.cca_clear()); });
+  sched.run_all();
+  EXPECT_TRUE(b.radio.cca_clear());
+}
+
+TEST_F(RadioTest, TransmitWhileBusyFails) {
+  TestNode a(medium, sched, 1, {0, 0});
+  a.radio.set_mode(Mode::kListen);
+  EXPECT_TRUE(a.radio.transmit(make_frame(1, 2), nullptr));
+  EXPECT_FALSE(a.radio.transmit(make_frame(1, 2), nullptr));
+  sched.run_all();
+  EXPECT_TRUE(a.radio.transmit(make_frame(1, 2), nullptr));
+}
+
+TEST_F(RadioTest, TransmitWhileOffFails) {
+  TestNode a(medium, sched, 1, {0, 0});
+  EXPECT_EQ(a.radio.mode(), Mode::kOff);
+  EXPECT_FALSE(a.radio.transmit(make_frame(1, 2), nullptr));
+}
+
+TEST_F(RadioTest, TxDoneFiresAfterAirtime) {
+  TestNode a(medium, sched, 1, {0, 0});
+  a.radio.set_mode(Mode::kListen);
+  Frame f = make_frame(1, 2, 33);  // (6+9+33+2)*32 = 1600 us
+  Time done_at = 0;
+  a.radio.transmit(f, [&] { done_at = sched.now(); });
+  sched.run_all();
+  EXPECT_EQ(done_at, airtime(f));
+}
+
+TEST_F(RadioTest, BroadcastReachesAllListeners) {
+  TestNode a(medium, sched, 1, {0, 0});
+  TestNode b(medium, sched, 2, {10, 0});
+  TestNode c(medium, sched, 3, {0, 10});
+  TestNode d(medium, sched, 4, {-10, 0});
+  b.listen();
+  c.listen();
+  d.listen();
+  a.radio.set_mode(Mode::kListen);
+  a.radio.transmit(make_frame(1, kBroadcastNode), nullptr);
+  sched.run_all();
+  EXPECT_EQ(b.rx_count + c.rx_count + d.rx_count, 3);
+}
+
+TEST_F(RadioTest, EnergyAccountsTxAndSleep) {
+  TestNode a(medium, sched, 1, {0, 0});
+  a.radio.set_mode(Mode::kListen);
+  Frame f = make_frame(1, 2, 100);
+  a.radio.transmit(f, [&] { a.radio.set_mode(Mode::kSleep); });
+  sched.run_until(10'000'000);
+  a.meter.settle(sched.now());
+  EXPECT_GT(a.meter.radio_mj(energy::RadioState::kTx), 0.0);
+  EXPECT_GT(a.meter.radio_mj(energy::RadioState::kSleep), 0.0);
+  // Sleeping dominates time but not energy at these power levels.
+  EXPECT_GT(a.meter.seconds_in(energy::RadioState::kSleep), 9.0);
+  EXPECT_LT(a.meter.duty_cycle(), 0.01);
+}
+
+TEST_F(RadioTest, CrossTenantFramesStillCollide) {
+  TestNode a(medium, sched, 1, {0, 0});
+  TestNode b(medium, sched, 2, {20, 10});
+  TestNode rx(medium, sched, 3, {10, 5});
+  rx.listen();
+  a.radio.set_mode(Mode::kListen);
+  b.radio.set_mode(Mode::kListen);
+  Frame fa = make_frame(1, 3, 40);
+  fa.tenant = 1;
+  Frame fb = make_frame(2, kBroadcastNode, 40);
+  fb.tenant = 2;  // different administrative domain, same spectrum
+  a.radio.transmit(fa, nullptr);
+  sched.schedule_at(100, [&] { b.radio.transmit(fb, nullptr); });
+  sched.run_all();
+  EXPECT_EQ(rx.rx_count, 0);
+  EXPECT_GE(medium.stats().collisions, 1u);
+}
+
+}  // namespace
+}  // namespace iiot::radio

@@ -1,0 +1,198 @@
+// Replicated KV tests: AP (CRDT/anti-entropy) vs CP (primary quorum)
+// behaviour, with and without partitions — the CAP mechanics of §V-C.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "replication/backend_net.hpp"
+#include "replication/kv.hpp"
+
+namespace iiot::replication {
+namespace {
+
+using namespace sim;  // NOLINT: time literals
+
+struct ApCluster {
+  explicit ApCluster(int n, std::uint64_t seed = 1)
+      : rng(seed), net(sched, Rng(seed ^ 0xAB)) {
+    std::vector<ReplicaId> ids;
+    for (int i = 1; i <= n; ++i) ids.push_back(static_cast<ReplicaId>(i));
+    for (ReplicaId id : ids) {
+      replicas.push_back(std::make_unique<ApReplica>(
+          id, ids, net, sched, rng.fork(id), ApConfig{}));
+    }
+    for (auto& r : replicas) r->start();
+  }
+  [[nodiscard]] bool all_converged() const {
+    for (std::size_t i = 1; i < replicas.size(); ++i) {
+      if (!replicas[0]->same_state_as(*replicas[i])) return false;
+    }
+    return true;
+  }
+  Scheduler sched;
+  Rng rng;
+  BackendNet net;
+  std::vector<std::unique_ptr<ApReplica>> replicas;
+};
+
+TEST(ApKv, LocalWriteVisibleImmediately) {
+  ApCluster c(3);
+  c.replicas[0]->put("k", "v1");
+  EXPECT_EQ(c.replicas[0]->get("k"), "v1");
+  EXPECT_EQ(c.replicas[1]->get("k"), std::nullopt);  // not yet gossiped
+}
+
+TEST(ApKv, GossipConvergesCluster) {
+  ApCluster c(5);
+  c.replicas[0]->put("a", "1");
+  c.replicas[2]->put("b", "2");
+  c.replicas[4]->put("c", "3");
+  c.sched.run_until(20_s);
+  EXPECT_TRUE(c.all_converged());
+  for (auto& r : c.replicas) {
+    EXPECT_EQ(r->get("a"), "1");
+    EXPECT_EQ(r->get("b"), "2");
+    EXPECT_EQ(r->get("c"), "3");
+  }
+}
+
+TEST(ApKv, LastWriterWinsAcrossReplicas) {
+  ApCluster c(3);
+  c.replicas[0]->put("k", "early");
+  c.sched.run_until(1_s);
+  c.sched.schedule_at(2_s, [&] { c.replicas[1]->put("k", "late"); });
+  c.sched.run_until(20_s);
+  EXPECT_TRUE(c.all_converged());
+  EXPECT_EQ(c.replicas[2]->get("k"), "late");
+}
+
+TEST(ApKv, WritesSucceedOnBothSidesOfPartition) {
+  ApCluster c(4);
+  c.sched.run_until(2_s);
+  c.net.set_partition({{1, 2}, {3, 4}});
+  EXPECT_TRUE(c.replicas[0]->put("left", "L"));
+  EXPECT_TRUE(c.replicas[2]->put("right", "R"));
+  c.sched.run_until(10_s);
+  // Sides see their own writes but not the other side's.
+  EXPECT_EQ(c.replicas[1]->get("left"), "L");
+  EXPECT_EQ(c.replicas[1]->get("right"), std::nullopt);
+  EXPECT_EQ(c.replicas[3]->get("right"), "R");
+  // Heal: full convergence including cross-side data.
+  c.net.heal();
+  c.sched.run_until(30_s);
+  EXPECT_TRUE(c.all_converged());
+  EXPECT_EQ(c.replicas[3]->get("left"), "L");
+  EXPECT_EQ(c.replicas[0]->get("right"), "R");
+}
+
+TEST(ApKv, ConcurrentPartitionedWritesResolveDeterministically) {
+  ApCluster c(2);
+  c.sched.run_until(1_s);
+  c.net.set_partition({{1}, {2}});
+  // Both write the same key at the same simulated time: LWW tiebreak by
+  // replica id (higher wins).
+  c.replicas[0]->put("k", "from-1");
+  c.replicas[1]->put("k", "from-2");
+  c.net.heal();
+  c.sched.run_until(20_s);
+  EXPECT_TRUE(c.all_converged());
+  EXPECT_EQ(c.replicas[0]->get("k"), "from-2");
+}
+
+TEST(ApKv, RemovePropagates) {
+  ApCluster c(3);
+  c.replicas[0]->put("k", "v");
+  c.sched.run_until(10_s);
+  EXPECT_EQ(c.replicas[2]->get("k"), "v");
+  c.replicas[2]->remove("k");
+  c.sched.run_until(25_s);
+  EXPECT_TRUE(c.all_converged());
+  EXPECT_EQ(c.replicas[0]->get("k"), std::nullopt);
+}
+
+// ----------------------------------------------------------------- CP side
+
+struct CpCluster {
+  explicit CpCluster(int n, std::uint64_t seed = 1)
+      : rng(seed), net(sched, Rng(seed ^ 0xCD)) {
+    std::vector<ReplicaId> ids;
+    for (int i = 1; i <= n; ++i) ids.push_back(static_cast<ReplicaId>(i));
+    for (ReplicaId id : ids) {
+      replicas.push_back(std::make_unique<CpReplica>(
+          id, /*primary=*/1, ids, net, sched, rng.fork(id), CpConfig{}));
+    }
+    for (auto& r : replicas) r->start();
+  }
+  Scheduler sched;
+  Rng rng;
+  BackendNet net;
+  std::vector<std::unique_ptr<CpReplica>> replicas;
+};
+
+TEST(CpKv, PrimaryWriteReachesQuorumAndAllReplicas) {
+  CpCluster c(5);
+  bool ok = false;
+  c.replicas[0]->put("k", "v", [&](bool r) { ok = r; });
+  c.sched.run_until(5_s);
+  EXPECT_TRUE(ok);
+  for (auto& r : c.replicas) EXPECT_EQ(r->get("k"), "v");
+}
+
+TEST(CpKv, FollowerWriteForwardsToPrimary) {
+  CpCluster c(3);
+  bool ok = false;
+  c.replicas[2]->put("k", "via-follower", [&](bool r) { ok = r; });
+  c.sched.run_until(5_s);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(c.replicas[0]->get("k"), "via-follower");
+}
+
+TEST(CpKv, MinorityPartitionCannotWrite) {
+  CpCluster c(5);
+  // {4,5} in the minority; primary 1 retains quorum with {1,2,3}.
+  c.net.set_partition({{1, 2, 3}, {4, 5}});
+  bool minority_ok = true, majority_ok = false;
+  c.replicas[4]->put("k", "m", [&](bool r) { minority_ok = r; });
+  c.replicas[1]->put("k2", "ok", [&](bool r) { majority_ok = r; });
+  c.sched.run_until(10_s);
+  EXPECT_FALSE(minority_ok);  // CP: unavailable on the minority side
+  EXPECT_TRUE(majority_ok);
+}
+
+TEST(CpKv, PrimaryInMinorityBlocksAllWrites) {
+  CpCluster c(5);
+  // Primary 1 isolated with 2: neither side can commit (no failover).
+  c.net.set_partition({{1, 2}, {3, 4, 5}});
+  int failures = 0;
+  c.replicas[0]->put("a", "x", [&](bool r) { failures += r ? 0 : 1; });
+  c.replicas[3]->put("b", "y", [&](bool r) { failures += r ? 0 : 1; });
+  c.sched.run_until(10_s);
+  EXPECT_EQ(failures, 2);
+}
+
+TEST(CpKv, HealRestoresAvailability) {
+  CpCluster c(5);
+  c.net.set_partition({{1, 2}, {3, 4, 5}});
+  bool ok = true;
+  c.replicas[0]->put("k", "v", [&](bool r) { ok = r; });
+  c.sched.run_until(5_s);
+  EXPECT_FALSE(ok);
+  c.net.heal();
+  c.replicas[0]->put("k", "v2", [&](bool r) { ok = r; });
+  c.sched.run_until(10_s);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(c.replicas[4]->get("k"), "v2");
+}
+
+TEST(CpKv, ReadsNeverSeeUncommittedData) {
+  CpCluster c(5);
+  c.net.set_partition({{1}, {2, 3, 4, 5}});
+  c.replicas[0]->put("k", "uncommitted", [](bool) {});
+  c.sched.run_until(5_s);
+  // The write failed; no replica (including the primary) may expose it.
+  for (auto& r : c.replicas) EXPECT_EQ(r->get("k"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace iiot::replication

@@ -1,0 +1,195 @@
+// Safety/HVAC tests: plant physics, environment drivers, controller
+// behaviour, and the comfort/energy/revenue accounting of bench E9.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "safety/building.hpp"
+#include "safety/controller.hpp"
+#include "safety/environment.hpp"
+#include "safety/thermal.hpp"
+
+namespace iiot::safety {
+namespace {
+
+TEST(ZoneThermalModel, CoolsTowardOutdoorWithoutHvac) {
+  ZoneThermalModel zone(ZoneParams{}, 22.0);
+  for (int i = 0; i < 60 * 12; ++i) zone.step(60.0, 0.0, 0, 0.0);
+  EXPECT_LT(zone.temperature_c(), 10.0);  // drifted toward 0 °C outside
+  EXPECT_GT(zone.temperature_c(), -1.0);  // but not past it
+}
+
+TEST(ZoneThermalModel, HeatingRaisesTemperature) {
+  ZoneThermalModel zone(ZoneParams{}, 18.0);
+  for (int i = 0; i < 60; ++i) zone.step(60.0, 5.0, 0, 5000.0);
+  EXPECT_GT(zone.temperature_c(), 18.5);
+}
+
+TEST(ZoneThermalModel, PowerClampedToEquipmentLimits) {
+  ZoneParams p;
+  p.max_heat_w = 1000.0;
+  ZoneThermalModel zone(p, 20.0);
+  EXPECT_DOUBLE_EQ(zone.step(60.0, 10.0, 0, 99999.0), 1000.0);
+  EXPECT_DOUBLE_EQ(zone.step(60.0, 10.0, 0, -99999.0), -p.max_cool_w);
+}
+
+TEST(ZoneThermalModel, OccupantsAddHeat) {
+  ZoneThermalModel a(ZoneParams{}, 20.0), b(ZoneParams{}, 20.0);
+  for (int i = 0; i < 60; ++i) {
+    a.step(60.0, 10.0, 0, 0.0);
+    b.step(60.0, 10.0, 8, 0.0);
+  }
+  EXPECT_GT(b.temperature_c(), a.temperature_c());
+}
+
+TEST(WeatherModel, DiurnalSwingPresent) {
+  WeatherModel::Params p;
+  p.noise_sigma_c = 0.0;
+  WeatherModel w(p, 1);
+  double lo = 1e9, hi = -1e9;
+  for (double t = 0; t < 86400; t += 600) {
+    const double v = w.outdoor_c(t);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi - lo, 10.0);  // diurnal 8 + subdiurnal 3
+}
+
+TEST(WeatherModel, SubDiurnalCyclesVisible) {
+  WeatherModel::Params p;
+  p.noise_sigma_c = 0.0;
+  p.diurnal_amplitude_c = 0.0;  // isolate the sub-diurnal component
+  WeatherModel w(p, 1);
+  // 4-hour period: peak near t=1h, trough near t=3h.
+  EXPECT_GT(w.outdoor_c(3600), w.outdoor_c(3 * 3600));
+}
+
+TEST(OccupancySchedule, OfficeHoursOnly) {
+  OccupancySchedule occ(8);
+  EXPECT_EQ(occ.occupants(0, 3 * 3600.0), 0);        // 3 am
+  EXPECT_GT(occ.occupants(0, 10 * 3600.0), 0);       // 10 am weekday
+  EXPECT_EQ(occ.occupants(0, 5 * 86400.0 + 10 * 3600.0), 0);  // Saturday
+}
+
+TEST(OccupancySchedule, LunchDip) {
+  OccupancySchedule occ(8);
+  EXPECT_LT(occ.occupants(0, 12.5 * 3600.0), occ.occupants(0, 10 * 3600.0));
+}
+
+TEST(TariffModel, PeakShoulderNight) {
+  TariffModel t;
+  EXPECT_GT(t.price_per_kwh(17 * 3600.0), t.price_per_kwh(10 * 3600.0));
+  EXPECT_GT(t.price_per_kwh(10 * 3600.0), t.price_per_kwh(2 * 3600.0));
+}
+
+TEST(BangBang, RegulatesAroundSetpoint) {
+  ZoneThermalModel zone(ZoneParams{}, 16.0);
+  BangBangController ctl(22.0, 0.5);
+  for (int i = 0; i < 60 * 24; ++i) {
+    ControlContext ctx;
+    ctx.zone_temp_c = zone.temperature_c();
+    ctx.outdoor_c = 5.0;
+    ctx.max_heat_w = 6000.0;
+    ctx.max_cool_w = 6000.0;
+    zone.step(60.0, 5.0, 0, ctl.control(ctx));
+  }
+  EXPECT_NEAR(zone.temperature_c(), 22.0, 1.2);
+}
+
+TEST(Pi, ConvergesToSetpointSmoothly) {
+  ZoneThermalModel zone(ZoneParams{}, 16.0);
+  PiController ctl(22.0);
+  for (int i = 0; i < 60 * 24; ++i) {
+    ControlContext ctx;
+    ctx.zone_temp_c = zone.temperature_c();
+    ctx.outdoor_c = 5.0;
+    ctx.max_heat_w = 6000.0;
+    ctx.max_cool_w = 6000.0;
+    ctx.dt_s = 60.0;
+    zone.step(60.0, 5.0, 0, ctl.control(ctx));
+  }
+  EXPECT_NEAR(zone.temperature_c(), 22.0, 0.6);
+}
+
+TEST(ComfortBand, SetbackSavesEnergyVersusFixedSetpoint) {
+  BuildingConfig cfg;
+  cfg.zones = 4;
+  WeatherModel::Params wp;  // default mild winter-ish weather
+  auto run_energy = [&](const BuildingSim::ControllerFactory& f) {
+    BuildingSim sim(cfg, wp, 42);
+    return sim.run(3.0, f);
+  };
+  const auto fixed = run_energy([] {
+    return std::make_unique<BangBangController>(22.0, 0.5);
+  });
+  const auto band = run_energy([] {
+    return std::make_unique<ComfortBandController>();
+  });
+  EXPECT_LT(band.energy_kwh, fixed.energy_kwh * 0.9);
+}
+
+TEST(ComfortBand, KeepsOccupiedViolationsLow) {
+  BuildingConfig cfg;
+  cfg.zones = 4;
+  WeatherModel::Params wp;
+  BuildingSim sim(cfg, wp, 43);
+  const auto m = sim.run(3.0, [] {
+    return std::make_unique<ComfortBandController>();
+  });
+  EXPECT_GT(m.occupied_hours, 50.0);
+  EXPECT_LT(m.violation_fraction(), 0.30);
+}
+
+TEST(PriceAware, SavesPeakEnergyAtBoundedComfortCost) {
+  BuildingConfig cfg;
+  cfg.zones = 6;
+  WeatherModel::Params wp;
+  wp.mean_c = 4.0;  // cold spell: heating matters at peak
+  auto run_with = [&](const BuildingSim::ControllerFactory& f) {
+    BuildingSim sim(cfg, wp, 44);
+    return sim.run(5.0, f);
+  };
+  const auto band = run_with([] {
+    return std::make_unique<ComfortBandController>();
+  });
+  const auto price = run_with([] {
+    return std::make_unique<PriceAwareController>();
+  });
+  EXPECT_LT(price.energy_cost, band.energy_cost);
+  // Deliberate violations happen, but stay bounded.
+  EXPECT_LT(price.worst_violation_c, 3.5);
+}
+
+TEST(BuildingSim, RevenueAccountingConsistent) {
+  BuildingConfig cfg;
+  cfg.zones = 2;
+  WeatherModel::Params wp;
+  BuildingSim sim(cfg, wp, 45);
+  const auto m = sim.run(2.0, [] {
+    return std::make_unique<ComfortBandController>();
+  });
+  EXPECT_NEAR(m.revenue(),
+              m.comfort_payment - m.violation_penalty - m.energy_cost,
+              1e-9);
+  EXPECT_GT(m.energy_kwh, 0.0);
+  EXPECT_GT(m.comfort_payment, 0.0);
+}
+
+TEST(BuildingSim, DeterministicForSameSeed) {
+  BuildingConfig cfg;
+  cfg.zones = 2;
+  WeatherModel::Params wp;
+  auto run_once = [&] {
+    BuildingSim sim(cfg, wp, 46);
+    return sim.run(1.0, [] {
+      return std::make_unique<ComfortBandController>();
+    });
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_DOUBLE_EQ(a.energy_kwh, b.energy_kwh);
+  EXPECT_DOUBLE_EQ(a.revenue(), b.revenue());
+}
+
+}  // namespace
+}  // namespace iiot::safety

@@ -1,0 +1,307 @@
+// Security tests: published test vectors for AES/SHA/HMAC/CCM, plus
+// SecureLink semantics (tamper detection, replay, level mismatch).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "security/aes.hpp"
+#include "security/ccm.hpp"
+#include "security/secure_link.hpp"
+#include "security/sha256.hpp"
+
+namespace iiot::security {
+namespace {
+
+Buffer from_hex(const std::string& hex) {
+  Buffer out;
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>(
+        std::stoi(hex.substr(i, 2), nullptr, 16)));
+  }
+  return out;
+}
+
+std::string to_hex(BytesView b) {
+  std::string s;
+  char buf[3];
+  for (std::uint8_t v : b) {
+    std::snprintf(buf, sizeof(buf), "%02x", v);
+    s += buf;
+  }
+  return s;
+}
+
+// ------------------------------------------------------------------- AES
+
+TEST(Aes128, Fips197KnownAnswer) {
+  AesKey key{};
+  Buffer kb = from_hex("000102030405060708090a0b0c0d0e0f");
+  std::copy(kb.begin(), kb.end(), key.begin());
+  Aes128 aes(key);
+  AesBlock block{};
+  Buffer pt = from_hex("00112233445566778899aabbccddeeff");
+  std::copy(pt.begin(), pt.end(), block.begin());
+  aes.encrypt_block(block);
+  EXPECT_EQ(to_hex(block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128, CountsBlocks) {
+  Aes128 aes(AesKey{});
+  AesBlock b{};
+  aes.encrypt_block(b);
+  aes.encrypt_block(b);
+  EXPECT_EQ(aes.blocks_processed(), 2u);
+}
+
+// ---------------------------------------------------------------- SHA-256
+
+TEST(Sha256, EmptyString) {
+  auto d = Sha256::hash({});
+  EXPECT_EQ(to_hex(d),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  auto data = to_buffer("abc");
+  auto d = Sha256::hash(data);
+  EXPECT_EQ(to_hex(d),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  auto data = to_buffer(
+      "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  auto d = Sha256::hash(data);
+  EXPECT_EQ(to_hex(d),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  auto data = to_buffer("the quick brown fox jumps over the lazy dog etc");
+  Sha256 h;
+  h.update(BytesView(data).subspan(0, 10));
+  h.update(BytesView(data).subspan(10, 5));
+  h.update(BytesView(data).subspan(15));
+  EXPECT_EQ(to_hex(h.finish()), to_hex(Sha256::hash(data)));
+}
+
+TEST(HmacSha256, Rfc4231Case1) {
+  Buffer key(20, 0x0b);
+  auto msg = to_buffer("Hi There");
+  auto d = hmac_sha256(key, msg);
+  EXPECT_EQ(to_hex(d),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  auto key = to_buffer("Jefe");
+  auto msg = to_buffer("what do ya want for nothing?");
+  auto d = hmac_sha256(key, msg);
+  EXPECT_EQ(to_hex(d),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(DeriveKey, DeterministicAndContextSensitive) {
+  auto master = to_buffer("master-secret");
+  auto k1 = derive_key(master, to_buffer("ctx-a"));
+  auto k2 = derive_key(master, to_buffer("ctx-a"));
+  auto k3 = derive_key(master, to_buffer("ctx-b"));
+  EXPECT_EQ(k1, k2);
+  EXPECT_NE(k1, k3);
+}
+
+// -------------------------------------------------------------------- CCM
+
+TEST(AesCcm, Rfc3610Vector1) {
+  AesKey key{};
+  Buffer kb = from_hex("c0c1c2c3c4c5c6c7c8c9cacbcccdcecf");
+  std::copy(kb.begin(), kb.end(), key.begin());
+  AesCcm ccm(key);
+  CcmNonce nonce{};
+  Buffer nb = from_hex("00000003020100a0a1a2a3a4a5");
+  std::copy(nb.begin(), nb.end(), nonce.begin());
+  Buffer aad = from_hex("0001020304050607");
+  Buffer pt = from_hex("08090a0b0c0d0e0f101112131415161718191a1b1c1d1e");
+  Buffer sealed = ccm.seal(nonce, aad, pt, 8);
+  EXPECT_EQ(to_hex(sealed),
+            "588c979a61c663d2f066d0c2c0f989806d5f6b61dac384"
+            "17e8d12cfdf926e0");
+}
+
+TEST(AesCcm, SealOpenRoundTrip) {
+  AesCcm ccm(AesKey{1, 2, 3, 4, 5});
+  CcmNonce nonce{9, 9, 9};
+  auto aad = to_buffer("header");
+  auto pt = to_buffer("temperature=21.5;humidity=40");
+  auto sealed = ccm.seal(nonce, aad, pt, 8);
+  EXPECT_EQ(sealed.size(), pt.size() + 8);
+  auto opened = ccm.open(nonce, aad, sealed, 8);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, pt);
+}
+
+TEST(AesCcm, TamperedCiphertextRejected) {
+  AesCcm ccm(AesKey{7});
+  CcmNonce nonce{1};
+  auto pt = to_buffer("open-the-valve");
+  auto sealed = ccm.seal(nonce, {}, pt, 8);
+  sealed[3] ^= 0x01;
+  EXPECT_FALSE(ccm.open(nonce, {}, sealed, 8).has_value());
+}
+
+TEST(AesCcm, TamperedAadRejected) {
+  AesCcm ccm(AesKey{7});
+  CcmNonce nonce{1};
+  auto pt = to_buffer("x");
+  auto sealed = ccm.seal(nonce, to_buffer("aad-1"), pt, 8);
+  EXPECT_FALSE(ccm.open(nonce, to_buffer("aad-2"), sealed, 8).has_value());
+}
+
+TEST(AesCcm, WrongNonceRejected) {
+  AesCcm ccm(AesKey{7});
+  CcmNonce n1{1}, n2{2};
+  auto sealed = ccm.seal(n1, {}, to_buffer("m"), 8);
+  EXPECT_FALSE(ccm.open(n2, {}, sealed, 8).has_value());
+}
+
+TEST(AesCcm, MicZeroIsEncryptionOnly) {
+  AesCcm ccm(AesKey{3});
+  CcmNonce nonce{5};
+  auto pt = to_buffer("plain");
+  auto sealed = ccm.seal(nonce, {}, pt, 0);
+  EXPECT_EQ(sealed.size(), pt.size());
+  EXPECT_NE(sealed, pt);  // actually encrypted
+  auto opened = ccm.open(nonce, {}, sealed, 0);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, pt);
+}
+
+TEST(AesCcm, TagVerifyDetachedMode) {
+  AesCcm ccm(AesKey{11});
+  CcmNonce nonce{8};
+  auto msg = to_buffer("clear-but-authenticated");
+  auto tag = ccm.tag(nonce, to_buffer("hdr"), msg, 4);
+  EXPECT_EQ(tag.size(), 4u);
+  EXPECT_TRUE(ccm.verify_tag(nonce, to_buffer("hdr"), msg, tag));
+  msg[0] ^= 1;
+  EXPECT_FALSE(ccm.verify_tag(nonce, to_buffer("hdr"), msg, tag));
+}
+
+// ------------------------------------------------------------- SecureLink
+
+class SecureLinkLevels
+    : public ::testing::TestWithParam<SecurityLevel> {};
+
+TEST_P(SecureLinkLevels, ProtectUnprotectRoundTrip) {
+  const SecurityLevel level = GetParam();
+  AesKey key{0x42};
+  SecureLink tx(key, level);
+  SecureLink rx(key, level);
+  auto payload = to_buffer("sensor-reading-1234");
+  Buffer wire = tx.protect(7, payload);
+  EXPECT_EQ(wire.size(), payload.size() + tx.overhead_bytes());
+  auto opened = rx.unprotect(7, wire);
+  ASSERT_TRUE(opened.ok()) << level_name(level);
+  EXPECT_EQ(opened.value(), payload);
+}
+
+TEST_P(SecureLinkLevels, TamperDetectedWhenMicPresent) {
+  const SecurityLevel level = GetParam();
+  if (mic_length(level) == 0) GTEST_SKIP() << "no integrity at this level";
+  AesKey key{0x42};
+  SecureLink tx(key, level);
+  SecureLink rx(key, level);
+  Buffer wire = tx.protect(7, to_buffer("data"));
+  wire.back() ^= 0x80;
+  auto opened = rx.unprotect(7, wire);
+  EXPECT_FALSE(opened.ok());
+  EXPECT_EQ(rx.stats().auth_failures, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLevels, SecureLinkLevels,
+    ::testing::Values(SecurityLevel::kNone, SecurityLevel::kMic32,
+                      SecurityLevel::kMic64, SecurityLevel::kMic128,
+                      SecurityLevel::kEnc, SecurityLevel::kEncMic32,
+                      SecurityLevel::kEncMic64, SecurityLevel::kEncMic128));
+
+TEST(SecureLink, ReplayRejected) {
+  AesKey key{1};
+  SecureLink tx(key, SecurityLevel::kEncMic64);
+  SecureLink rx(key, SecurityLevel::kEncMic64);
+  Buffer wire = tx.protect(7, to_buffer("cmd"));
+  EXPECT_TRUE(rx.unprotect(7, wire).ok());
+  auto replay = rx.unprotect(7, wire);
+  EXPECT_FALSE(replay.ok());
+  EXPECT_EQ(replay.error().code, Error::Code::kSecurity);
+  EXPECT_EQ(rx.stats().replay_drops, 1u);
+}
+
+TEST(SecureLink, CountersIndependentPerSource) {
+  AesKey key{1};
+  SecureLink a(key, SecurityLevel::kEncMic32);
+  SecureLink b(key, SecurityLevel::kEncMic32);
+  SecureLink rx(key, SecurityLevel::kEncMic32);
+  EXPECT_TRUE(rx.unprotect(1, a.protect(1, to_buffer("x"))).ok());
+  EXPECT_TRUE(rx.unprotect(2, b.protect(2, to_buffer("y"))).ok());
+}
+
+TEST(SecureLink, WrongKeyFailsAuth) {
+  SecureLink tx(AesKey{1}, SecurityLevel::kEncMic64);
+  SecureLink rx(AesKey{2}, SecurityLevel::kEncMic64);
+  auto opened = rx.unprotect(7, tx.protect(7, to_buffer("data")));
+  EXPECT_FALSE(opened.ok());
+}
+
+TEST(SecureLink, LevelMismatchRejected) {
+  AesKey key{1};
+  SecureLink tx(key, SecurityLevel::kMic32);
+  SecureLink rx(key, SecurityLevel::kEncMic64);
+  auto opened = rx.unprotect(7, tx.protect(7, to_buffer("data")));
+  EXPECT_FALSE(opened.ok());
+}
+
+TEST(SecureLink, EncLevelsHideContent) {
+  AesKey key{9};
+  SecureLink tx(key, SecurityLevel::kEnc);
+  auto payload = to_buffer("secret-setpoint-21.5");
+  Buffer wire = tx.protect(7, payload);
+  // Ciphertext portion must not contain the plaintext.
+  std::string w(wire.begin(), wire.end());
+  EXPECT_EQ(w.find("secret"), std::string::npos);
+}
+
+TEST(SecureLink, MicOnlyLeavesContentReadable) {
+  AesKey key{9};
+  SecureLink tx(key, SecurityLevel::kMic32);
+  Buffer wire = tx.protect(7, to_buffer("readable"));
+  std::string w(wire.begin(), wire.end());
+  EXPECT_NE(w.find("readable"), std::string::npos);
+}
+
+TEST(SecureLink, OverheadGrowsWithLevel) {
+  AesKey key{};
+  EXPECT_EQ(SecureLink(key, SecurityLevel::kNone).overhead_bytes(), 0u);
+  EXPECT_EQ(SecureLink(key, SecurityLevel::kMic32).overhead_bytes(), 9u);
+  EXPECT_EQ(SecureLink(key, SecurityLevel::kEnc).overhead_bytes(), 5u);
+  EXPECT_EQ(SecureLink(key, SecurityLevel::kEncMic128).overhead_bytes(),
+            21u);
+}
+
+TEST(SecureLink, CycleAccountingGrowsWithTraffic) {
+  AesKey key{};
+  SecureLink tx(key, SecurityLevel::kEncMic64);
+  auto before = tx.estimated_cycles();
+  const Buffer wire = tx.protect(1, Buffer(64, 0xAA));
+  EXPECT_FALSE(wire.empty());
+  EXPECT_GT(tx.estimated_cycles(), before);
+}
+
+TEST(KeyStore, PerTenantKeysDiffer) {
+  KeyStore ks;
+  EXPECT_EQ(ks.network_key(1), ks.network_key(1));
+  EXPECT_NE(ks.network_key(1), ks.network_key(2));
+}
+
+}  // namespace
+}  // namespace iiot::security

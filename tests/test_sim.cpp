@@ -1,0 +1,186 @@
+// Unit tests for the discrete-event scheduler and energy meter.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "energy/meter.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace iiot {
+namespace {
+
+using sim::Scheduler;
+using namespace sim;  // NOLINT: time literals
+
+TEST(Scheduler, FiresInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30u);
+}
+
+TEST(Scheduler, TiesBreakByInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  s.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Scheduler, ScheduleAfterUsesCurrentTime) {
+  Scheduler s;
+  Time fired_at = 0;
+  s.schedule_at(50, [&] {
+    s.schedule_after(25, [&] { fired_at = s.now(); });
+  });
+  s.run_all();
+  EXPECT_EQ(fired_at, 75u);
+}
+
+TEST(Scheduler, PastTimesClampToNow) {
+  Scheduler s;
+  Time fired_at = 999;
+  s.schedule_at(100, [&] {
+    s.schedule_at(10, [&] { fired_at = s.now(); });  // in the past
+  });
+  s.run_all();
+  EXPECT_EQ(fired_at, 100u);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool fired = false;
+  auto h = s.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  s.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelIsIdempotentAndSafeAfterFire) {
+  Scheduler s;
+  int count = 0;
+  auto h = s.schedule_at(10, [&] { ++count; });
+  s.run_all();
+  EXPECT_EQ(count, 1);
+  h.cancel();  // no-op after firing
+  h.cancel();
+  s.run_all();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(10, [&] { ++fired; });
+  s.schedule_at(20, [&] { ++fired; });
+  s.schedule_at(30, [&] { ++fired; });
+  s.run_until(20);
+  EXPECT_EQ(fired, 2);  // event at the deadline runs
+  EXPECT_EQ(s.now(), 20u);
+  s.run_until(100);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(s.now(), 100u);  // clock advances to deadline even if idle
+}
+
+TEST(Scheduler, EventsScheduledDuringRunExecute) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.schedule_after(1, recurse);
+  };
+  s.schedule_at(0, recurse);
+  s.run_all();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(PeriodicTimer, FiresEveryPeriod) {
+  Scheduler s;
+  std::vector<Time> fires;
+  PeriodicTimer t(s, 100, [&] { fires.push_back(s.now()); });
+  t.start();
+  s.run_until(550);
+  EXPECT_EQ(fires, (std::vector<Time>{100, 200, 300, 400, 500}));
+}
+
+TEST(PeriodicTimer, StopHaltsFiring) {
+  Scheduler s;
+  int count = 0;
+  PeriodicTimer t(s, 10, [&] { ++count; });
+  t.start();
+  s.schedule_at(35, [&] { t.stop(); });
+  s.run_until(1000);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicTimer, PhaseOffsetsFirstFiring) {
+  Scheduler s;
+  std::vector<Time> fires;
+  PeriodicTimer t(s, 100, [&] { fires.push_back(s.now()); });
+  t.start(7);
+  s.run_until(250);
+  EXPECT_EQ(fires, (std::vector<Time>{7, 107, 207}));
+}
+
+TEST(PeriodicTimer, DestructionCancels) {
+  Scheduler s;
+  int count = 0;
+  {
+    PeriodicTimer t(s, 10, [&] { ++count; });
+    t.start();
+    s.run_until(25);
+  }
+  s.run_until(1000);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EnergyMeter, ChargesByStateAndTime) {
+  energy::Profile profile;
+  profile.radio_mw = {0.0, 1.0, 10.0, 10.0, 20.0};
+  energy::Meter m(profile);
+  m.radio_state(energy::RadioState::kListen, 0);
+  m.radio_state(energy::RadioState::kTx, 1'000'000);    // 1 s listen
+  m.radio_state(energy::RadioState::kSleep, 1'500'000); // 0.5 s tx
+  m.settle(2'500'000);                                  // 1 s sleep
+  EXPECT_NEAR(m.radio_mj(energy::RadioState::kListen), 10.0, 1e-9);
+  EXPECT_NEAR(m.radio_mj(energy::RadioState::kTx), 10.0, 1e-9);
+  EXPECT_NEAR(m.radio_mj(energy::RadioState::kSleep), 1.0, 1e-9);
+  EXPECT_NEAR(m.total_mj(), 21.0, 1e-9);
+}
+
+TEST(EnergyMeter, DutyCycleComputation) {
+  energy::Meter m;
+  m.radio_state(energy::RadioState::kListen, 0);
+  m.radio_state(energy::RadioState::kSleep, 100'000);  // 0.1 s on
+  m.settle(1'000'000);                                 // 0.9 s sleep
+  EXPECT_NEAR(m.duty_cycle(), 0.1, 1e-9);
+}
+
+TEST(EnergyMeter, CpuCyclesCharged) {
+  energy::Profile p;
+  p.cpu_nj_per_cycle = 1.0;
+  energy::Meter m(p);
+  m.cpu_cycles(1'000'000);  // 1e6 cycles * 1 nJ = 1 mJ
+  EXPECT_NEAR(m.cpu_mj(), 1.0, 1e-12);
+}
+
+TEST(EnergyMeter, LifetimeProjection) {
+  energy::Profile p;
+  p.radio_mw = {0.0, 0.0, 1000.0, 1000.0, 1000.0};  // 1 W listen
+  energy::Meter m(p);
+  m.radio_state(energy::RadioState::kListen, 0);
+  m.settle(1'000'000);
+  // 1 W average: an 86400 J battery lasts exactly one day.
+  EXPECT_NEAR(m.projected_lifetime_days(86400.0), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace iiot
