@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_rollout.dir/bench_e11_rollout.cpp.o"
+  "CMakeFiles/bench_e11_rollout.dir/bench_e11_rollout.cpp.o.d"
+  "bench_e11_rollout"
+  "bench_e11_rollout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_rollout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

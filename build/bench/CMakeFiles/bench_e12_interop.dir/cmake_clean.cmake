@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_interop.dir/bench_e12_interop.cpp.o"
+  "CMakeFiles/bench_e12_interop.dir/bench_e12_interop.cpp.o.d"
+  "bench_e12_interop"
+  "bench_e12_interop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_rnfd.dir/bench_e4_rnfd.cpp.o"
+  "CMakeFiles/bench_e4_rnfd.dir/bench_e4_rnfd.cpp.o.d"
+  "bench_e4_rnfd"
+  "bench_e4_rnfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_rnfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_redundancy.dir/bench_e8_redundancy.cpp.o"
+  "CMakeFiles/bench_e8_redundancy.dir/bench_e8_redundancy.cpp.o.d"
+  "bench_e8_redundancy"
+  "bench_e8_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_hvac_safety.dir/bench_e9_hvac_safety.cpp.o"
+  "CMakeFiles/bench_e9_hvac_safety.dir/bench_e9_hvac_safety.cpp.o.d"
+  "bench_e9_hvac_safety"
+  "bench_e9_hvac_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_hvac_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

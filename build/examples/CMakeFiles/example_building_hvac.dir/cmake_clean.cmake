@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_building_hvac.dir/building_hvac.cpp.o"
+  "CMakeFiles/example_building_hvac.dir/building_hvac.cpp.o.d"
+  "example_building_hvac"
+  "example_building_hvac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_building_hvac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

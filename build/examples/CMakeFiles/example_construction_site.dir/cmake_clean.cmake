@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_construction_site.dir/construction_site.cpp.o"
+  "CMakeFiles/example_construction_site.dir/construction_site.cpp.o.d"
+  "example_construction_site"
+  "example_construction_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_construction_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

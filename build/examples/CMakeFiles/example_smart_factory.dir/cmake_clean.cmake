@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_smart_factory.dir/smart_factory.cpp.o"
+  "CMakeFiles/example_smart_factory.dir/smart_factory.cpp.o.d"
+  "example_smart_factory"
+  "example_smart_factory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_smart_factory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agg/collection.cpp" "src/CMakeFiles/iiot.dir/agg/collection.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/agg/collection.cpp.o.d"
+  "/root/repo/src/backend/registry.cpp" "src/CMakeFiles/iiot.dir/backend/registry.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/backend/registry.cpp.o.d"
+  "/root/repo/src/backend/topic_bus.cpp" "src/CMakeFiles/iiot.dir/backend/topic_bus.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/backend/topic_bus.cpp.o.d"
+  "/root/repo/src/coap/endpoint.cpp" "src/CMakeFiles/iiot.dir/coap/endpoint.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/coap/endpoint.cpp.o.d"
+  "/root/repo/src/coap/message.cpp" "src/CMakeFiles/iiot.dir/coap/message.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/coap/message.cpp.o.d"
+  "/root/repo/src/common/crc.cpp" "src/CMakeFiles/iiot.dir/common/crc.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/common/crc.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/iiot.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/common/log.cpp.o.d"
+  "/root/repo/src/core/deployment.cpp" "src/CMakeFiles/iiot.dir/core/deployment.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/core/deployment.cpp.o.d"
+  "/root/repo/src/core/network.cpp" "src/CMakeFiles/iiot.dir/core/network.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/core/network.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/CMakeFiles/iiot.dir/core/system.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/core/system.cpp.o.d"
+  "/root/repo/src/dependability/coding.cpp" "src/CMakeFiles/iiot.dir/dependability/coding.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/dependability/coding.cpp.o.d"
+  "/root/repo/src/interop/gateway.cpp" "src/CMakeFiles/iiot.dir/interop/gateway.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/interop/gateway.cpp.o.d"
+  "/root/repo/src/interop/gatt.cpp" "src/CMakeFiles/iiot.dir/interop/gatt.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/interop/gatt.cpp.o.d"
+  "/root/repo/src/interop/modbus.cpp" "src/CMakeFiles/iiot.dir/interop/modbus.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/interop/modbus.cpp.o.d"
+  "/root/repo/src/interop/vendor_tlv.cpp" "src/CMakeFiles/iiot.dir/interop/vendor_tlv.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/interop/vendor_tlv.cpp.o.d"
+  "/root/repo/src/mac/csma.cpp" "src/CMakeFiles/iiot.dir/mac/csma.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/mac/csma.cpp.o.d"
+  "/root/repo/src/mac/lpl.cpp" "src/CMakeFiles/iiot.dir/mac/lpl.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/mac/lpl.cpp.o.d"
+  "/root/repo/src/mac/rimac.cpp" "src/CMakeFiles/iiot.dir/mac/rimac.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/mac/rimac.cpp.o.d"
+  "/root/repo/src/mac/tdma.cpp" "src/CMakeFiles/iiot.dir/mac/tdma.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/mac/tdma.cpp.o.d"
+  "/root/repo/src/net/rnfd.cpp" "src/CMakeFiles/iiot.dir/net/rnfd.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/net/rnfd.cpp.o.d"
+  "/root/repo/src/net/rpl.cpp" "src/CMakeFiles/iiot.dir/net/rpl.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/net/rpl.cpp.o.d"
+  "/root/repo/src/radio/medium.cpp" "src/CMakeFiles/iiot.dir/radio/medium.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/radio/medium.cpp.o.d"
+  "/root/repo/src/radio/radio.cpp" "src/CMakeFiles/iiot.dir/radio/radio.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/radio/radio.cpp.o.d"
+  "/root/repo/src/replication/kv.cpp" "src/CMakeFiles/iiot.dir/replication/kv.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/replication/kv.cpp.o.d"
+  "/root/repo/src/security/aes.cpp" "src/CMakeFiles/iiot.dir/security/aes.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/security/aes.cpp.o.d"
+  "/root/repo/src/security/ccm.cpp" "src/CMakeFiles/iiot.dir/security/ccm.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/security/ccm.cpp.o.d"
+  "/root/repo/src/security/secure_link.cpp" "src/CMakeFiles/iiot.dir/security/secure_link.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/security/secure_link.cpp.o.d"
+  "/root/repo/src/security/sha256.cpp" "src/CMakeFiles/iiot.dir/security/sha256.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/security/sha256.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/iiot.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/transport/frag.cpp" "src/CMakeFiles/iiot.dir/transport/frag.cpp.o" "gcc" "src/CMakeFiles/iiot.dir/transport/frag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_agg.cpp" "tests/CMakeFiles/iiot_tests.dir/test_agg.cpp.o" "gcc" "tests/CMakeFiles/iiot_tests.dir/test_agg.cpp.o.d"
+  "/root/repo/tests/test_backend.cpp" "tests/CMakeFiles/iiot_tests.dir/test_backend.cpp.o" "gcc" "tests/CMakeFiles/iiot_tests.dir/test_backend.cpp.o.d"
+  "/root/repo/tests/test_coap.cpp" "tests/CMakeFiles/iiot_tests.dir/test_coap.cpp.o" "gcc" "tests/CMakeFiles/iiot_tests.dir/test_coap.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/iiot_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/iiot_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/iiot_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/iiot_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_crdt.cpp" "tests/CMakeFiles/iiot_tests.dir/test_crdt.cpp.o" "gcc" "tests/CMakeFiles/iiot_tests.dir/test_crdt.cpp.o.d"
+  "/root/repo/tests/test_dependability.cpp" "tests/CMakeFiles/iiot_tests.dir/test_dependability.cpp.o" "gcc" "tests/CMakeFiles/iiot_tests.dir/test_dependability.cpp.o.d"
+  "/root/repo/tests/test_edges.cpp" "tests/CMakeFiles/iiot_tests.dir/test_edges.cpp.o" "gcc" "tests/CMakeFiles/iiot_tests.dir/test_edges.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/iiot_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/iiot_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_interop.cpp" "tests/CMakeFiles/iiot_tests.dir/test_interop.cpp.o" "gcc" "tests/CMakeFiles/iiot_tests.dir/test_interop.cpp.o.d"
+  "/root/repo/tests/test_mac.cpp" "tests/CMakeFiles/iiot_tests.dir/test_mac.cpp.o" "gcc" "tests/CMakeFiles/iiot_tests.dir/test_mac.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/iiot_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/iiot_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_radio.cpp" "tests/CMakeFiles/iiot_tests.dir/test_radio.cpp.o" "gcc" "tests/CMakeFiles/iiot_tests.dir/test_radio.cpp.o.d"
+  "/root/repo/tests/test_replication.cpp" "tests/CMakeFiles/iiot_tests.dir/test_replication.cpp.o" "gcc" "tests/CMakeFiles/iiot_tests.dir/test_replication.cpp.o.d"
+  "/root/repo/tests/test_safety.cpp" "tests/CMakeFiles/iiot_tests.dir/test_safety.cpp.o" "gcc" "tests/CMakeFiles/iiot_tests.dir/test_safety.cpp.o.d"
+  "/root/repo/tests/test_security.cpp" "tests/CMakeFiles/iiot_tests.dir/test_security.cpp.o" "gcc" "tests/CMakeFiles/iiot_tests.dir/test_security.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/iiot_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/iiot_tests.dir/test_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iiot.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
