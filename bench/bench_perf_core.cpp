@@ -1,0 +1,244 @@
+// Core-substrate performance benchmark (scheduler + radio medium).
+//
+// Unlike bench_e1..e12, which regenerate paper experiments on the virtual
+// clock, this harness measures *wall-clock* throughput of the simulation
+// substrate itself: every experiment's runtime is bounded by how many
+// discrete events per second the scheduler can retire and how fast the
+// medium can resolve transmissions. Two workloads:
+//
+//   1. Raw scheduler churn — schedule/cancel/fire patterns shaped like MAC
+//      timer traffic (periodic timers, armed-then-cancelled ack timeouts).
+//   2. A CSMA mesh of 50/200/500 nodes running RPL + periodic sensor
+//      traffic for a fixed span of virtual time.
+//
+// Results are appended to BENCH_core.json (one JSON object per run, under
+// "runs") so the perf trajectory is tracked across PRs:
+//
+//   ./bench_perf_core [label] [output.json]
+//
+// Pass a label like "seed" or "optimized"; default "current".
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/network.hpp"
+#include "radio/medium.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace iiot;
+using namespace iiot::sim;  // NOLINT
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+// ---------------------------------------------------------------- scheduler
+
+struct ChurnResult {
+  double events_per_sec = 0;  // executed events / wall second
+  double ops_per_sec = 0;     // schedule+cancel+execute ops / wall second
+};
+
+// Timer-shaped churn: a rotating set of "ack timers" that are armed and
+// then cancelled before firing (the CSMA hot pattern), on top of periodic
+// timers that always fire. Exercises allocation, cancellation, and heap
+// discipline.
+ChurnResult scheduler_churn() {
+  constexpr int kRounds = 60;
+  constexpr int kEventsPerRound = 20'000;
+  Scheduler s;
+  std::uint64_t ops = 0;
+
+  const double t0 = now_seconds();
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<EventHandle> cancelled;
+    cancelled.reserve(kEventsPerRound / 2);
+    volatile int sink = 0;
+    for (int i = 0; i < kEventsPerRound; ++i) {
+      auto h = s.schedule_after(static_cast<Duration>(1 + (i % 977)),
+                                [&sink] { sink = sink + 1; });
+      ++ops;
+      if (i % 2 == 0) cancelled.push_back(h);  // armed-then-cancelled half
+    }
+    for (auto& h : cancelled) {
+      h.cancel();
+      ++ops;
+    }
+    s.run_all();
+    ops += kEventsPerRound / 2;  // executed half
+  }
+  const double wall = now_seconds() - t0;
+
+  ChurnResult r;
+  r.events_per_sec = static_cast<double>(s.executed_events()) / wall;
+  r.ops_per_sec = static_cast<double>(ops) / wall;
+  return r;
+}
+
+// Nested periodic timers: the Trickle/LPL wakeup pattern where every
+// firing re-arms. Measures steady-state per-firing cost (should be
+// allocation-free after the SBO-callback rewrite).
+double periodic_timer_events_per_sec() {
+  constexpr int kTimers = 400;
+  Scheduler s;
+  std::vector<std::unique_ptr<PeriodicTimer>> timers;
+  volatile int sink = 0;
+  timers.reserve(kTimers);
+  for (int i = 0; i < kTimers; ++i) {
+    timers.push_back(std::make_unique<PeriodicTimer>(
+        s, static_cast<Duration>(50 + i % 97), [&sink] { sink = sink + 1; }));
+    timers.back()->start(static_cast<Duration>(1 + i));
+  }
+  const double t0 = now_seconds();
+  s.run_until(1'000'000);  // 1 s of virtual time
+  const double wall = now_seconds() - t0;
+  return static_cast<double>(s.executed_events()) / wall;
+}
+
+// ------------------------------------------------------------------- radio
+
+struct NetResult {
+  int nodes = 0;
+  double events_per_sec = 0;
+  double frames_per_sec = 0;  // medium transmissions / wall second
+  double wall_sec = 0;
+  std::uint64_t transmissions = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t collisions = 0;
+};
+
+NetResult csma_network(int n, std::uint64_t seed) {
+  Scheduler sched;
+  radio::Medium medium(sched, bench::default_radio(), seed);
+  core::MeshNetwork mesh(sched, medium, Rng(seed),
+                         bench::node_config(core::MacKind::kCsma));
+  mesh.build_grid(static_cast<std::size_t>(n), 20.0);
+  mesh.start();
+
+  // Let the DODAG form off the clock we measure.
+  sched.run_until(20_s);
+
+  // Periodic sensor traffic: every node reports every 2 s, staggered.
+  const Duration measured = 30_s;
+  for (std::size_t i = 1; i < mesh.size(); ++i) {
+    auto& node = mesh.node(i);
+    const Duration phase = static_cast<Duration>(i) * 7'919 % 2'000'000;
+    for (Duration t = phase; t < measured; t += 2_s) {
+      sched.schedule_at(20_s + t,
+                        [&node] { node.routing->send_up(to_buffer("r")); });
+    }
+  }
+
+  const std::uint64_t ev0 = sched.executed_events();
+  const std::uint64_t tx0 = medium.stats().transmissions;
+  const double t0 = now_seconds();
+  sched.run_until(20_s + measured);
+  const double wall = now_seconds() - t0;
+
+  NetResult r;
+  r.nodes = n;
+  r.wall_sec = wall;
+  r.events_per_sec =
+      static_cast<double>(sched.executed_events() - ev0) / wall;
+  r.frames_per_sec =
+      static_cast<double>(medium.stats().transmissions - tx0) / wall;
+  r.transmissions = medium.stats().transmissions;
+  r.deliveries = medium.stats().deliveries;
+  r.collisions = medium.stats().collisions;
+  return r;
+}
+
+// -------------------------------------------------------------------- json
+
+// BENCH_core.json keeps one run object per line inside "runs" so appending
+// without a JSON parser stays trivial: prior run lines are carried over.
+void write_json(const std::string& path, const std::string& run_line) {
+  std::vector<std::string> runs;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto pos = line.find_first_not_of(" \t");
+      if (pos != std::string::npos &&
+          line.compare(pos, 9, "{\"label\":") == 0) {
+        std::string r = line.substr(pos);
+        if (!r.empty() && r.back() == ',') r.pop_back();
+        runs.push_back(std::move(r));
+      }
+    }
+  }
+  runs.push_back(run_line);
+
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\n  \"benchmark\": \"bench_perf_core\",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    out << "    " << runs[i] << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string label = argc > 1 ? argv[1] : "current";
+  const std::string out_path = argc > 2 ? argv[2] : "BENCH_core.json";
+
+  iiot::bench::print_header(
+      "PERF: discrete-event core wall-clock throughput",
+      "scheduler + medium must sustain production-scale event rates");
+
+  ChurnResult churn = scheduler_churn();
+  std::printf("scheduler churn:     %12.0f events/s  %12.0f ops/s\n",
+              churn.events_per_sec, churn.ops_per_sec);
+  double periodic = periodic_timer_events_per_sec();
+  std::printf("periodic timers:     %12.0f events/s\n", periodic);
+
+  std::vector<NetResult> nets;
+  for (int n : {50, 200, 500}) {
+    NetResult r = csma_network(n, 42);
+    nets.push_back(r);
+    std::printf(
+        "csma %4d nodes:     %12.0f events/s  %12.0f frames/s  "
+        "(%.2fs wall, %llu tx, %llu rx, %llu coll)\n",
+        n, r.events_per_sec, r.frames_per_sec, r.wall_sec,
+        static_cast<unsigned long long>(r.transmissions),
+        static_cast<unsigned long long>(r.deliveries),
+        static_cast<unsigned long long>(r.collisions));
+  }
+
+  std::ostringstream run;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"label\": \"%s\", \"churn_events_per_sec\": %.0f, "
+                "\"churn_ops_per_sec\": %.0f, "
+                "\"periodic_events_per_sec\": %.0f",
+                label.c_str(), churn.events_per_sec, churn.ops_per_sec,
+                periodic);
+  run << buf;
+  for (const NetResult& r : nets) {
+    std::snprintf(buf, sizeof buf,
+                  ", \"net%d_events_per_sec\": %.0f, "
+                  "\"net%d_frames_per_sec\": %.0f, "
+                  "\"net%d_transmissions\": %llu, "
+                  "\"net%d_deliveries\": %llu, "
+                  "\"net%d_collisions\": %llu",
+                  r.nodes, r.events_per_sec, r.nodes, r.frames_per_sec,
+                  r.nodes, static_cast<unsigned long long>(r.transmissions),
+                  r.nodes, static_cast<unsigned long long>(r.deliveries),
+                  r.nodes, static_cast<unsigned long long>(r.collisions));
+    run << buf;
+  }
+  run << "}";
+  write_json(out_path, run.str());
+  std::printf("\nwrote %s (label \"%s\")\n", out_path.c_str(), label.c_str());
+  return 0;
+}

@@ -4,12 +4,65 @@
 
 namespace iiot::radio {
 
+void Medium::attach(Radio* r) {
+  r->medium_index_ = radios_.size();
+  radios_.push_back(r);
+  rx_at_.emplace_back();
+  neighbors_.emplace_back();
+  invalidate_neighbor_caches();
+}
+
 void Medium::detach(Radio* r) {
-  std::erase(radios_, r);
-  std::erase_if(receptions_, [r](const Reception& rec) {
-    return rec.receiver == r;
-  });
+  // Order-preserving removal: reception creation order follows radios_
+  // order, and the delivery RNG stream must not depend on who detached.
+  const std::size_t idx = r->medium_index_;
+  radios_.erase(radios_.begin() + static_cast<std::ptrdiff_t>(idx));
+  rx_at_.erase(rx_at_.begin() + static_cast<std::ptrdiff_t>(idx));
+  for (std::size_t i = idx; i < radios_.size(); ++i) {
+    radios_[i]->medium_index_ = i;
+  }
+  neighbors_.pop_back();
+  invalidate_neighbor_caches();
+
+  for (ActiveTx& tx : active_) {
+    std::erase(tx.receivers, r);
+  }
+  // Transmissions sourced by the departing radio die with it, including
+  // their receptions in progress at other radios.
+  for (ActiveTx& tx : active_) {
+    if (tx.src != r) continue;
+    for (Radio* rcv : tx.receivers) {
+      auto& list = rx_at_[rcv->medium_index_];
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        if (list[i].tx_id == tx.id) {
+          list[i] = list.back();
+          list.pop_back();
+          break;
+        }
+      }
+    }
+  }
   std::erase_if(active_, [r](const ActiveTx& tx) { return tx.src == r; });
+}
+
+const std::vector<Medium::Neighbor>& Medium::neighbors_of(
+    const Radio& r) const {
+  NeighborCache& cache = neighbors_[r.medium_index_];
+  if (cache.epoch != cache_epoch_) {
+    cache.list.clear();
+    // A neighbor is anyone whose link budget clears the weaker of the two
+    // thresholds the hot paths test against; begin_tx/channel_busy apply
+    // their exact threshold on top of the cached budget.
+    const double floor_dbm = std::min(prop_.config().sensitivity_dbm,
+                                      prop_.config().cca_threshold_dbm);
+    for (Radio* other : radios_) {
+      if (other == &r) continue;
+      const double sig = rx_power(r, *other);
+      if (sig >= floor_dbm) cache.list.push_back(Neighbor{other, sig});
+    }
+    cache.epoch = cache_epoch_;
+  }
+  return cache.list;
 }
 
 void Medium::begin_tx(Radio& src, Frame f) {
@@ -18,42 +71,46 @@ void Medium::begin_tx(Radio& src, Frame f) {
   const sim::Time end = start + airtime(f);
   const std::uint64_t id = next_tx_id_++;
 
-  // Start receptions at every radio currently able to hear this frame.
-  for (Radio* r : radios_) {
-    if (r == &src) continue;
+  ActiveTx tx{id, &src, src.channel(), start, end, std::move(f), {}};
+
+  // Start receptions at every radio currently able to hear this frame —
+  // O(neighbors), not O(all radios).
+  for (const Neighbor& n : neighbors_of(src)) {
+    Radio* r = n.radio;
     if (r->channel() != src.channel()) continue;
     if (r->mode() != Mode::kListen || r->transmitting()) continue;
-    const double sig = rx_power(src, *r);
-    if (sig < prop_.config().sensitivity_dbm) continue;
+    if (n.signal_dbm < prop_.config().sensitivity_dbm) continue;
 
-    Reception rec{id, r, sig};
     // Collision handling: compare against receptions already in progress
     // at this radio. The stronger signal survives only if it clears the
     // capture margin; otherwise both are corrupted.
-    for (Reception& other : receptions_) {
-      if (other.receiver != r || other.aborted) continue;
+    auto& list = rx_at_[r->medium_index_];
+    bool corrupted = false;
+    for (Reception& other : list) {
+      if (other.aborted) continue;
       const double margin = prop_.config().capture_db;
-      const bool new_wins = sig >= other.signal_dbm + margin;
-      const bool old_wins = other.signal_dbm >= sig + margin;
+      const bool new_wins = n.signal_dbm >= other.signal_dbm + margin;
+      const bool old_wins = other.signal_dbm >= n.signal_dbm + margin;
       if (!old_wins) {
         if (!other.corrupted) ++stats_.collisions;
         other.corrupted = true;
       }
       if (!new_wins) {
-        if (!rec.corrupted) ++stats_.collisions;
-        rec.corrupted = true;
+        if (!corrupted) ++stats_.collisions;
+        corrupted = true;
       }
     }
-    receptions_.push_back(std::move(rec));
+    list.push_back(Reception{id, n.signal_dbm, corrupted, false});
+    tx.receivers.push_back(r);
   }
 
-  active_.push_back(ActiveTx{id, &src, src.channel(), start, end, std::move(f)});
+  active_.push_back(std::move(tx));
   sched_.schedule_at(end, [this, id] { finish_tx(id); });
 }
 
 void Medium::on_receiver_disturbed(Radio& r) {
-  for (Reception& rec : receptions_) {
-    if (rec.receiver == &r && !rec.aborted) {
+  for (Reception& rec : rx_at_[r.medium_index_]) {
+    if (!rec.aborted) {
       rec.aborted = true;
       ++stats_.aborted;
     }
@@ -61,14 +118,19 @@ void Medium::on_receiver_disturbed(Radio& r) {
 }
 
 bool Medium::channel_busy(const Radio& r) const {
+  if (active_.empty()) return false;
+  const std::vector<Neighbor>& neigh = neighbors_of(r);
   for (const ActiveTx& tx : active_) {
     if (tx.channel != r.channel()) continue;
     if (tx.src == &r) return true;
-    // const_cast-free power query: Propagation caches per-link shadowing,
-    // so the lookup is logically const but mutates the memo table.
-    auto& self = const_cast<Medium&>(*this);
-    double sig = self.rx_power(*tx.src, r);
-    if (sig >= prop_.config().cca_threshold_dbm) return true;
+    // A transmitter absent from the neighbor list is below
+    // min(sensitivity, CCA) and therefore cannot trip energy detect.
+    for (const Neighbor& n : neigh) {
+      if (n.radio == tx.src) {
+        if (n.signal_dbm >= prop_.config().cca_threshold_dbm) return true;
+        break;
+      }
+    }
   }
   return false;
 }
@@ -80,29 +142,36 @@ void Medium::finish_tx(std::uint64_t tx_id) {
   ActiveTx tx = std::move(*it);
   active_.erase(it);
 
-  // Deliver surviving receptions.
-  for (auto rit = receptions_.begin(); rit != receptions_.end();) {
-    if (rit->tx_id != tx_id) {
-      ++rit;
-      continue;
+  // Deliver surviving receptions in creation order. Each entry is removed
+  // from its receiver's list *before* any delivery callback runs, so a
+  // handler that synchronously transmits or changes mode can neither
+  // re-abort a consumed entry nor miss the not-yet-delivered ones.
+  for (Radio* receiver : tx.receivers) {
+    auto& list = rx_at_[receiver->medium_index_];
+    double signal_dbm = 0.0;
+    bool dead = true;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i].tx_id != tx_id) continue;
+      signal_dbm = list[i].signal_dbm;
+      dead = list[i].aborted || list[i].corrupted;
+      list[i] = list.back();
+      list.pop_back();
+      break;
     }
-    Reception rec = *rit;
-    rit = receptions_.erase(rit);
-    if (rec.aborted || rec.corrupted) continue;
+    if (dead) continue;
     // Receiver must still be listening on the same channel.
-    if (rec.receiver->mode() != Mode::kListen ||
-        rec.receiver->transmitting() ||
-        rec.receiver->channel() != tx.channel) {
+    if (receiver->mode() != Mode::kListen || receiver->transmitting() ||
+        receiver->channel() != tx.channel) {
       ++stats_.aborted;
       continue;
     }
-    const double snr = rec.signal_dbm - prop_.config().noise_floor_dbm;
+    const double snr = signal_dbm - prop_.config().noise_floor_dbm;
     if (!rng_.chance(Propagation::prr_from_snr(snr))) {
       ++stats_.snr_losses;
       continue;
     }
     ++stats_.deliveries;
-    rec.receiver->deliver(tx.frame, rec.signal_dbm);
+    receiver->deliver(tx.frame, signal_dbm);
   }
 }
 

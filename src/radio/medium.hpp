@@ -6,11 +6,24 @@
 // capture margin, and it must pass the SNR→PRR coin flip. Cross-tenant
 // transmissions interfere exactly like same-tenant ones — this is what the
 // administrative-scalability experiment (E6) measures.
+//
+// Hot-path design (DESIGN.md "Performance architecture"):
+//   * Each radio has a lazily rebuilt neighbor cache — the precomputed
+//     list of radios whose link clears min(sensitivity, CCA threshold),
+//     with the link budget memoized alongside — so begin_tx and
+//     channel_busy iterate O(neighbors) instead of O(all radios). The
+//     cache is invalidated (by epoch bump) on attach, detach, channel
+//     change, and position change.
+//   * In-flight receptions are stored per receiver (indexed by the
+//     radio's dense medium index), so collision checks and
+//     reception-abort scans touch only the handful of frames in the air
+//     at that one radio, never a global list.
+//   * Determinism: neighbor lists preserve attach order, and every
+//     ActiveTx records its receivers in creation order, so the delivery
+//     RNG stream is bit-for-bit identical to a naive full scan.
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -42,12 +55,21 @@ class Medium {
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
 
   /// Expected PRR of the a→b link (for tests and topology construction).
-  [[nodiscard]] double link_prr(const Radio& a, const Radio& b) {
+  [[nodiscard]] double link_prr(const Radio& a, const Radio& b) const {
     return prop_.prr(a.id(), a.position(), b.id(), b.position());
   }
 
  private:
   friend class Radio;
+
+  /// One reception in progress at a given radio (implicit from the list
+  /// it lives in).
+  struct Reception {
+    std::uint64_t tx_id;
+    double signal_dbm;
+    bool corrupted = false;
+    bool aborted = false;
+  };
 
   struct ActiveTx {
     std::uint64_t id;
@@ -56,18 +78,35 @@ class Medium {
     sim::Time start;
     sim::Time end;
     Frame frame;
+    /// Receivers with a reception for this tx, in creation order — the
+    /// order the delivery loop (and thus the delivery RNG) follows.
+    std::vector<Radio*> receivers;
   };
 
-  struct Reception {
-    std::uint64_t tx_id;
-    Radio* receiver;
+  /// One entry of a radio's neighbor cache: a radio in link range plus the
+  /// memoized symmetric link budget between the two.
+  struct Neighbor {
+    Radio* radio;
     double signal_dbm;
-    bool corrupted = false;
-    bool aborted = false;
   };
 
-  void attach(Radio* r) { radios_.push_back(r); }
+  struct NeighborCache {
+    std::uint64_t epoch = 0;  // valid iff equal to cache_epoch_
+    std::vector<Neighbor> list;
+  };
+
+  void attach(Radio* r);
   void detach(Radio* r);
+
+  /// Any event that changes who can hear whom (topology, membership,
+  /// channel plan) invalidates every neighbor list in O(1); lists rebuild
+  /// lazily on next use.
+  void invalidate_neighbor_caches() { ++cache_epoch_; }
+
+  /// The radios able to hear `r` (and vice versa — links are symmetric),
+  /// in attach order, with memoized link budget. Rebuilt if stale.
+  [[nodiscard]] const std::vector<Neighbor>& neighbors_of(const Radio& r)
+      const;
 
   /// Radio API: starts a transmission; schedules its completion.
   void begin_tx(Radio& src, Frame f);
@@ -81,7 +120,7 @@ class Medium {
 
   void finish_tx(std::uint64_t tx_id);
 
-  double rx_power(const Radio& from, const Radio& to) {
+  [[nodiscard]] double rx_power(const Radio& from, const Radio& to) const {
     return prop_.rx_dbm(from.id(), from.position(), to.id(), to.position());
   }
 
@@ -92,7 +131,9 @@ class Medium {
   std::vector<Radio*> radios_;
   std::uint64_t next_tx_id_ = 1;
   std::vector<ActiveTx> active_;
-  std::vector<Reception> receptions_;
+  std::vector<std::vector<Reception>> rx_at_;  // by medium index
+  mutable std::vector<NeighborCache> neighbors_;
+  std::uint64_t cache_epoch_ = 1;
 };
 
 }  // namespace iiot::radio

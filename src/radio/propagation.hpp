@@ -4,12 +4,16 @@
 // seed and the node pair), which models the quasi-static multipath
 // environment of industrial deployments; fast variation is captured by the
 // SNR→PRR logistic curve applied per frame.
+//
+// All queries are const: the shadowing memo is a mutable cache (a flat
+// open-addressing table — link keys hash perfectly well and the probe
+// sequence stays in one cache line, unlike unordered_map's node chase).
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -38,6 +42,60 @@ struct PropagationConfig {
   double capture_db = 8.0;         // SIR needed to survive a collision
 };
 
+/// Flat open-addressing memo: uint64 link key -> double. Keys are stored
+/// +1 so zero can mark an empty bucket; linear probing over a
+/// power-of-two table.
+class LinkValueCache {
+ public:
+  LinkValueCache() : keys_(kInitialBuckets, 0), vals_(kInitialBuckets, 0.0) {}
+
+  [[nodiscard]] const double* find(std::uint64_t key) const {
+    const std::uint64_t stored = key + 1;
+    std::size_t i = bucket(key);
+    while (keys_[i] != 0) {
+      if (keys_[i] == stored) return &vals_[i];
+      i = (i + 1) & (keys_.size() - 1);
+    }
+    return nullptr;
+  }
+
+  void insert(std::uint64_t key, double v) {
+    if ((size_ + 1) * 10 >= keys_.size() * 7) grow();
+    std::size_t i = bucket(key);
+    while (keys_[i] != 0) i = (i + 1) & (keys_.size() - 1);
+    keys_[i] = key + 1;
+    vals_[i] = v;
+    ++size_;
+  }
+
+ private:
+  static constexpr std::size_t kInitialBuckets = 64;
+
+  [[nodiscard]] std::size_t bucket(std::uint64_t key) const {
+    // SplitMix64 finalizer: link keys are structured (a<<32|b), so mix
+    // before masking.
+    std::uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31)) & (keys_.size() - 1);
+  }
+
+  void grow() {
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<double> old_vals = std::move(vals_);
+    keys_.assign(old_keys.size() * 2, 0);
+    vals_.assign(old_vals.size() * 2, 0.0);
+    size_ = 0;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] != 0) insert(old_keys[i] - 1, old_vals[i]);
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<double> vals_;
+  std::size_t size_ = 0;
+};
+
 class Propagation {
  public:
   explicit Propagation(PropagationConfig cfg, std::uint64_t seed)
@@ -47,7 +105,7 @@ class Propagation {
 
   /// Received power (dBm) over the a→b link at the configured TX power.
   [[nodiscard]] double rx_dbm(NodeId a, const Position& pa, NodeId b,
-                              const Position& pb) {
+                              const Position& pb) const {
     double d = std::max(1.0, distance(pa, pb));
     double pl = cfg_.pl0_db + 10.0 * cfg_.exponent * std::log10(d);
     return cfg_.tx_power_dbm - pl + shadowing(a, b);
@@ -61,28 +119,28 @@ class Propagation {
   }
 
   [[nodiscard]] double prr(NodeId a, const Position& pa, NodeId b,
-                           const Position& pb) {
+                           const Position& pb) const {
     double snr = rx_dbm(a, pa, b, pb) - cfg_.noise_floor_dbm;
     return prr_from_snr(snr);
   }
 
  private:
-  /// Symmetric, memoized per-link shadowing draw.
-  double shadowing(NodeId a, NodeId b) {
+  /// Symmetric, memoized per-link shadowing draw. Logically const: the
+  /// memo is a cache of a pure function of (seed, a, b).
+  double shadowing(NodeId a, NodeId b) const {
     if (cfg_.shadowing_sigma_db <= 0.0) return 0.0;
     if (a > b) std::swap(a, b);
     std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
-    auto it = shadow_.find(key);
-    if (it != shadow_.end()) return it->second;
+    if (const double* v = shadow_.find(key)) return *v;
     Rng rng(seed_ ^ key, key);
     double v = rng.normal(0.0, cfg_.shadowing_sigma_db);
-    shadow_.emplace(key, v);
+    shadow_.insert(key, v);
     return v;
   }
 
   PropagationConfig cfg_;
   std::uint64_t seed_;
-  std::unordered_map<std::uint64_t, double> shadow_;
+  mutable LinkValueCache shadow_;
 };
 
 }  // namespace iiot::radio

@@ -13,12 +13,21 @@ Radio::Radio(Medium& medium, sim::Scheduler& sched, NodeId id, Position pos,
   update_energy_state();
 }
 
-Radio::~Radio() { medium_.detach(this); }
+Radio::~Radio() {
+  tx_done_.cancel();
+  medium_.detach(this);
+}
+
+void Radio::set_position(Position pos) {
+  pos_ = pos;
+  medium_.invalidate_neighbor_caches();
+}
 
 void Radio::set_channel(ChannelId ch) {
   if (ch == channel_) return;
   channel_ = ch;
   medium_.on_receiver_disturbed(*this);
+  medium_.invalidate_neighbor_caches();
 }
 
 void Radio::set_mode(Mode m) {
@@ -38,7 +47,7 @@ bool Radio::transmit(Frame f, TxDoneHandler on_done) {
   update_energy_state();
   sim::Duration air = airtime(f);
   medium_.begin_tx(*this, std::move(f));
-  sched_.schedule_after(air, [this, cb = std::move(on_done)] {
+  tx_done_ = sched_.schedule_after(air, [this, cb = std::move(on_done)] {
     transmitting_ = false;
     update_energy_state();
     if (cb) cb();

@@ -38,7 +38,8 @@ class Radio {
 
   [[nodiscard]] NodeId id() const { return id_; }
   [[nodiscard]] const Position& position() const { return pos_; }
-  void set_position(Position pos) { pos_ = pos; }
+  /// Moving a radio invalidates every cached link budget in the medium.
+  void set_position(Position pos);
 
   [[nodiscard]] ChannelId channel() const { return channel_; }
   /// Switching channel aborts any in-progress reception.
@@ -82,9 +83,12 @@ class Radio {
   NodeId id_;
   Position pos_;
   energy::Meter& meter_;
+  std::size_t medium_index_ = 0;  // dense index into the medium's tables
   ChannelId channel_ = 11;
   Mode mode_ = Mode::kOff;
   bool transmitting_ = false;
+  sim::EventHandle tx_done_;  // cancelled on destruction: the tx-done
+                              // callback must never outlive the radio
   ReceiveHandler on_receive_;
   std::uint64_t rx_count_ = 0;
   std::uint64_t tx_count_ = 0;

@@ -1,0 +1,120 @@
+// Small-buffer-optimized callback for the scheduler hot path.
+//
+// `std::function` heap-allocates for any capture larger than (typically)
+// two pointers, which puts an allocation on every scheduled event carrying
+// real state — MAC timers, ack timeouts, Trickle rearms. `Callback` stores
+// closures up to kInlineSize bytes inline in the event slot itself and
+// only falls back to the heap for oversized or throwing-move captures, so
+// the periodic-timer steady state never touches the allocator.
+//
+// Move-only by design: an event slot is the single owner of its closure.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace iiot::sim {
+
+class Callback {
+ public:
+  /// Inline capture budget. Sized so every closure in src/ (a couple of
+  /// pointers, a frame seq, a small config copy) stays allocation-free.
+  static constexpr std::size_t kInlineSize = 48;
+
+  Callback() = default;
+  Callback(std::nullptr_t) {}  // NOLINT: mirror std::function conversions
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, Callback> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  Callback(F&& f) {  // NOLINT: implicit by design, like std::function
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &inline_ops<D>;
+    } else {
+      ::new (static_cast<void*>(buf_))
+          D*(new D(std::forward<F>(f)));
+      ops_ = &heap_ops<D>;
+    }
+  }
+
+  Callback(Callback&& other) noexcept { move_from(other); }
+
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+
+  ~Callback() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Destroys the held closure (releasing any heap fallback) and becomes
+  /// empty. Used by the scheduler to free resources at cancel time.
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(unsigned char*);
+    void (*move)(unsigned char* dst, unsigned char* src);  // dst is raw
+    void (*destroy)(unsigned char*);
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static D* as(unsigned char* p) {
+    return std::launder(reinterpret_cast<D*>(p));
+  }
+
+  template <typename D>
+  static constexpr Ops inline_ops = {
+      [](unsigned char* p) { (*as<D>(p))(); },
+      [](unsigned char* dst, unsigned char* src) {
+        ::new (static_cast<void*>(dst)) D(std::move(*as<D>(src)));
+        as<D>(src)->~D();
+      },
+      [](unsigned char* p) { as<D>(p)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops heap_ops = {
+      [](unsigned char* p) { (**as<D*>(p))(); },
+      [](unsigned char* dst, unsigned char* src) {
+        ::new (static_cast<void*>(dst)) D*(*as<D*>(src));
+      },
+      [](unsigned char* p) { delete *as<D*>(p); },
+  };
+
+  void move_from(Callback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->move(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize] = {};
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace iiot::sim

@@ -5,41 +5,55 @@
 // scheduler's virtual clock. Determinism rules:
 //   * ties in firing time are broken by insertion order (monotone sequence),
 //   * no wall-clock or OS entropy is consulted anywhere.
+//
+// Hot-path design (see DESIGN.md "Performance architecture"):
+//   * event closures live in a free-listed slot pool; a handle is a
+//     {slot index, sequence} pair, so cancel() is O(1) and allocation-free,
+//   * closures use the small-buffer-optimized sim::Callback, so periodic
+//     MAC/Trickle timers never touch the allocator in steady state,
+//   * ordering is a 4-ary min-heap over plain {time, seq, slot} PODs with
+//     lazy deletion; cancelled entries are skipped at pop and compacted
+//     away when they outnumber live ones.
+//
+// Lifetime: an EventHandle must not be used after its Scheduler is
+// destroyed (schedulers outlive the protocol objects holding handles
+// everywhere in this codebase).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
+#include <cstddef>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace iiot::sim {
 
+class Scheduler;
+
 /// Handle to a scheduled event; allows cancellation. Default-constructed
-/// handles are inert.
+/// handles are inert. Copyable; all copies refer to the same event.
 class EventHandle {
  public:
   EventHandle() = default;
 
-  /// Cancels the event if it has not fired yet. Idempotent.
-  void cancel() {
-    if (auto c = cancelled_.lock()) *c = true;
-  }
+  /// Cancels the event if it has not fired yet. Idempotent, O(1), no
+  /// allocation. Stale handles (event fired, or slot recycled for a newer
+  /// event) are no-ops.
+  inline void cancel();
 
-  /// True if the event is still pending (scheduled, not fired, not cancelled).
-  [[nodiscard]] bool pending() const {
-    auto c = cancelled_.lock();
-    return c && !*c;
-  }
+  /// True if the event is still pending (scheduled, not fired, not
+  /// cancelled).
+  [[nodiscard]] inline bool pending() const;
 
  private:
   friend class Scheduler;
-  explicit EventHandle(std::weak_ptr<bool> cancelled)
-      : cancelled_(std::move(cancelled)) {}
+  EventHandle(Scheduler* sched, std::uint32_t slot, std::uint64_t seq)
+      : sched_(sched), slot_(slot), seq_(seq) {}
 
-  std::weak_ptr<bool> cancelled_;
+  Scheduler* sched_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint64_t seq_ = 0;
 };
 
 class Scheduler {
@@ -51,10 +65,10 @@ class Scheduler {
   [[nodiscard]] Time now() const { return now_; }
 
   /// Schedules fn at absolute time `at` (clamped to now()).
-  EventHandle schedule_at(Time at, std::function<void()> fn);
+  EventHandle schedule_at(Time at, Callback fn);
 
   /// Schedules fn after the given delay.
-  EventHandle schedule_after(Duration delay, std::function<void()> fn) {
+  EventHandle schedule_after(Duration delay, Callback fn) {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
@@ -68,37 +82,85 @@ class Scheduler {
   /// Runs a single event; returns false if the queue is empty.
   bool step();
 
-  /// Number of pending (non-cancelled at pop time) events.
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  /// Number of live (scheduled, not fired, not cancelled) events.
+  [[nodiscard]] std::size_t pending_events() const { return live_; }
 
   /// Total events executed since construction (for perf accounting).
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
  private:
-  struct Event {
+  friend class EventHandle;
+
+  static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
+
+  /// Closure storage for one scheduled event. `seq` identifies the event
+  /// currently occupying the slot; handles carrying an older seq are
+  /// stale and cannot touch the slot's new tenant.
+  struct Slot {
+    Callback fn;
+    std::uint64_t seq = 0;
+    std::uint32_t next_free = kNilSlot;
+    bool armed = false;
+  };
+
+  /// Heap entries are plain PODs; the fat closure never moves with the
+  /// heap. Total order (at, seq) makes tie-break-by-insertion explicit.
+  struct HeapEntry {
     Time at;
     std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+
+  [[nodiscard]] static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  [[nodiscard]] bool stale(const HeapEntry& e) const {
+    const Slot& s = slots_[e.slot];
+    return !s.armed || s.seq != e.seq;
+  }
+
+  std::uint32_t alloc_slot();
+  void release_slot(std::uint32_t slot);
+
+  // O(1) cancellation backing EventHandle::cancel/pending.
+  void cancel(std::uint32_t slot, std::uint64_t seq);
+  [[nodiscard]] bool is_pending(std::uint32_t slot, std::uint64_t seq) const {
+    if (slot >= slots_.size()) return false;
+    const Slot& s = slots_[slot];
+    return s.armed && s.seq == seq;
+  }
+
+  // 4-ary min-heap primitives over heap_.
+  void heap_push(HeapEntry e);
+  void heap_pop();
+  void sift_down(std::size_t i);
+  void compact();
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::size_t live_ = 0;          // armed events
+  std::size_t stale_entries_ = 0; // cancelled entries still in heap_
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNilSlot;
+  std::vector<HeapEntry> heap_;
 };
+
+inline void EventHandle::cancel() {
+  if (sched_ != nullptr) sched_->cancel(slot_, seq_);
+}
+
+inline bool EventHandle::pending() const {
+  return sched_ != nullptr && sched_->is_pending(slot_, seq_);
+}
 
 /// Repeating timer built on the scheduler; survives rescheduling and
 /// cancels cleanly on destruction (RAII).
 class PeriodicTimer {
  public:
-  PeriodicTimer(Scheduler& sched, Duration period, std::function<void()> fn)
+  PeriodicTimer(Scheduler& sched, Duration period, Callback fn)
       : sched_(sched), period_(period), fn_(std::move(fn)) {}
   ~PeriodicTimer() { stop(); }
   PeriodicTimer(const PeriodicTimer&) = delete;
@@ -132,7 +194,7 @@ class PeriodicTimer {
 
   Scheduler& sched_;
   Duration period_;
-  std::function<void()> fn_;
+  Callback fn_;
   EventHandle handle_;
   bool running_ = false;
 };

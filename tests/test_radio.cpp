@@ -264,6 +264,163 @@ TEST_F(RadioTest, EnergyAccountsTxAndSleep) {
   EXPECT_LT(a.meter.duty_cycle(), 0.01);
 }
 
+// ---- neighbor-cache invalidation -------------------------------------
+// The medium caches, per radio, the list of radios in link range. These
+// tests pin the invalidation rules: attach, detach, channel switch, and
+// position change must all be visible to the next transmission.
+
+TEST_F(RadioTest, DetachMidTransmissionDoesNotDeliverThroughStaleCache) {
+  TestNode a(medium, sched, 1, {0, 0});
+  auto b = std::make_unique<TestNode>(medium, sched, 2, Position{10, 0});
+  b->listen();
+  a.radio.set_mode(Mode::kListen);
+
+  // Warm both neighbor caches with a successful exchange.
+  a.radio.transmit(make_frame(1, 2), nullptr);
+  sched.run_all();
+  EXPECT_EQ(b->rx_count, 1);
+
+  // Receiver disappears mid-air: no delivery, no crash.
+  a.radio.transmit(make_frame(1, 2, 50), nullptr);
+  sched.schedule_at(sched.now() + 500, [&] { b.reset(); });
+  sched.run_all();
+  const auto deliveries = medium.stats().deliveries;
+
+  // And a transmission begun after the detach must skip the dead radio.
+  a.radio.transmit(make_frame(1, 2), nullptr);
+  sched.run_all();
+  EXPECT_EQ(medium.stats().deliveries, deliveries);
+}
+
+TEST_F(RadioTest, SourceDetachMidTransmissionKillsItsFrame) {
+  auto a = std::make_unique<TestNode>(medium, sched, 1, Position{0, 0});
+  TestNode b(medium, sched, 2, {10, 0});
+  b.listen();
+  a->radio.set_mode(Mode::kListen);
+  a->radio.transmit(make_frame(1, 2, 50), nullptr);
+  sched.schedule_at(500, [&] { a.reset(); });  // transmitter dies mid-air
+  sched.run_all();
+  EXPECT_EQ(b.rx_count, 0);
+}
+
+TEST_F(RadioTest, ChannelSwitchAfterCacheWarmupStopsDelivery) {
+  TestNode a(medium, sched, 1, {0, 0});
+  TestNode b(medium, sched, 2, {10, 0});
+  b.listen();
+  a.radio.set_mode(Mode::kListen);
+
+  a.radio.transmit(make_frame(1, 2), nullptr);  // warm the caches
+  sched.run_all();
+  EXPECT_EQ(b.rx_count, 1);
+
+  b.radio.set_channel(20);  // stale cache entry must not deliver
+  a.radio.transmit(make_frame(1, 2), nullptr);
+  sched.run_all();
+  EXPECT_EQ(b.rx_count, 1);
+
+  b.radio.set_channel(11);  // and switching back restores the link
+  a.radio.transmit(make_frame(1, 2), nullptr);
+  sched.run_all();
+  EXPECT_EQ(b.rx_count, 2);
+}
+
+TEST_F(RadioTest, LateAttachedRadioIsVisibleToWarmCaches) {
+  TestNode a(medium, sched, 1, {0, 0});
+  TestNode b(medium, sched, 2, {10, 0});
+  b.listen();
+  a.radio.set_mode(Mode::kListen);
+  a.radio.transmit(make_frame(1, kBroadcastNode), nullptr);  // warm caches
+  sched.run_all();
+  EXPECT_EQ(b.rx_count, 1);
+
+  TestNode c(medium, sched, 3, {0, 10});  // attaches after cache warmup
+  c.listen();
+  a.radio.transmit(make_frame(1, kBroadcastNode), nullptr);
+  sched.run_all();
+  EXPECT_EQ(c.rx_count, 1);
+}
+
+TEST_F(RadioTest, PositionChangeInvalidatesLinkBudget) {
+  TestNode a(medium, sched, 1, {0, 0});
+  TestNode b(medium, sched, 2, {10, 0});
+  b.listen();
+  a.radio.set_mode(Mode::kListen);
+  a.radio.transmit(make_frame(1, 2), nullptr);  // warm caches at 10 m
+  sched.run_all();
+  EXPECT_EQ(b.rx_count, 1);
+
+  b.radio.set_position({10'000, 0});  // now far out of range
+  a.radio.transmit(make_frame(1, 2), nullptr);
+  sched.run_all();
+  EXPECT_EQ(b.rx_count, 1);
+
+  b.radio.set_position({5, 0});  // back in range
+  a.radio.transmit(make_frame(1, 2), nullptr);
+  sched.run_all();
+  EXPECT_EQ(b.rx_count, 2);
+}
+
+TEST_F(RadioTest, CcaSeesTransmitterAfterChannelSwitch) {
+  TestNode a(medium, sched, 1, {0, 0});
+  TestNode b(medium, sched, 2, {10, 0});
+  a.radio.set_mode(Mode::kListen);
+  b.radio.set_mode(Mode::kListen);
+  a.radio.set_channel(20);
+  b.radio.set_channel(20);
+  a.radio.transmit(make_frame(1, kBroadcastNode, 60), nullptr);
+  sched.schedule_at(200, [&] { EXPECT_FALSE(b.radio.cca_clear()); });
+  sched.run_all();
+  EXPECT_TRUE(b.radio.cca_clear());
+}
+
+// ---- determinism regression ------------------------------------------
+// The scheduler/medium fast path must be bit-for-bit deterministic: the
+// same seed must yield the same delivery/collision/loss counters. Run the
+// same contended scenario twice and compare every statistic.
+
+namespace {
+MediumStats run_contended_mesh(std::uint64_t seed) {
+  Scheduler sched;
+  PropagationConfig cfg;  // shadowing on: exercises the memoized draw
+  Medium medium(sched, cfg, seed);
+  std::vector<std::unique_ptr<TestNode>> nodes;
+  for (int i = 0; i < 12; ++i) {
+    nodes.push_back(std::make_unique<TestNode>(
+        medium, sched, static_cast<NodeId>(i + 1),
+        Position{static_cast<double>(i % 4) * 30.0,
+                 static_cast<double>(i / 4) * 30.0}));
+    nodes.back()->listen();
+  }
+  Rng traffic(seed, 5);
+  for (int pkt = 0; pkt < 300; ++pkt) {
+    const auto src = static_cast<std::size_t>(traffic.below(12));
+    const Time at = static_cast<Time>(traffic.below(1'000'000));
+    sched.schedule_at(at, [&nodes, src] {
+      nodes[src]->radio.transmit(
+          make_frame(nodes[src]->radio.id(), kBroadcastNode, 30), nullptr);
+    });
+  }
+  sched.run_all();
+  return medium.stats();
+}
+}  // namespace
+
+TEST(RadioDeterminism, IdenticalSeedsYieldIdenticalStats) {
+  const MediumStats s1 = run_contended_mesh(77);
+  const MediumStats s2 = run_contended_mesh(77);
+  EXPECT_GT(s1.transmissions, 0u);
+  EXPECT_GT(s1.deliveries, 0u);
+  EXPECT_GT(s1.collisions, 0u);  // the scenario must actually contend
+  EXPECT_EQ(s1.transmissions, s2.transmissions);
+  EXPECT_EQ(s1.deliveries, s2.deliveries);
+  EXPECT_EQ(s1.collisions, s2.collisions);
+  EXPECT_EQ(s1.snr_losses, s2.snr_losses);
+  EXPECT_EQ(s1.aborted, s2.aborted);
+
+  const MediumStats s3 = run_contended_mesh(78);  // and seeds do matter
+  EXPECT_NE(s1.deliveries, s3.deliveries);
+}
+
 TEST_F(RadioTest, CrossTenantFramesStillCollide) {
   TestNode a(medium, sched, 1, {0, 0});
   TestNode b(medium, sched, 2, {20, 10});

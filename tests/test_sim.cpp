@@ -102,6 +102,111 @@ TEST(Scheduler, EventsScheduledDuringRunExecute) {
   EXPECT_EQ(depth, 5);
 }
 
+TEST(Scheduler, CancelAfterFireWithRecycledSlotIsInert) {
+  // After an event fires, its slot returns to the free list and can be
+  // recycled by a new event. The old handle must stay inert: cancelling
+  // it repeatedly must not touch the slot's new tenant.
+  Scheduler s;
+  int first = 0;
+  auto h = s.schedule_at(10, [&] { ++first; });
+  s.run_all();
+  EXPECT_EQ(first, 1);
+
+  bool second_fired = false;
+  auto h2 = s.schedule_at(20, [&] { second_fired = true; });
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // stale: must not cancel the recycled slot's new event
+  h.cancel();
+  EXPECT_TRUE(h2.pending());
+  s.run_all();
+  EXPECT_TRUE(second_fired);
+  EXPECT_EQ(first, 1);
+}
+
+TEST(Scheduler, StaleHandleCannotCancelRecycledSlot) {
+  // Cancelling frees the slot immediately; the very next schedule reuses
+  // it. A second cancel through the stale handle must be a no-op.
+  Scheduler s;
+  bool a_fired = false;
+  bool b_fired = false;
+  auto ha = s.schedule_at(10, [&] { a_fired = true; });
+  ha.cancel();
+  auto hb = s.schedule_at(10, [&] { b_fired = true; });
+  ha.cancel();  // stale generation: hb's event must survive
+  EXPECT_FALSE(ha.pending());
+  EXPECT_TRUE(hb.pending());
+  s.run_all();
+  EXPECT_FALSE(a_fired);
+  EXPECT_TRUE(b_fired);
+}
+
+TEST(Scheduler, TieBreakSurvivesCancellationChurn) {
+  // Heavy schedule/cancel interleaving (exercising slot reuse and lazy
+  // heap deletion) must not disturb insertion-order tie-breaking among
+  // the surviving events.
+  Scheduler s;
+  std::vector<int> order;
+  std::vector<EventHandle> doomed;
+  for (int i = 0; i < 200; ++i) {
+    if (i % 2 == 0) {
+      s.schedule_at(500, [&order, i] { order.push_back(i); });
+    } else {
+      doomed.push_back(s.schedule_at(500, [] {}));
+    }
+  }
+  for (auto& h : doomed) h.cancel();
+  // Post-churn arrivals at the same time still fire after earlier ones.
+  s.schedule_at(500, [&order] { order.push_back(1000); });
+  s.run_all();
+  ASSERT_EQ(order.size(), 101u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], 2 * i);
+  }
+  EXPECT_EQ(order.back(), 1000);
+}
+
+TEST(Scheduler, MassCancellationCompactsWithoutReordering) {
+  // Cancel enough events to trip heap compaction, then verify both the
+  // live count and the firing order of the survivors.
+  Scheduler s;
+  std::vector<EventHandle> doomed;
+  std::vector<Time> fired;
+  for (int i = 0; i < 1000; ++i) {
+    const Time at = static_cast<Time>(10 + i);
+    if (i % 10 == 0) {
+      s.schedule_at(at, [&fired, &s] { fired.push_back(s.now()); });
+    } else {
+      doomed.push_back(s.schedule_at(at, [] {}));
+    }
+  }
+  EXPECT_EQ(s.pending_events(), 1000u);
+  for (auto& h : doomed) h.cancel();
+  EXPECT_EQ(s.pending_events(), 100u);
+  s.run_all();
+  ASSERT_EQ(fired.size(), 100u);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LT(fired[i - 1], fired[i]);
+  }
+}
+
+TEST(Scheduler, LargeClosuresFallBackToHeapCorrectly) {
+  // Captures beyond the inline SBO budget take the heap path; they must
+  // still move, fire, and destruct exactly once.
+  Scheduler s;
+  std::vector<int> payload(64, 7);
+  int sum = 0;
+  struct Big {
+    double a[16] = {1, 2, 3};
+  };
+  Big big;
+  s.schedule_at(5, [payload, big, &sum] {
+    for (int v : payload) sum += v;
+    sum += static_cast<int>(big.a[2]);
+  });
+  s.run_all();
+  EXPECT_EQ(sum, 64 * 7 + 3);
+}
+
 TEST(PeriodicTimer, FiresEveryPeriod) {
   Scheduler s;
   std::vector<Time> fires;
@@ -140,6 +245,53 @@ TEST(PeriodicTimer, DestructionCancels) {
   }
   s.run_until(1000);
   EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTimer, StopAndRestartInsideCallback) {
+  // A callback that stops and immediately restarts its own timer must
+  // re-phase cleanly: no double firing, no lost firing.
+  Scheduler s;
+  std::vector<Time> fires;
+  PeriodicTimer t(s, 100, [&] { fires.push_back(s.now()); });
+  PeriodicTimer* tp = &t;
+  bool rephased = false;
+  PeriodicTimer driver(s, 100, [&] {
+    if (!rephased && s.now() >= 200) {
+      rephased = true;
+      tp->stop();
+      tp->start(30);  // next firing 30 ticks from now, then every 100
+    }
+  });
+  t.start();
+  driver.start(5);
+  s.run_until(600);
+  // t fires at 100, 200; at 205 the driver re-phases it: 235, 335, 435, 535.
+  EXPECT_EQ(fires, (std::vector<Time>{100, 200, 235, 335, 435, 535}));
+}
+
+TEST(PeriodicTimer, StopInsideOwnCallbackHalts) {
+  Scheduler s;
+  int count = 0;
+  PeriodicTimer t(s, 10, [&] {
+    ++count;
+    if (count == 3) t.stop();
+  });
+  t.start();
+  s.run_until(1000);
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(t.running());
+}
+
+TEST(PeriodicTimer, RestartInsideOwnCallbackRephases) {
+  Scheduler s;
+  std::vector<Time> fires;
+  PeriodicTimer t(s, 100, [&] {
+    fires.push_back(s.now());
+    if (fires.size() == 2) t.start(17);  // restart mid-callback
+  });
+  t.start();
+  s.run_until(450);
+  EXPECT_EQ(fires, (std::vector<Time>{100, 200, 217, 317, 417}));
 }
 
 TEST(EnergyMeter, ChargesByStateAndTime) {
