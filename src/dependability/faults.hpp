@@ -31,12 +31,24 @@ class CrashProcess {
         on_fail_(std::move(on_fail)),
         on_repair_(std::move(on_repair)) {}
 
+  /// Starts (or restarts) the process. Restart-safe: any armed timer is
+  /// cancelled first, so calling start() twice never leaves two failure
+  /// clocks running. A process restarted while its component is down
+  /// resumes from the repair side of the cycle (unless crashes are
+  /// permanent, in which case the component stays down).
   void start() {
+    timer_.cancel();
     running_ = true;
-    stats_.start(sched_.now());
-    arm_failure();
+    if (up_) {
+      stats_.start(sched_.now());
+      arm_failure();
+    } else if (cfg_.repair) {
+      arm_repair();
+    }
   }
 
+  /// Freezes the process in its current state: a component mid-repair
+  /// stays down until start() is called again.
   void stop() {
     running_ = false;
     timer_.cancel();

@@ -103,6 +103,7 @@ Result<ResourceValue> GattAdapter::read(const ResourcePath& path) {
   if (!rsp.ok()) return rsp.error();
   const Buffer& r = rsp.value();
   if (r.size() != 5 || r[0] != kOpReadRsp) {
+    ++stats_.protocol_errors;
     return Error{Error::Code::kMalformed, "gatt: bad read response"};
   }
   float v = 0;
@@ -126,6 +127,7 @@ Status GattAdapter::write(const ResourcePath& path,
   auto rsp = transact(std::move(req));
   if (!rsp.ok()) return rsp.error();
   if (rsp.value().empty() || rsp.value()[0] != kOpWriteRsp) {
+    ++stats_.protocol_errors;
     return Error{Error::Code::kMalformed, "gatt: bad write response"};
   }
   return Status::success();

@@ -162,7 +162,7 @@ void LplMac::send_data() {
   const Pending& p = queue_front();
   radio::Frame f = make_data_frame(p);
   f.seq = tx_seq_;
-  radio_.transmit(std::move(f), [this] {
+  const bool started = radio_.transmit(std::move(f), [this] {
     ack_timer_ = sched_.schedule_after(cfg_.data_ack_timeout, [this] {
       if (!sending_) return;
       if (queue_front().attempts > cfg_.max_retries) {
@@ -178,6 +178,13 @@ void LplMac::send_data() {
       }
     });
   });
+  if (!started) {
+    // Radio busy (e.g. mid-reception of a third node's frame). Without a
+    // retry the MAC would wedge: sending_/tx_active_ stay set with no
+    // timer pending — mute *and* deaf forever. The receiver's extended
+    // window (expecting_data_) keeps it listening long enough.
+    gap_timer_ = sched_.schedule_after(500, [this] { send_data(); });
+  }
 }
 
 void LplMac::resume_train() {

@@ -1,5 +1,6 @@
 #include "mac/rimac.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace iiot::mac {
@@ -90,6 +91,7 @@ void RiMac::start_attempt() {
   Pending& p = queue_front();
   ++p.attempts;
   data_in_flight_ = false;
+  skip_beacons_ = 0;
   tx_seq_ = next_seq_++;
   radio_.set_mode(radio::Mode::kListen);
   // Wait up to ~1.5 jittered intervals for the target's beacon; for
@@ -132,8 +134,17 @@ void RiMac::on_target_beacon() {
         return;
       }
       ack_timer_ = sched_.schedule_after(cfg_.ack_timeout, [this] {
-        // No ack: wait for the target's next beacon (same attempt).
+        // No ack — almost always a collision with another sender camped
+        // on the same receiver's beacon (convergecast: everyone contends
+        // for the sink). Retrying at the very next beacon keeps the
+        // colliders in lockstep forever, so resolve like RI-MAC does:
+        // sit out a random number of beacons before contending again.
         data_in_flight_ = false;
+        if (!queue_empty()) {
+          const auto intensity = static_cast<std::uint32_t>(
+              std::min(queue_front().attempts, 3) + 1);
+          skip_beacons_ = static_cast<int>(rng_.below(intensity + 1));
+        }
       });
     });
   });
@@ -152,7 +163,13 @@ void RiMac::on_frame(const radio::Frame& f, double rssi) {
     case radio::FrameType::kBeacon:
       if (sending_ && !data_in_flight_ && !queue_empty()) {
         const NodeId dst = queue_front().dst;
-        if (dst == f.src || dst == kBroadcastNode) on_target_beacon();
+        if (dst == f.src || dst == kBroadcastNode) {
+          if (skip_beacons_ > 0 && dst != kBroadcastNode) {
+            --skip_beacons_;  // collision-resolution backoff
+            return;
+          }
+          on_target_beacon();
+        }
       }
       return;
 

@@ -59,6 +59,7 @@ class RiMac : public MacBase {
   // Sender state.
   bool sending_ = false;
   bool data_in_flight_ = false;
+  int skip_beacons_ = 0;  // collision-resolution: beacons to sit out
   std::uint16_t tx_seq_ = 0;
   sim::Time attempt_deadline_ = 0;
   sim::EventHandle attempt_timer_;

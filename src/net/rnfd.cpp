@@ -1,5 +1,6 @@
 #include "net/rnfd.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace iiot::net {
@@ -63,6 +64,8 @@ void RnfdDetector::probe() {
         if (!running_) return;
         if (st.delivered) {
           ++stats_.probes_acked;
+          consec_misses_ = 0;
+          last_probe_ack_ = sched_.now();
           // Root demonstrably alive: clear any accumulated suspicion.
           if (cfrc_.suspect_count() > 0) {
             cfrc_.advance_epoch();
@@ -73,7 +76,19 @@ void RnfdDetector::probe() {
           }
         } else {
           ++stats_.probes_missed;
-          if (!cfrc_.has_suspect(routing_.id())) {
+          // Inconclusive miss: the root is demonstrably alive (its DIO
+          // was heard, or some unicast to it was MAC-acked, recently),
+          // so the loss was contention, not death.
+          const sim::Time alive = std::max(
+              last_probe_ack_,
+              routing_.neighbor_last_heard(routing_.root_id()));
+          if (sched_.now() < alive + cfg_.liveness_window) {
+            consec_misses_ = 0;
+            return;
+          }
+          ++consec_misses_;
+          if (consec_misses_ >= cfg_.misses_to_suspect &&
+              !cfrc_.has_suspect(routing_.id())) {
             cfrc_.suspect(routing_.id());
             dirty_ = true;
             evaluate();
@@ -86,7 +101,12 @@ void RnfdDetector::gossip() {
   if (!running_) return;
   gossip_timer_ =
       sched_.schedule_after(cfg_.gossip_interval, [this] { gossip(); });
-  if (!dirty_) return;
+  // Event-driven gossip alone cannot converge over a lossy broadcast
+  // medium: a node that misses the *one* dissemination of an epoch
+  // advance would keep a stale verdict forever (nobody re-sends once the
+  // network is quiet). A slow anti-entropy round bounds that staleness.
+  if (!dirty_ && ++quiet_rounds_ < cfg_.anti_entropy_rounds) return;
+  quiet_rounds_ = 0;
   dirty_ = false;
   Buffer out;
   out.push_back(static_cast<std::uint8_t>(MsgType::kRnfd));
@@ -110,6 +130,7 @@ void RnfdDetector::on_gossip(NodeId src, BytesView full) {
   cfrc_.merge(*remote);
   if (cfrc_.epoch() != old_epoch) {
     declared_dead_ = false;
+    consec_misses_ = 0;  // root proven alive by another sentinel
     dirty_ = true;
   } else if (cfrc_.suspect_count() != old_count) {
     dirty_ = true;  // propagate new evidence onward

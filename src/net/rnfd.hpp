@@ -33,6 +33,21 @@ struct RnfdConfig {
   sim::Duration gossip_interval = 1'000'000;  // CFRC dissemination pace
   int quorum_min = 2;            // at least this many distinct suspects
   double quorum_ratio = 0.5;     // ... and this fraction of participants
+  /// Consecutive probe losses before a sentinel casts a CFRC vote. A
+  /// single missed unicast is routine under duty-cycled contention; a
+  /// vote must mean "persistently unreachable", else two coincident
+  /// MAC-level losses meet the quorum and flap the verdict.
+  int misses_to_suspect = 2;
+  /// A probe miss is ignored while the root was directly proven alive
+  /// (DIO heard, or any unicast to it MAC-acked — the sentinel's own
+  /// data traffic converges on the root, so this is passive probing for
+  /// free) within this window. Distinguishes "my ping lost to
+  /// contention" from "root silent".
+  sim::Duration liveness_window = 15'000'000;
+  /// Re-broadcast the CFRC every this many quiet gossip rounds even with
+  /// no new evidence (anti-entropy: epoch advances must eventually reach
+  /// nodes that missed their one event-driven dissemination).
+  int anti_entropy_rounds = 10;
 };
 
 struct RnfdStats {
@@ -78,6 +93,9 @@ class RnfdDetector {
   bool running_ = false;
   bool declared_dead_ = false;
   bool dirty_ = false;  // local CFRC changed since last gossip
+  int consec_misses_ = 0;  // probe losses since last success/epoch
+  sim::Time last_probe_ack_ = 0;
+  int quiet_rounds_ = 0;  // gossip rounds suppressed since last broadcast
   FailureHandler on_failure_;
   sim::EventHandle probe_timer_;
   sim::EventHandle gossip_timer_;

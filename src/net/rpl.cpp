@@ -28,6 +28,8 @@ void RplRouting::start() {
   running_ = true;
   is_root_ = false;
   rank_ = kInfiniteRank;
+  lowest_rank_ = kInfiniteRank;
+  advertised_rank_ = kInfiniteRank;
   mac_.set_receive_handler([this](NodeId src, BytesView p, double rssi) {
     on_mac_receive(src, p, rssi);
   });
@@ -63,6 +65,7 @@ void RplRouting::send_dio() {
   Buffer out;
   dio.encode(out);
   ++stats_.dio_tx;
+  advertised_rank_ = rank_;
   mac_.send(kBroadcastNode, std::move(out));
 }
 
@@ -123,7 +126,21 @@ void RplRouting::on_mac_receive(NodeId src, BytesView payload, double rssi) {
 void RplRouting::handle_dio(NodeId src, const DioMsg& dio) {
   ++stats_.dio_rx;
   if (is_root_) {
-    // Root only checks consistency of what it hears.
+    // The root is the version authority for its own DODAG. Hearing a
+    // *newer* version of itself (stale state from a past incarnation, or
+    // a corrupted DIO that poisoned the mesh with a phantom future
+    // version) would otherwise strand every node forever: version only
+    // moves forward, so the root's honest DIOs all look stale. Jump past
+    // the imposter and re-advertise — serial-number arithmetic everywhere
+    // else makes the mesh follow.
+    const auto ahead = static_cast<std::uint8_t>(dio.version - version_);
+    if (dio.dodag_root == dodag_root_ && ahead > 0 && ahead < 128) {
+      version_ = static_cast<std::uint8_t>(dio.version + 1);
+      downward_.clear();
+      trickle_.reset();
+      return;
+    }
+    // Otherwise the root only checks consistency of what it hears.
     if (dio.version == version_) {
       trickle_.consistent();
     }
@@ -139,6 +156,7 @@ void RplRouting::handle_dio(NodeId src, const DioMsg& dio) {
     neighbors_.clear();
     parent_ = kInvalidNode;
     rank_ = kInfiniteRank;
+    lowest_rank_ = kInfiniteRank;  // DAGMaxRankIncrease is per version
     trickle_.inconsistent();
   } else if (newer != 0) {
     // Stale version: inconsistent, let our DIO correct the sender.
@@ -217,7 +235,6 @@ bool RplRouting::send_down(NodeId target, Buffer payload) {
 }
 
 void RplRouting::handle_data(NodeId src, DataMsg&& msg) {
-  (void)src;
   if (seen_recently(msg.origin, msg.seq)) return;
   if (msg.dest == kInvalidNode) {
     // Upward traffic: give the in-network processing hook first refusal.
@@ -225,6 +242,21 @@ void RplRouting::handle_data(NodeId src, DataMsg&& msg) {
     if (is_root_) {
       ++stats_.data_delivered;
       if (deliver_) deliver_(msg.origin, msg.payload, msg.hops);
+      return;
+    }
+    // Data-path loop detection (RFC 6550 §11.2): an upward packet from
+    // our own preferred parent means each of us believes the other is
+    // closer to the root — a cycle built on mutually stale ranks. The
+    // sighting may also be a stale in-flight frame from an instant ago,
+    // so don't tear state down; advertise promptly (both ends of a real
+    // cycle keep tripping this, so their DIO exchange stays at Imin and
+    // the stale ranks correct in seconds) and DROP the packet. Forwarding
+    // it back would let one trapped packet ping-pong its whole TTL away
+    // — on a duty-cycled MAC that is seconds of airtime per packet, which
+    // starves the very DIO exchange the repair depends on.
+    if (src == parent_ && parent_ != kInvalidNode) {
+      trickle_.inconsistent();
+      ++stats_.drops_loop;
       return;
     }
     ++stats_.data_forwarded;
@@ -258,7 +290,14 @@ void RplRouting::forward_up(DataMsg msg, bool allow_reroute) {
             [this, msg = std::move(msg), via,
              allow_reroute](const mac::SendStatus& st) mutable {
               links_.record_tx(via, st.attempts, st.delivered);
-              if (st.delivered) return;
+              if (st.delivered) {
+                // A MAC ack is direct proof the neighbor is alive;
+                // liveness consumers (RNFD) read neighbor_last_heard.
+                if (auto it = neighbors_.find(via); it != neighbors_.end()) {
+                  it->second.last_heard = sched_.now();
+                }
+                return;
+              }
               if (links_.consecutive_failures(via) >=
                   cfg_.max_parent_failures) {
                 neighbors_.erase(via);
@@ -367,6 +406,20 @@ void RplRouting::select_parent() {
                  ? static_cast<std::uint8_t>(it->second.depth + 1)
                  : 0xFF;
   }
+  if (rank_ < kInfiniteRank) {
+    if (rank_ < lowest_rank_) {
+      lowest_rank_ = rank_;
+    }
+    if (cfg_.max_rank_increase > 0 &&
+        rank_ > static_cast<std::uint32_t>(lowest_rank_) +
+                    cfg_.max_rank_increase) {
+      // DAGMaxRankIncrease exceeded: two nodes holding stale ranks for
+      // each other inflate one another without bound (count-to-infinity).
+      // Detaching + poisoning breaks the cycle; DIS brings real routes.
+      become_orphan();
+      return;
+    }
+  }
   if (rank_ >= kInfiniteRank) become_orphan();
 }
 
@@ -374,6 +427,12 @@ void RplRouting::become_orphan() {
   const bool was_joined = rank_ < kInfiniteRank || parent_ != kInvalidNode;
   parent_ = kInvalidNode;
   rank_ = kInfiniteRank;
+  // Detaching ends the current ascent: the next join starts a fresh
+  // DAGMaxRankIncrease measurement. Keeping the old floor would make a
+  // post-repair rejoin (at ETX-inflated ranks, legitimately far above
+  // the pre-crash floor) trip the bound immediately and re-orphan the
+  // node in a permanent detach loop.
+  lowest_rank_ = kInfiniteRank;
   depth_ = 0xFF;
   if (was_joined) {
     ++stats_.parent_changes;

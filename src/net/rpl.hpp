@@ -35,6 +35,12 @@ struct RplConfig {
   sim::Duration dao_interval = 30'000'000;  // 30 s
   sim::Duration dis_interval = 5'000'000;   // orphan solicitation
   Rank parent_switch_threshold = 192;       // hysteresis
+  /// DAGMaxRankIncrease (RFC 6550 §8.2.2.4): a node may not grow its rank
+  /// more than this above the lowest rank it attained within the current
+  /// DODAG version; past the bound it must detach and poison. Bounds
+  /// count-to-infinity between nodes holding stale ranks for each other.
+  /// 0 disables the check.
+  Rank max_rank_increase = 7 * kMinHopRankIncrease;
   int max_parent_failures = 3;
   std::uint8_t max_hops = 32;
   bool downward_routes = true;
@@ -51,6 +57,7 @@ struct RplStats {
   std::uint64_t drops_no_route = 0;
   std::uint64_t drops_link = 0;
   std::uint64_t drops_ttl = 0;
+  std::uint64_t drops_loop = 0;  // data-path loop detection (RFC 6550 §11.2)
   std::uint64_t parent_changes = 0;
 };
 
@@ -115,6 +122,12 @@ class RplRouting {
   [[nodiscard]] std::size_t neighbor_count() const {
     return neighbors_.size();
   }
+  /// Last direct evidence that neighbor `n` is alive — a control message
+  /// received from it, or a MAC ack for a unicast to it (0 if never).
+  [[nodiscard]] sim::Time neighbor_last_heard(NodeId n) const {
+    const auto it = neighbors_.find(n);
+    return it == neighbors_.end() ? 0 : it->second.last_heard;
+  }
   [[nodiscard]] LinkEstimator& link_estimator() { return links_; }
   [[nodiscard]] mac::Mac& mac() { return mac_; }
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
@@ -160,6 +173,7 @@ class RplRouting {
   bool is_root_ = false;
   Rank rank_ = kInfiniteRank;
   Rank advertised_rank_ = kInfiniteRank;  // rank at last trickle reset
+  Rank lowest_rank_ = kInfiniteRank;      // per DODAG version (see config)
   std::uint8_t depth_ = 0xFF;
   NodeId parent_ = kInvalidNode;
   std::uint8_t version_ = 0;

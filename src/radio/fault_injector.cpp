@@ -1,0 +1,58 @@
+#include "radio/fault_injector.hpp"
+
+namespace iiot::radio {
+
+FaultInjector::FaultInjector(Medium& medium, std::uint64_t seed,
+                             FaultInjectorConfig cfg)
+    : medium_(medium), rng_(seed ^ 0xFA17ULL, 101), cfg_(cfg) {}
+
+void FaultInjector::enable() {
+  if (enabled_) return;
+  enabled_ = true;
+  medium_.set_fault_hook([this](Frame& f) { return decide(f); });
+}
+
+void FaultInjector::disable() {
+  if (!enabled_) return;
+  enabled_ = false;
+  medium_.set_fault_hook(nullptr);
+}
+
+FaultDecision FaultInjector::decide(Frame& f) {
+  ++stats_.examined;
+  FaultDecision d;
+  // Every coin is flipped on every frame so the RNG stream consumed per
+  // frame is constant — replay stays aligned whatever the outcomes are.
+  const bool drop = rng_.chance(cfg_.drop_p);
+  const bool corrupt = rng_.chance(cfg_.corrupt_p);
+  const bool duplicate = rng_.chance(cfg_.duplicate_p);
+  const bool delay = rng_.chance(cfg_.delay_p);
+  const std::uint32_t flip = rng_.next_u32();
+  const auto delay_us = static_cast<sim::Duration>(
+      rng_.below(static_cast<std::uint32_t>(cfg_.max_delay) + 1));
+
+  if (corrupt && !f.payload.empty()) {
+    // Flip one byte somewhere in the payload: models a bit error that
+    // slipped past the FCS. Upper-layer codecs must reject or survive it.
+    f.payload[flip % f.payload.size()] ^=
+        static_cast<std::uint8_t>(1u << (flip % 8u));
+    ++stats_.corrupted;
+  }
+  if (drop) {
+    d.drop = true;
+    ++stats_.dropped;
+    return d;
+  }
+  if (delay) {
+    d.delay = delay_us;
+    ++stats_.delayed;
+    return d;
+  }
+  if (duplicate) {
+    d.duplicate = true;
+    ++stats_.duplicated;
+  }
+  return d;
+}
+
+}  // namespace iiot::radio

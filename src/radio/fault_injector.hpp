@@ -1,0 +1,63 @@
+// Fault-injecting wrapper around the radio Medium (paper §V dependability
+// axis): corrupts, drops, duplicates, and reorders frames in flight with
+// configured probabilities, from a dedicated deterministic RNG stream.
+//
+// Installing an injector arms the medium's per-transmission fault hook;
+// the injector draws its verdicts independently of the medium's delivery
+// RNG, so two runs with the same seed take bit-identical fault decisions
+// regardless of traffic interleaving. Used by the property-based scenario
+// fuzzer (src/testing) and available to any dependability bench.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "radio/medium.hpp"
+
+namespace iiot::radio {
+
+struct FaultInjectorConfig {
+  double drop_p = 0.0;        // frame lost at every receiver
+  double corrupt_p = 0.0;     // payload bytes flipped in place
+  double duplicate_p = 0.0;   // surviving receptions delivered twice
+  double delay_p = 0.0;       // surviving receptions delivered late
+  sim::Duration max_delay = 20'000;  // upper bound for the reorder delay
+};
+
+struct FaultInjectorStats {
+  std::uint64_t examined = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;
+};
+
+/// RAII: arms the medium's fault hook on construction / enable(), clears
+/// it on disable() and destruction. Delay and duplication are mutually
+/// exclusive per frame (a delayed frame arrives once).
+class FaultInjector {
+ public:
+  FaultInjector(Medium& medium, std::uint64_t seed,
+                FaultInjectorConfig cfg = {});
+  ~FaultInjector() { disable(); }
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  void enable();
+  void disable();
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  [[nodiscard]] const FaultInjectorStats& stats() const { return stats_; }
+  [[nodiscard]] const FaultInjectorConfig& config() const { return cfg_; }
+
+ private:
+  [[nodiscard]] FaultDecision decide(Frame& f);
+
+  Medium& medium_;
+  Rng rng_;
+  FaultInjectorConfig cfg_;
+  FaultInjectorStats stats_;
+  bool enabled_ = false;
+};
+
+}  // namespace iiot::radio

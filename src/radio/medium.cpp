@@ -24,6 +24,8 @@ void Medium::detach(Radio* r) {
   neighbors_.pop_back();
   invalidate_neighbor_caches();
 
+  if (debug_skip_detach_cleanup_) return;  // canary: leave stale bookkeeping
+
   for (ActiveTx& tx : active_) {
     std::erase(tx.receivers, r);
   }
@@ -71,7 +73,13 @@ void Medium::begin_tx(Radio& src, Frame f) {
   const sim::Time end = start + airtime(f);
   const std::uint64_t id = next_tx_id_++;
 
-  ActiveTx tx{id, &src, src.channel(), start, end, std::move(f), {}};
+  ActiveTx tx{id, &src, src.channel(), start, end, std::move(f), {}, {}};
+  if (fault_hook_) {
+    tx.fault = fault_hook_(tx.frame);
+    if (tx.fault.drop) ++stats_.fault_drops;
+    if (tx.fault.duplicate) ++stats_.fault_dups;
+    if (tx.fault.delay > 0) ++stats_.fault_delays;
+  }
 
   // Start receptions at every radio currently able to hear this frame —
   // O(neighbors), not O(all radios).
@@ -158,7 +166,7 @@ void Medium::finish_tx(std::uint64_t tx_id) {
       list.pop_back();
       break;
     }
-    if (dead) continue;
+    if (dead || tx.fault.drop) continue;
     // Receiver must still be listening on the same channel.
     if (receiver->mode() != Mode::kListen || receiver->transmitting() ||
         receiver->channel() != tx.channel) {
@@ -170,9 +178,112 @@ void Medium::finish_tx(std::uint64_t tx_id) {
       ++stats_.snr_losses;
       continue;
     }
+    if (tx.fault.delay > 0) {
+      // Reordering fault: the frame arrives late, possibly after frames
+      // transmitted afterwards. Lifetime-safe via id lookup at fire time.
+      sched_.schedule_after(
+          tx.fault.delay,
+          [this, to = receiver->id(), f = tx.frame, signal_dbm,
+           ch = tx.channel] { deliver_late(to, f, signal_dbm, ch); });
+      continue;
+    }
     ++stats_.deliveries;
     receiver->deliver(tx.frame, signal_dbm);
+    if (tx.fault.duplicate) {
+      ++stats_.deliveries;
+      receiver->deliver(tx.frame, signal_dbm);
+    }
   }
+}
+
+void Medium::deliver_late(NodeId to, const Frame& f, double signal_dbm,
+                          ChannelId channel) {
+  for (Radio* r : radios_) {
+    if (r->id() != to) continue;
+    // The late frame is only hearable if the radio still listens there.
+    if (r->mode() != Mode::kListen || r->transmitting() ||
+        r->channel() != channel) {
+      ++stats_.aborted;
+      return;
+    }
+    ++stats_.deliveries;
+    r->deliver(f, signal_dbm);
+    return;
+  }
+}
+
+std::string Medium::check_consistency() const {
+  auto fail = [](std::string msg) { return "medium: " + std::move(msg); };
+
+  if (rx_at_.size() != radios_.size() || neighbors_.size() != radios_.size()) {
+    return fail("table sizes diverge (radios=" +
+                std::to_string(radios_.size()) +
+                " rx_at=" + std::to_string(rx_at_.size()) +
+                " neighbors=" + std::to_string(neighbors_.size()) + ")");
+  }
+  for (std::size_t i = 0; i < radios_.size(); ++i) {
+    if (radios_[i]->medium_index_ != i) {
+      return fail("radio " + std::to_string(radios_[i]->id()) +
+                  " has medium_index " +
+                  std::to_string(radios_[i]->medium_index_) + ", expected " +
+                  std::to_string(i));
+    }
+  }
+
+  auto attached = [this](const Radio* r) {
+    for (const Radio* a : radios_) {
+      if (a == r) return true;
+    }
+    return false;
+  };
+
+  for (const ActiveTx& tx : active_) {
+    if (tx.end < tx.start) {
+      return fail("tx " + std::to_string(tx.id) + " ends before it starts");
+    }
+    if (!attached(tx.src)) {
+      return fail("tx " + std::to_string(tx.id) + " sourced by detached radio");
+    }
+    for (const Radio* rcv : tx.receivers) {
+      if (!attached(rcv)) {
+        return fail("tx " + std::to_string(tx.id) +
+                    " lists a detached receiver");
+      }
+      std::size_t hits = 0;
+      for (const Reception& rec : rx_at_[rcv->medium_index_]) {
+        if (rec.tx_id == tx.id) ++hits;
+      }
+      if (hits != 1) {
+        return fail("tx " + std::to_string(tx.id) + " has " +
+                    std::to_string(hits) + " receptions at radio " +
+                    std::to_string(rcv->id()) + ", expected 1");
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < rx_at_.size(); ++i) {
+    for (const Reception& rec : rx_at_[i]) {
+      const ActiveTx* owner = nullptr;
+      for (const ActiveTx& tx : active_) {
+        if (tx.id == rec.tx_id) owner = &tx;
+      }
+      if (owner == nullptr) {
+        return fail("radio " + std::to_string(radios_[i]->id()) +
+                    " holds a reception for finished tx " +
+                    std::to_string(rec.tx_id));
+      }
+      bool listed = false;
+      for (const Radio* rcv : owner->receivers) {
+        if (rcv == radios_[i]) listed = true;
+      }
+      if (!listed) {
+        return fail("tx " + std::to_string(rec.tx_id) +
+                    " does not list radio " + std::to_string(radios_[i]->id()) +
+                    " although a reception exists there");
+      }
+    }
+  }
+  return {};
 }
 
 }  // namespace iiot::radio

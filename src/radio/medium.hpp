@@ -24,6 +24,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -41,6 +43,17 @@ struct MediumStats {
   std::uint64_t collisions = 0;   // receptions corrupted by overlap
   std::uint64_t snr_losses = 0;   // receptions lost to the PRR coin flip
   std::uint64_t aborted = 0;      // receiver left listen mid-frame
+  std::uint64_t fault_drops = 0;  // transmissions killed by fault injection
+  std::uint64_t fault_dups = 0;   // deliveries duplicated by fault injection
+  std::uint64_t fault_delays = 0; // deliveries delayed by fault injection
+};
+
+/// Per-transmission verdict of an installed fault hook (see
+/// Medium::set_fault_hook). The default-constructed decision is "no fault".
+struct FaultDecision {
+  bool drop = false;        // the frame is lost at every receiver
+  bool duplicate = false;   // surviving receptions are delivered twice
+  sim::Duration delay = 0;  // surviving receptions arrive this much late
 };
 
 class Medium {
@@ -53,10 +66,36 @@ class Medium {
   [[nodiscard]] Propagation& propagation() { return prop_; }
   [[nodiscard]] const MediumStats& stats() const { return stats_; }
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+  /// Transmissions currently on the air (test harnesses time detach/churn
+  /// events against this to hit the interesting interleavings).
+  [[nodiscard]] std::size_t in_flight() const { return active_.size(); }
 
   /// Expected PRR of the a→b link (for tests and topology construction).
   [[nodiscard]] double link_prr(const Radio& a, const Radio& b) const {
     return prop_.prr(a.id(), a.position(), b.id(), b.position());
+  }
+
+  /// Fault injection hook (testing/fuzzing): consulted once per
+  /// transmission. The hook may mutate the frame's payload in place
+  /// (corruption) and returns what else should happen to it. Unset in
+  /// production; zero cost on the hot path when unset. See
+  /// radio::FaultInjector for the standard implementation.
+  using FaultHook = std::function<FaultDecision(Frame&)>;
+  void set_fault_hook(FaultHook h) { fault_hook_ = std::move(h); }
+
+  /// Cross-checks the medium's internal bookkeeping: dense index maps,
+  /// reception lists vs. active transmissions, receiver liveness. Returns
+  /// an empty string when consistent, else a description of the first
+  /// violation. O(radios + receptions); meant for test harnesses, not the
+  /// hot path.
+  [[nodiscard]] std::string check_consistency() const;
+
+  /// Canary hook for validating the fuzz harness: when enabled, detach()
+  /// deliberately skips removing the departing radio from in-flight
+  /// reception bookkeeping — the class of bug check_consistency() exists
+  /// to catch. Never enable outside tests.
+  void debug_set_skip_detach_cleanup(bool on) {
+    debug_skip_detach_cleanup_ = on;
   }
 
  private:
@@ -78,6 +117,7 @@ class Medium {
     sim::Time start;
     sim::Time end;
     Frame frame;
+    FaultDecision fault;
     /// Receivers with a reception for this tx, in creation order — the
     /// order the delivery loop (and thus the delivery RNG) follows.
     std::vector<Radio*> receivers;
@@ -120,6 +160,11 @@ class Medium {
 
   void finish_tx(std::uint64_t tx_id);
 
+  /// Fault-path delivery of a delayed frame: the receiver is looked up by
+  /// id at fire time so the closure never dereferences a detached radio.
+  void deliver_late(NodeId to, const Frame& f, double signal_dbm,
+                    ChannelId channel);
+
   [[nodiscard]] double rx_power(const Radio& from, const Radio& to) const {
     return prop_.rx_dbm(from.id(), from.position(), to.id(), to.position());
   }
@@ -134,6 +179,8 @@ class Medium {
   std::vector<std::vector<Reception>> rx_at_;  // by medium index
   mutable std::vector<NeighborCache> neighbors_;
   std::uint64_t cache_epoch_ = 1;
+  FaultHook fault_hook_;
+  bool debug_skip_detach_cleanup_ = false;
 };
 
 }  // namespace iiot::radio

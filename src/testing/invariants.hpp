@@ -1,0 +1,53 @@
+// Cross-layer invariant checkers for the property-based scenario fuzzer
+// (DESIGN.md §4c). Each checker returns an empty string when the invariant
+// holds and a human-readable description of the first violation otherwise,
+// so the fuzz driver can report and shrink without exceptions.
+//
+// Two kinds live here:
+//   * inspectors over a running world (medium bookkeeping, routing graph),
+//     called at checkpoints while a scenario executes;
+//   * self-contained property checks (scheduler semantics, fragmentation
+//     round-trip, CRDT convergence, CP read-your-writes) that build their
+//     own miniature world from a seed, so they compose into scenarios and
+//     remain directly callable from unit tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/network.hpp"
+#include "radio/medium.hpp"
+
+namespace iiot::testing {
+
+/// Medium bookkeeping: dense index maps, reception lists vs. active
+/// transmissions, receiver liveness (delegates to Medium).
+std::string check_medium_consistency(const radio::Medium& medium);
+
+/// Routing loop-freedom: following preferred-parent pointers from every
+/// joined node must terminate (at the root, or at a node outside the
+/// mesh) within mesh.size() hops.
+std::string check_routing_acyclic(core::MeshNetwork& mesh);
+
+/// Scheduler semantics under random schedule/cancel/fire churn: fired
+/// events honor time order and never precede their schedule time,
+/// cancelled events never fire, stale handles are inert after slot reuse.
+std::string check_scheduler_properties(std::uint64_t seed);
+
+/// Fragmentation round-trip: random datagrams fragmented, reordered and
+/// duplicated must reassemble bit-exactly; truncated fragments must be
+/// rejected as malformed without crashing.
+std::string check_frag_roundtrip(std::uint64_t seed);
+
+/// AP replicated KV: read-your-writes at every replica, and pairwise
+/// convergence after a partition heals and anti-entropy runs.
+std::string check_crdt_convergence(std::uint64_t seed, int replicas,
+                                   int ops);
+
+/// CP replicated KV: every write acknowledged to the client must be
+/// readable at the primary afterwards, across a partition episode that
+/// makes some writes fail.
+std::string check_cp_read_your_writes(std::uint64_t seed, int replicas,
+                                      int ops);
+
+}  // namespace iiot::testing

@@ -1,0 +1,121 @@
+// Property-based scenario fuzzing (DESIGN.md §4c).
+//
+// One seed deterministically expands into a whole-stack scenario — MAC
+// choice, topology, propagation, traffic, crash schedules, frame-level
+// fault injection, membership churn — which then runs through formation,
+// fault and heal phases with cross-layer invariants checked at
+// checkpoints throughout. Everything derives from the seed, so any
+// failure reproduces bit-identically from `--replay_seed=N` alone; the
+// Fingerprint (pure integer counters) is how replay identity is proven.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "radio/fault_injector.hpp"
+#include "sim/time.hpp"
+
+namespace iiot::testing {
+
+enum class ScenarioMac { kCsma, kLpl, kRiMac, kTdma };
+enum class ScenarioTopology { kLine, kGrid, kRandomField };
+
+[[nodiscard]] const char* to_string(ScenarioMac m);
+[[nodiscard]] const char* to_string(ScenarioTopology t);
+
+/// One node's crash/reboot schedule (drives a dependability::CrashProcess
+/// during the fault phase). Index 0 — the root — is never crashed here;
+/// root-failure detection has its own scenarios and benches.
+struct CrashPlan {
+  std::size_t node_index = 1;
+  double mttf_s = 10.0;
+  double mttr_s = 5.0;
+  bool repair = true;
+};
+
+struct ScenarioConfig {
+  std::uint64_t seed = 0;
+  ScenarioMac mac = ScenarioMac::kCsma;
+  ScenarioTopology topology = ScenarioTopology::kLine;
+  std::size_t nodes = 6;
+  /// Line spacing / grid pitch / random-field side scale, meters.
+  double spacing = 18.0;
+  double sigma_db = 0.0;
+  double exponent = 3.0;
+
+  sim::Duration form_time = 25'000'000;
+  sim::Duration fault_time = 30'000'000;
+  sim::Duration heal_time = 45'000'000;
+  sim::Duration traffic_period = 1'500'000;
+
+  std::vector<CrashPlan> crashes;
+  radio::FaultInjectorConfig frame_faults;
+  /// Times during the fault phase when a transient radio attaches, then
+  /// detaches while frames are on the air (exercises detach cleanup).
+  int churn_slots = 0;
+
+  // Self-contained cross-layer property checks folded into the scenario.
+  bool run_sched_check = true;
+  bool run_frag = false;
+  bool run_crdt = false;
+  bool run_cp = false;
+  /// RNFD false-positive watch: only generated for clean scenarios
+  /// (no crashes, no frame faults), where "root never declared dead"
+  /// must hold.
+  bool run_rnfd = false;
+  int kv_replicas = 5;
+  int kv_ops = 30;
+
+  /// Canary (harness validation): makes Medium::detach skip reception
+  /// bookkeeping cleanup — the planted bug the fuzzer must catch.
+  bool canary_skip_detach_cleanup = false;
+
+  /// Print a routing snapshot per checkpoint to stderr (replay debugging;
+  /// not part of the generated scenario or the fingerprint).
+  bool trace = false;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Pure-integer digest of a run. Two runs of the same config must produce
+/// operator==-identical fingerprints; this is the replay-determinism
+/// invariant itself.
+struct Fingerprint {
+  std::uint64_t final_time = 0;
+  std::uint64_t events = 0;
+  std::uint64_t transmissions = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t snr_losses = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t fault_drops = 0;
+  std::uint64_t fault_dups = 0;
+  std::uint64_t fault_delays = 0;
+  std::uint64_t mac_delivered = 0;
+  std::uint64_t root_rx = 0;
+  std::uint64_t parent_changes = 0;
+  std::uint64_t joined_permille = 0;
+  std::uint64_t crash_failures = 0;
+  std::uint64_t injected_faults = 0;
+  std::uint64_t transient_loops = 0;
+  std::uint64_t checks_passed = 0;
+
+  [[nodiscard]] bool operator==(const Fingerprint&) const = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct ScenarioResult {
+  bool ok = true;
+  std::string failure;  // empty iff ok
+  Fingerprint fingerprint;
+};
+
+/// Expands a seed into a scenario. Pure function of the seed.
+[[nodiscard]] ScenarioConfig generate_scenario(std::uint64_t seed);
+
+/// Runs a scenario to completion (or first invariant violation).
+/// Deterministic: same config → same result and fingerprint.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& cfg);
+
+}  // namespace iiot::testing

@@ -1,0 +1,132 @@
+#include "testing/shrink.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+namespace iiot::testing {
+
+namespace {
+
+/// One shrinking move. Returns false when it would not change the config
+/// (already minimal along this axis), so no re-run is wasted on it.
+using Move = std::function<bool(ScenarioConfig&)>;
+
+std::vector<Move> moves() {
+  std::vector<Move> m;
+  // Big structural cuts first: each acceptance roughly halves the search.
+  m.push_back([](ScenarioConfig& c) {
+    if (c.nodes <= 3) return false;
+    c.nodes = std::max<std::size_t>(3, c.nodes / 2);
+    return true;
+  });
+  m.push_back([](ScenarioConfig& c) {
+    if (c.crashes.empty()) return false;
+    c.crashes.clear();
+    return true;
+  });
+  m.push_back([](ScenarioConfig& c) {
+    if (c.crashes.size() < 2) return false;
+    c.crashes.pop_back();
+    return true;
+  });
+  m.push_back([](ScenarioConfig& c) {
+    radio::FaultInjectorConfig zero;
+    zero.max_delay = c.frame_faults.max_delay;
+    if (c.frame_faults.drop_p == 0.0 && c.frame_faults.corrupt_p == 0.0 &&
+        c.frame_faults.duplicate_p == 0.0 && c.frame_faults.delay_p == 0.0) {
+      return false;
+    }
+    c.frame_faults = zero;
+    return true;
+  });
+  m.push_back([](ScenarioConfig& c) {
+    if (c.frame_faults.drop_p == 0.0) return false;
+    c.frame_faults.drop_p = 0.0;
+    return true;
+  });
+  m.push_back([](ScenarioConfig& c) {
+    if (c.frame_faults.corrupt_p == 0.0) return false;
+    c.frame_faults.corrupt_p = 0.0;
+    return true;
+  });
+  m.push_back([](ScenarioConfig& c) {
+    if (c.frame_faults.duplicate_p == 0.0) return false;
+    c.frame_faults.duplicate_p = 0.0;
+    return true;
+  });
+  m.push_back([](ScenarioConfig& c) {
+    if (c.frame_faults.delay_p == 0.0) return false;
+    c.frame_faults.delay_p = 0.0;
+    return true;
+  });
+  m.push_back([](ScenarioConfig& c) {
+    if (c.churn_slots == 0) return false;
+    c.churn_slots = c.churn_slots > 1 ? 1 : 0;
+    return true;
+  });
+  m.push_back([](ScenarioConfig& c) {
+    if (!c.run_sched_check && !c.run_frag && !c.run_crdt && !c.run_cp &&
+        !c.run_rnfd) {
+      return false;
+    }
+    c.run_sched_check = c.run_frag = c.run_crdt = c.run_cp = c.run_rnfd =
+        false;
+    return true;
+  });
+  m.push_back([](ScenarioConfig& c) {
+    if (c.sigma_db == 0.0) return false;
+    c.sigma_db = 0.0;
+    return true;
+  });
+  m.push_back([](ScenarioConfig& c) {
+    if (c.fault_time <= 5'000'000) return false;
+    c.fault_time = std::max<sim::Duration>(5'000'000, c.fault_time / 2);
+    return true;
+  });
+  m.push_back([](ScenarioConfig& c) {
+    if (c.heal_time <= 10'000'000) return false;
+    c.heal_time = std::max<sim::Duration>(10'000'000, c.heal_time / 2);
+    return true;
+  });
+  m.push_back([](ScenarioConfig& c) {
+    if (c.kv_ops <= 5) return false;
+    c.kv_ops = std::max(5, c.kv_ops / 2);
+    return true;
+  });
+  return m;
+}
+
+}  // namespace
+
+ShrinkResult shrink_scenario(const ScenarioConfig& failing, int budget) {
+  ShrinkResult res;
+  res.config = failing;
+
+  const std::vector<Move> m = moves();
+  bool progressed = true;
+  while (progressed && res.attempts < budget) {
+    progressed = false;
+    for (const Move& move : m) {
+      if (res.attempts >= budget) break;
+      ScenarioConfig candidate = res.config;
+      if (!move(candidate)) continue;
+      ++res.attempts;
+      ScenarioResult r = run_scenario(candidate);
+      if (!r.ok) {
+        res.config = candidate;
+        res.failure = r.failure;
+        res.changed = true;
+        progressed = true;
+      }
+    }
+  }
+  if (res.failure.empty()) {
+    // Nothing shrank (or no move applied): report the original failure.
+    res.failure = run_scenario(res.config).failure;
+    ++res.attempts;
+  }
+  return res;
+}
+
+}  // namespace iiot::testing

@@ -1,0 +1,27 @@
+// Greedy scenario shrinking: given a failing ScenarioConfig, repeatedly
+// tries smaller variants (fewer nodes, shorter fault schedules, fewer
+// fault kinds, fewer sub-checks) and keeps any that still fails. The
+// result is the locally minimal reproducer reported next to the
+// `--replay_seed` line.
+#pragma once
+
+#include <string>
+
+#include "testing/scenario.hpp"
+
+namespace iiot::testing {
+
+struct ShrinkResult {
+  ScenarioConfig config;  // smallest still-failing variant found
+  std::string failure;    // failure message of that variant
+  int attempts = 0;       // scenario re-runs spent
+  bool changed = false;   // false: the original was already minimal
+};
+
+/// Shrinks `failing` (which must fail when run) within a re-run budget.
+/// Deterministic: candidates are tried in a fixed order and accepted on
+/// any failure, so the same input always shrinks to the same output.
+[[nodiscard]] ShrinkResult shrink_scenario(const ScenarioConfig& failing,
+                                           int budget = 48);
+
+}  // namespace iiot::testing

@@ -1,0 +1,163 @@
+// Property-based scenario fuzzer CLI (DESIGN.md §4c).
+//
+//   iiot_fuzz [--runs=N] [--seed=BASE] [--replay_seed=N] [--canary]
+//             [--trace] [--fail-file=PATH] [--quiet]
+//
+// Default mode: expands and runs `--runs` consecutive seeds; any failure
+// prints a one-line reproducer (`--replay_seed=N`), a shrunk minimal
+// config, and exits 1. `--replay_seed=N` re-runs exactly one scenario and
+// prints its fingerprint. `--canary` enables the planted detach-cleanup
+// bug and inverts the exit code: the run succeeds only if the harness
+// catches the bug.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "testing/scenario.hpp"
+#include "testing/shrink.hpp"
+
+namespace {
+
+using iiot::testing::generate_scenario;
+using iiot::testing::run_scenario;
+using iiot::testing::ScenarioConfig;
+using iiot::testing::ScenarioResult;
+using iiot::testing::shrink_scenario;
+
+struct Options {
+  std::uint64_t runs = 200;
+  std::uint64_t seed_base = 1;
+  std::uint64_t replay_seed = 0;
+  bool replay = false;
+  bool canary = false;
+  bool trace = false;
+  bool quiet = false;
+  std::string fail_file;
+};
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto eq = a.find('=');
+    const std::string key = a.substr(0, eq);
+    const std::string val = eq == std::string::npos ? "" : a.substr(eq + 1);
+    if (key == "--runs") {
+      if (!parse_u64(val.c_str(), opt.runs)) return false;
+    } else if (key == "--seed") {
+      if (!parse_u64(val.c_str(), opt.seed_base)) return false;
+    } else if (key == "--replay_seed") {
+      if (!parse_u64(val.c_str(), opt.replay_seed)) return false;
+      opt.replay = true;
+    } else if (key == "--canary") {
+      opt.canary = true;
+    } else if (key == "--trace") {
+      opt.trace = true;
+    } else if (key == "--quiet") {
+      opt.quiet = true;
+    } else if (key == "--fail-file") {
+      opt.fail_file = val;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+ScenarioConfig config_for(std::uint64_t seed, const Options& opt) {
+  ScenarioConfig cfg = generate_scenario(seed);
+  if (opt.canary) cfg.canary_skip_detach_cleanup = true;
+  return cfg;
+}
+
+void report_failure(const ScenarioConfig& cfg, const ScenarioResult& r) {
+  std::printf("FAIL  %s\n", cfg.summary().c_str());
+  std::printf("      %s\n", r.failure.c_str());
+  std::printf("      reproduce: iiot_fuzz --replay_seed=%llu%s\n",
+              static_cast<unsigned long long>(cfg.seed),
+              cfg.canary_skip_detach_cleanup ? " --canary" : "");
+  const auto shrunk = shrink_scenario(cfg);
+  std::printf("      shrunk (%d reruns): %s\n", shrunk.attempts,
+              shrunk.config.summary().c_str());
+  std::printf("      shrunk failure: %s\n", shrunk.failure.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
+
+  if (opt.replay) {
+    ScenarioConfig cfg = config_for(opt.replay_seed, opt);
+    cfg.trace = opt.trace;  // replay-only: does not alter the scenario
+    std::printf("replaying: %s\n", cfg.summary().c_str());
+    const ScenarioResult r = run_scenario(cfg);
+    std::printf("fingerprint: %s\n", r.fingerprint.to_string().c_str());
+    if (!r.ok) {
+      std::printf("FAIL: %s\n", r.failure.c_str());
+      return opt.canary ? 0 : 1;
+    }
+    std::printf("OK\n");
+    return opt.canary ? 1 : 0;
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::uint64_t> failing_seeds;
+  std::uint64_t by_mac[4] = {0, 0, 0, 0};
+  constexpr std::uint64_t kMaxReported = 5;
+
+  for (std::uint64_t i = 0; i < opt.runs; ++i) {
+    const std::uint64_t seed = opt.seed_base + i;
+    const ScenarioConfig cfg = config_for(seed, opt);
+    ++by_mac[static_cast<int>(cfg.mac)];
+    const ScenarioResult r = run_scenario(cfg);
+    if (r.ok) continue;
+    failing_seeds.push_back(seed);
+    if (failing_seeds.size() <= kMaxReported) {
+      report_failure(cfg, r);
+    }
+    if (opt.canary) break;  // one caught bug is proof enough
+  }
+
+  const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - wall_start)
+                           .count();
+  if (!opt.quiet) {
+    std::printf(
+        "ran %llu scenarios (csma=%llu lpl=%llu rimac=%llu tdma=%llu) "
+        "in %lld ms: %zu failing\n",
+        static_cast<unsigned long long>(opt.runs),
+        static_cast<unsigned long long>(by_mac[0]),
+        static_cast<unsigned long long>(by_mac[1]),
+        static_cast<unsigned long long>(by_mac[2]),
+        static_cast<unsigned long long>(by_mac[3]),
+        static_cast<long long>(wall_ms), failing_seeds.size());
+  }
+  if (!opt.fail_file.empty() && !failing_seeds.empty()) {
+    std::ofstream out(opt.fail_file);
+    for (std::uint64_t s : failing_seeds) out << s << "\n";
+  }
+  if (opt.canary) {
+    if (failing_seeds.empty()) {
+      std::printf("canary NOT caught: the planted detach bug slipped "
+                  "through %llu scenarios\n",
+                  static_cast<unsigned long long>(opt.runs));
+      return 1;
+    }
+    std::printf("canary caught by seed %llu\n",
+                static_cast<unsigned long long>(failing_seeds.front()));
+    return 0;
+  }
+  return failing_seeds.empty() ? 0 : 1;
+}

@@ -218,6 +218,82 @@ TEST(CrashProcess, NoRepairMeansPermanentFailure) {
   EXPECT_FALSE(proc.up());
 }
 
+TEST(CrashProcess, StopDuringRepairFreezesThenResumesOnStart) {
+  Scheduler sched;
+  int fails = 0, repairs = 0;
+  FaultConfig cfg;
+  cfg.mttf_seconds = 10.0;
+  cfg.mttr_seconds = 200.0;  // long repair: easy to land inside the window
+  CrashProcess proc(sched, Rng(13), cfg, [&] { ++fails; },
+                    [&] { ++repairs; });
+  proc.start();
+  // Run until the first crash has happened but (almost surely) not the
+  // repair, then freeze the process mid-repair.
+  sched.run_until(60_s);
+  ASSERT_EQ(fails, 1);
+  ASSERT_FALSE(proc.up());
+  proc.stop();
+  sched.run_until(3600_s);
+  EXPECT_EQ(repairs, 0);  // frozen: no repair fires while stopped
+  EXPECT_FALSE(proc.up());
+  // Restarting resumes from the repair side of the cycle.
+  proc.start();
+  sched.run_until(7200_s);
+  EXPECT_GE(repairs, 1);
+  EXPECT_GT(fails, 1);  // and the crash clock re-armed after repair
+}
+
+TEST(CrashProcess, RestartAfterPermanentCrashStaysDown) {
+  Scheduler sched;
+  int fails = 0, repairs = 0;
+  FaultConfig cfg;
+  cfg.mttf_seconds = 20.0;
+  cfg.repair = false;
+  CrashProcess proc(sched, Rng(14), cfg, [&] { ++fails; },
+                    [&] { ++repairs; });
+  proc.start();
+  sched.run_until(600_s);
+  ASSERT_EQ(fails, 1);
+  ASSERT_FALSE(proc.up());
+  // With repair disabled, start() must not resurrect the component —
+  // permanent means permanent, even across process restarts.
+  proc.start();
+  sched.run_until(3600_s);
+  EXPECT_EQ(fails, 1);
+  EXPECT_EQ(repairs, 0);
+  EXPECT_FALSE(proc.up());
+}
+
+TEST(CrashProcess, DoubleStartDoesNotDoubleFailureClock) {
+  Scheduler sched;
+  int fails = 0;
+  FaultConfig cfg;
+  cfg.mttf_seconds = 100.0;
+  cfg.mttr_seconds = 1e9;  // repairs effectively never fire
+  CrashProcess proc(sched, Rng(15), cfg, [&] { ++fails; }, nullptr);
+  proc.start();
+  proc.start();  // restart-safe: must cancel the first armed timer
+  sched.run_until(3600_s);
+  EXPECT_EQ(fails, 1);
+}
+
+TEST(ReliabilityStats, BackToBackFailureCycles) {
+  Scheduler sched;
+  FaultConfig cfg;
+  cfg.mttf_seconds = 5.0;  // crash-storm regime: MTTR comparable to MTTF
+  cfg.mttr_seconds = 5.0;
+  CrashProcess proc(sched, Rng(16), cfg, nullptr, nullptr);
+  proc.start();
+  sched.run_until(3600_s);
+  proc.stats().settle(sched.now());
+  const auto& s = proc.stats();
+  EXPECT_GT(s.failures(), 100u);  // ~360 cycles expected
+  // Up and down time must partition the whole observation window.
+  EXPECT_NEAR(s.availability(), 0.5, 0.1);
+  EXPECT_NEAR(s.mttf_seconds(), 5.0, 2.0);
+  EXPECT_NEAR(s.mttr_seconds(), 5.0, 2.0);
+}
+
 TEST(ReliabilityStats, AvailabilityMath) {
   ReliabilityStats s;
   s.start(0);

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "backend/rules.hpp"
+#include "common/rng.hpp"
 #include "backend/topic_bus.hpp"
 #include "coap/endpoint.hpp"
 #include "interop/gateway.hpp"
@@ -195,6 +196,150 @@ TEST(VendorDevice, UnknownPointErrors) {
   VendorTlvAdapter adapter(dev, {{temp_descriptor(), 9}});
   EXPECT_FALSE(adapter.read({kObjTemperature, 0, kResSensorValue}).ok());
   EXPECT_GE(adapter.stats().protocol_errors, 1u);
+}
+
+// ------------------------------------------------- adversarial error paths
+
+Buffer modbus_with_crc(Buffer body) {
+  const std::uint16_t crc = crc16_ccitt(body);
+  body.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+  body.push_back(static_cast<std::uint8_t>(crc >> 8));
+  return body;
+}
+
+TEST(ModbusDevice, TruncatedFramesStaySilent) {
+  ModbusRtuDevice dev(1);
+  dev.set_register(100, 7);
+  const Buffer full = modbus_with_crc({1, 0x03, 0x00, 100, 0x00, 0x01});
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    EXPECT_TRUE(dev.process(BytesView(full.data(), len)).empty())
+        << "length " << len;
+  }
+}
+
+TEST(ModbusDevice, IllegalFunctionGetsException) {
+  ModbusRtuDevice dev(1);
+  Buffer rsp = dev.process(modbus_with_crc({1, 0x55, 0x00, 0, 0x00, 0x01}));
+  ASSERT_GE(rsp.size(), 3u);
+  EXPECT_EQ(rsp[1], 0x55 | 0x80);
+  EXPECT_EQ(rsp[2], 0x01);  // illegal function
+}
+
+TEST(ModbusDevice, ZeroAndOversizedCountsAreExceptions) {
+  ModbusRtuDevice dev(1);
+  dev.set_register(100, 7);
+  Buffer zero = dev.process(modbus_with_crc({1, 0x03, 0x00, 100, 0x00, 0x00}));
+  ASSERT_GE(zero.size(), 3u);
+  EXPECT_EQ(zero[1], 0x83);
+  Buffer big = dev.process(modbus_with_crc({1, 0x03, 0x00, 100, 0x00, 0xFF}));
+  ASSERT_GE(big.size(), 3u);
+  EXPECT_EQ(big[1], 0x83);
+}
+
+// Deterministic garbage fuzz: random byte soup must never crash the
+// parser and (without a valid CRC) never elicit a response.
+TEST(ModbusDevice, GarbageFuzzNeverAnswers) {
+  ModbusRtuDevice dev(1);
+  dev.set_register(100, 7);
+  Rng rng(2024, 1);
+  for (int i = 0; i < 500; ++i) {
+    Buffer frame(rng.below(33));
+    for (auto& b : frame) b = static_cast<std::uint8_t>(rng.below(256));
+    EXPECT_TRUE(dev.process(frame).empty()) << "iteration " << i;
+  }
+}
+
+TEST(GattDevice, TruncatedPduYieldsErrorResponse) {
+  GattDevice dev;
+  dev.set_float(0x0021, 1.0f);
+  for (std::size_t len = 0; len < 3; ++len) {
+    const Buffer pdu(len, 0x0A);
+    Buffer rsp = dev.process(pdu);
+    ASSERT_EQ(rsp.size(), 5u) << "length " << len;
+    EXPECT_EQ(rsp[0], 0x01);  // ATT error response
+    EXPECT_EQ(rsp[4], 0x06);  // request not supported
+  }
+}
+
+TEST(GattAdapter, TruncatedAttributeIsMalformed) {
+  GattDevice dev;
+  dev.set_float(0x0021, 1.0f);
+  // Shrink the attribute to 2 bytes via a raw write PDU; the adapter's
+  // read response is then not a 4-byte float and must be rejected.
+  Buffer write{0x12, 0x21, 0x00, 0xAB, 0xCD};
+  ASSERT_EQ(dev.process(write)[0], 0x13);
+  GattAdapter adapter(dev, {{temp_descriptor(), 0x0021}});
+  auto v = adapter.read({kObjTemperature, 0, kResSensorValue});
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.error().code, Error::Code::kMalformed);
+  EXPECT_GE(adapter.stats().protocol_errors, 1u);
+}
+
+TEST(GattDevice, GarbageFuzzAlwaysAnswersBounded) {
+  GattDevice dev;
+  dev.set_float(0x0021, 1.0f);
+  Rng rng(2024, 2);
+  for (int i = 0; i < 500; ++i) {
+    Buffer pdu(rng.below(17));
+    for (auto& b : pdu) b = static_cast<std::uint8_t>(rng.below(256));
+    Buffer rsp = dev.process(pdu);
+    // ATT always responds; replies are bounded by the largest attribute.
+    ASSERT_FALSE(rsp.empty()) << "iteration " << i;
+    EXPECT_LE(rsp.size(), 16u);
+  }
+}
+
+Buffer vendor_frame(std::uint8_t cmd, Buffer tlvs) {
+  Buffer f{0xA5, cmd, static_cast<std::uint8_t>(tlvs.size())};
+  f.insert(f.end(), tlvs.begin(), tlvs.end());
+  std::uint8_t x = 0;
+  for (std::uint8_t v : f) x ^= v;
+  f.push_back(x);
+  return f;
+}
+
+TEST(VendorDevice, UnknownCommandYieldsErrorFrame) {
+  VendorTlvDevice dev;
+  Buffer rsp = dev.process(vendor_frame(0x55, {}));
+  ASSERT_GE(rsp.size(), 4u);
+  EXPECT_EQ(rsp[0], 0xA5);
+  EXPECT_EQ(rsp[1], 0x7F);  // vendor error command
+}
+
+TEST(VendorDevice, UnknownTlvTypesAreSkippedNotFatal) {
+  VendorTlvDevice dev;
+  dev.set_point(3, 6.5);
+  // A foreign TLV (type 0x42) precedes the point id; the parser must
+  // skip it and still serve the read.
+  Buffer rsp =
+      dev.process(vendor_frame(0x01, {0x42, 0x02, 0xAA, 0xBB, 0x10, 0x01, 3}));
+  ASSERT_GE(rsp.size(), 4u);
+  EXPECT_EQ(rsp[1], 0x81);  // read | 0x80: success
+}
+
+TEST(VendorDevice, OverrunningTlvLengthIsError) {
+  VendorTlvDevice dev;
+  dev.set_point(3, 6.5);
+  // TLV claims 9 value bytes but only 1 follows.
+  Buffer rsp = dev.process(vendor_frame(0x01, {0x10, 0x09, 3}));
+  ASSERT_GE(rsp.size(), 4u);
+  EXPECT_EQ(rsp[1], 0x7F);
+}
+
+TEST(VendorDevice, GarbageFuzzSilentOrError) {
+  VendorTlvDevice dev;
+  dev.set_point(3, 6.5);
+  Rng rng(2024, 3);
+  for (int i = 0; i < 500; ++i) {
+    Buffer frame(rng.below(25));
+    for (auto& b : frame) b = static_cast<std::uint8_t>(rng.below(256));
+    Buffer rsp = dev.process(frame);
+    if (!rsp.empty()) {
+      EXPECT_EQ(rsp[0], 0xA5) << "iteration " << i;
+      EXPECT_TRUE(rsp[1] == 0x7F || rsp[1] == 0x81 || rsp[1] == 0x82)
+          << "iteration " << i;
+    }
+  }
 }
 
 // ---------------------------------------------------------------- gateway
