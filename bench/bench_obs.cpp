@@ -1,0 +1,244 @@
+// Observability overhead benchmark (DESIGN.md §4d).
+//
+// Measures the wall-clock cost of the obs layer on the 50-node CSMA+RPL
+// workload from bench_perf_core, in three modes within one process:
+//
+//   off     — no obs::Context installed: every instrumentation site is a
+//             null-pointer test. This must stay within 3% of the
+//             pre-observability fast path (the hard budget this PR ships
+//             under).
+//   metrics — Context installed, tracer disabled: struct-backed counters
+//             are literal field increments, so the residual cost is the
+//             pointer test plus registry-owned histogram updates.
+//   trace   — metrics + causal tracing enabled (bounded record buffer):
+//             the honest price of per-packet spans, recorded so nobody
+//             has to guess it.
+//
+// Modes are interleaved across repetitions and the best run per mode is
+// compared, which cancels most machine noise. Results append to
+// BENCH_obs.json with an embedded per-layer metrics snapshot.
+//
+//   ./bench_obs [label] [output.json] [--check] [--baseline=BENCH_core.json]
+//
+// --check            exit nonzero if metrics-mode overhead exceeds 3%
+// --baseline=<file>  also compare mode "off" against the newest
+//                    net50_events_per_sec recorded in that file (3%
+//                    shortfall budget; meaningful on the machine that
+//                    recorded the baseline)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/network.hpp"
+#include "obs/context.hpp"
+#include "radio/medium.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace iiot;
+using namespace iiot::sim;  // NOLINT
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+enum class Mode { kOff, kMetrics, kTrace };
+
+constexpr const char* to_string(Mode m) {
+  switch (m) {
+    case Mode::kOff: return "off";
+    case Mode::kMetrics: return "metrics";
+    case Mode::kTrace: return "trace";
+  }
+  return "?";
+}
+
+struct RunResult {
+  double events_per_sec = 0;
+  std::uint64_t transmissions = 0;
+  std::size_t trace_records = 0;
+  std::string metrics_json = "{}";
+};
+
+// The bench_perf_core 50-node workload, verbatim: mesh formation off the
+// clock, then 30 s of staggered periodic reports under measurement.
+RunResult run_workload(Mode mode, std::uint64_t seed) {
+  Scheduler sched;
+  std::unique_ptr<obs::Context> obsctx;
+  if (mode != Mode::kOff) {
+    obsctx = std::make_unique<obs::Context>(sched, 1u << 20);
+    obsctx->tracer().set_enabled(mode == Mode::kTrace);
+  }
+  radio::Medium medium(sched, bench::default_radio(), seed);
+  core::MeshNetwork mesh(sched, medium, Rng(seed),
+                         bench::node_config(core::MacKind::kCsma));
+  mesh.build_grid(50, 20.0);
+  mesh.start();
+  sched.run_until(20_s);
+
+  const Duration measured = 30_s;
+  for (std::size_t i = 1; i < mesh.size(); ++i) {
+    auto& node = mesh.node(i);
+    const Duration phase = static_cast<Duration>(i) * 7'919 % 2'000'000;
+    for (Duration t = phase; t < measured; t += 2_s) {
+      sched.schedule_at(20_s + t,
+                        [&node] { node.routing->send_up(to_buffer("r")); });
+    }
+  }
+
+  const std::uint64_t ev0 = sched.executed_events();
+  const double t0 = now_seconds();
+  sched.run_until(20_s + measured);
+  const double wall = now_seconds() - t0;
+
+  RunResult r;
+  r.events_per_sec =
+      static_cast<double>(sched.executed_events() - ev0) / wall;
+  r.transmissions = medium.stats().transmissions;
+  if (obsctx) {
+    r.trace_records = obsctx->tracer().records().size();
+    r.metrics_json = obsctx->metrics().snapshot_json();
+  }
+  return r;
+}
+
+/// Newest "net50_events_per_sec" value in a BENCH_core.json, or 0.
+double baseline_net50(const std::string& path) {
+  static constexpr const char kKey[] = "\"net50_events_per_sec\": ";
+  std::ifstream in(path);
+  std::string line;
+  double last = 0;
+  while (std::getline(in, line)) {
+    const auto pos = line.find(kKey);
+    if (pos != std::string::npos) {
+      last = std::strtod(line.c_str() + pos + (sizeof kKey - 1), nullptr);
+    }
+  }
+  return last;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string label = "current";
+  std::string out_path = "BENCH_obs.json";
+  bool check = false;
+  std::string baseline_path;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check = true;
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (positional == 0) {
+      label = arg;
+      ++positional;
+    } else {
+      out_path = arg;
+    }
+  }
+
+  iiot::bench::print_header(
+      "PERF: observability overhead (50-node CSMA+RPL workload)",
+      "obs off must match the pre-obs fast path; metrics mode within 3%");
+
+  const double base =
+      baseline_path.empty() ? 0.0 : baseline_net50(baseline_path);
+
+  constexpr int kReps = 3;
+  const Mode modes[] = {Mode::kOff, Mode::kMetrics, Mode::kTrace};
+  RunResult best[3];
+  const auto one_rep = [&] {
+    for (int m = 0; m < 3; ++m) {  // interleaved: noise hits all modes alike
+      RunResult r = run_workload(modes[m], 42);
+      if (r.events_per_sec > best[m].events_per_sec) best[m] = std::move(r);
+    }
+  };
+  const auto overhead_pct = [&](int m) {
+    return (best[0].events_per_sec / best[m].events_per_sec - 1.0) * 100.0;
+  };
+  const auto over_budget = [&] {
+    if (overhead_pct(1) > 3.0) return true;
+    return base > 0 &&
+           (best[0].events_per_sec / base - 1.0) * 100.0 < -3.0;
+  };
+  for (int rep = 0; rep < kReps; ++rep) one_rep();
+  // Best-of-N converges: scheduling noise only ever slows a run down, so
+  // extra reps can clear a spurious over-budget reading but cannot hide a
+  // real regression. Retry before failing the gate.
+  for (int extra = 0; check && over_budget() && extra < 6; ++extra) {
+    one_rep();
+  }
+
+  const double off = best[0].events_per_sec;
+  const double metrics_pct = overhead_pct(1);
+  const double trace_pct = overhead_pct(2);
+  for (int m = 0; m < 3; ++m) {
+    std::printf("%-8s %12.0f events/s  (%llu tx, %zu trace records)\n",
+                to_string(modes[m]), best[m].events_per_sec,
+                static_cast<unsigned long long>(best[m].transmissions),
+                best[m].trace_records);
+  }
+  std::printf("metrics overhead: %+.2f%%   tracing overhead: %+.2f%%\n",
+              metrics_pct, trace_pct);
+
+  // All three modes simulate the identical world: any divergence in the
+  // virtual experiment means observability perturbed the simulation.
+  bool perturbed = false;
+  for (int m = 1; m < 3; ++m) {
+    if (best[m].transmissions != best[0].transmissions) {
+      std::printf("FAIL: mode %s changed the simulation (%llu tx vs %llu)\n",
+                  to_string(modes[m]),
+                  static_cast<unsigned long long>(best[m].transmissions),
+                  static_cast<unsigned long long>(best[0].transmissions));
+      perturbed = true;
+    }
+  }
+
+  std::ostringstream run;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"label\": \"%s\", \"off_events_per_sec\": %.0f, "
+                "\"metrics_events_per_sec\": %.0f, "
+                "\"trace_events_per_sec\": %.0f, "
+                "\"metrics_overhead_pct\": %.2f, "
+                "\"trace_overhead_pct\": %.2f, \"trace_records\": %zu",
+                label.c_str(), off, best[1].events_per_sec,
+                best[2].events_per_sec, metrics_pct, trace_pct,
+                best[2].trace_records);
+  run << buf << ", \"metrics\": " << best[1].metrics_json << "}";
+  iiot::bench::append_bench_run(out_path, "bench_obs", run.str());
+  std::printf("wrote %s (label \"%s\")\n", out_path.c_str(), label.c_str());
+
+  bool failed = perturbed;
+  if (!baseline_path.empty()) {
+    if (base > 0) {
+      const double delta_pct = (off / base - 1.0) * 100.0;
+      std::printf("vs %s net50 baseline %.0f: %+.2f%%\n",
+                  baseline_path.c_str(), base, delta_pct);
+      if (check && delta_pct < -3.0) {
+        std::printf("FAIL: obs-off fast path regressed >3%% vs baseline\n");
+        failed = true;
+      }
+    } else {
+      std::printf("note: no net50_events_per_sec found in %s\n",
+                  baseline_path.c_str());
+    }
+  }
+  if (check && metrics_pct > 3.0) {
+    std::printf("FAIL: metrics-mode overhead %.2f%% exceeds 3%% budget\n",
+                metrics_pct);
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}

@@ -20,7 +20,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -116,8 +116,14 @@ struct NetResult {
   std::uint64_t collisions = 0;
 };
 
-NetResult csma_network(int n, std::uint64_t seed) {
+NetResult csma_network(int n, std::uint64_t seed,
+                       std::string* metrics_json = nullptr) {
   Scheduler sched;
+  // Optional instrumented mode: installs the metrics registry so the run
+  // line can embed a per-layer snapshot. The timed sweep below never uses
+  // it — those numbers stay comparable with pre-observability baselines.
+  std::unique_ptr<obs::Context> obsctx;
+  if (metrics_json != nullptr) obsctx = std::make_unique<obs::Context>(sched);
   radio::Medium medium(sched, bench::default_radio(), seed);
   core::MeshNetwork mesh(sched, medium, Rng(seed),
                          bench::node_config(core::MacKind::kCsma));
@@ -154,36 +160,8 @@ NetResult csma_network(int n, std::uint64_t seed) {
   r.transmissions = medium.stats().transmissions;
   r.deliveries = medium.stats().deliveries;
   r.collisions = medium.stats().collisions;
+  if (metrics_json != nullptr) *metrics_json = bench::metrics_snapshot_json(sched);
   return r;
-}
-
-// -------------------------------------------------------------------- json
-
-// BENCH_core.json keeps one run object per line inside "runs" so appending
-// without a JSON parser stays trivial: prior run lines are carried over.
-void write_json(const std::string& path, const std::string& run_line) {
-  std::vector<std::string> runs;
-  {
-    std::ifstream in(path);
-    std::string line;
-    while (std::getline(in, line)) {
-      const auto pos = line.find_first_not_of(" \t");
-      if (pos != std::string::npos &&
-          line.compare(pos, 9, "{\"label\":") == 0) {
-        std::string r = line.substr(pos);
-        if (!r.empty() && r.back() == ',') r.pop_back();
-        runs.push_back(std::move(r));
-      }
-    }
-  }
-  runs.push_back(run_line);
-
-  std::ofstream out(path, std::ios::trunc);
-  out << "{\n  \"benchmark\": \"bench_perf_core\",\n  \"runs\": [\n";
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    out << "    " << runs[i] << (i + 1 < runs.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
 }
 
 }  // namespace
@@ -237,8 +215,13 @@ int main(int argc, char** argv) {
                   r.nodes, static_cast<unsigned long long>(r.collisions));
     run << buf;
   }
+  // Per-layer metrics snapshot from an instrumented (untimed) replay of
+  // the 50-node workload: says which layer a perf regression lives in.
+  std::string metrics;
+  (void)csma_network(50, 42, &metrics);
+  run << ", \"metrics\": " << metrics;
   run << "}";
-  write_json(out_path, run.str());
+  bench::append_bench_run(out_path, "bench_perf_core", run.str());
   std::printf("\nwrote %s (label \"%s\")\n", out_path.c_str(), label.c_str());
   return 0;
 }

@@ -8,10 +8,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/network.hpp"
+#include "obs/context.hpp"
 #include "sim/time.hpp"
 
 namespace iiot::bench {
@@ -70,6 +72,44 @@ inline radio::PropagationConfig default_radio() {
   radio::PropagationConfig cfg;
   cfg.shadowing_sigma_db = 0.0;  // benches sweep seeds where it matters
   return cfg;
+}
+
+/// The world's full registry snapshot as a JSON object, or "{}" when no
+/// obs::Context is installed. Embedding this in every BENCH_*.json run
+/// line localizes a perf regression to a layer: the per-module counters
+/// say *where* the extra work happened, not just that it happened.
+inline std::string metrics_snapshot_json(sim::Scheduler& sched) {
+  obs::MetricsRegistry* m = obs::metrics(sched);
+  return m != nullptr ? m->snapshot_json() : "{}";
+}
+
+/// Appends one run line to a BENCH_*.json results file. The file keeps one
+/// JSON object per line inside "runs" so appending without a JSON parser
+/// stays trivial: prior run lines are carried over verbatim.
+inline void append_bench_run(const std::string& path, const char* benchmark,
+                             const std::string& run_line) {
+  std::vector<std::string> runs;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto pos = line.find_first_not_of(" \t");
+      if (pos != std::string::npos &&
+          line.compare(pos, 9, "{\"label\":") == 0) {
+        std::string r = line.substr(pos);
+        if (!r.empty() && r.back() == ',') r.pop_back();
+        runs.push_back(std::move(r));
+      }
+    }
+  }
+  runs.push_back(run_line);
+
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\n  \"benchmark\": \"" << benchmark << "\",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    out << "    " << runs[i] << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
 }
 
 }  // namespace iiot::bench

@@ -4,9 +4,10 @@
 
 namespace iiot::core {
 
-MeshNode::MeshNode(radio::Medium& medium, sim::Scheduler& sched, NodeId id_,
+MeshNode::MeshNode(radio::Medium& medium, sim::Scheduler& sched_, NodeId id_,
                    radio::Position pos, Rng rng, const NodeConfig& cfg)
-    : id(id_), meter(), radio(medium, sched, id_, pos, meter) {
+    : id(id_), sched(sched_), meter(),
+      radio(medium, sched_, id_, pos, meter) {
   radio.set_channel(cfg.channel);
   switch (cfg.mac) {
     case MacKind::kCsma:
@@ -24,6 +25,29 @@ MeshNode::MeshNode(radio::Medium& medium, sim::Scheduler& sched, NodeId id_,
   }
   routing = std::make_unique<net::RplRouting>(*mac, sched, rng.fork(4),
                                               cfg.rpl);
+  if (obs::MetricsRegistry* m = obs::metrics(sched)) {
+    const auto node = static_cast<std::int64_t>(id);
+    // Energy values are polled at snapshot time: the meter must settle to
+    // virtual "now" first, which is deterministic.
+    m->attach_gauge_fn(
+        "energy", "total_mj", node,
+        [this] {
+          meter.settle(sched.now());
+          return meter.total_mj();
+        },
+        this);
+    m->attach_gauge_fn(
+        "energy", "duty_cycle", node,
+        [this] {
+          meter.settle(sched.now());
+          return meter.duty_cycle();
+        },
+        this);
+  }
+}
+
+MeshNode::~MeshNode() {
+  if (obs::MetricsRegistry* m = obs::metrics(sched)) m->detach(this);
 }
 
 void MeshNode::start(bool as_root) {

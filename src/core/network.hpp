@@ -45,11 +45,15 @@ struct NodeConfig {
 struct MeshNode {
   MeshNode(radio::Medium& medium, sim::Scheduler& sched, NodeId id,
            radio::Position pos, Rng rng, const NodeConfig& cfg);
+  ~MeshNode();
+  MeshNode(const MeshNode&) = delete;
+  MeshNode& operator=(const MeshNode&) = delete;
 
   void start(bool as_root);
   void stop();
 
   NodeId id;
+  sim::Scheduler& sched;
   energy::Meter meter;
   radio::Radio radio;
   std::unique_ptr<mac::Mac> mac;

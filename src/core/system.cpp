@@ -1,5 +1,7 @@
 #include "core/system.hpp"
 
+#include <optional>
+
 namespace iiot::core {
 
 namespace {
@@ -18,12 +20,19 @@ MeshNetwork& System::add_mesh(const std::string& site, NodeConfig node_cfg) {
 
 void System::bridge(const std::string& site, MeshNetwork& mesh) {
   mesh.root().routing->set_delivery_handler(
-      [this, site](NodeId origin, BytesView payload, std::uint8_t) {
+      [this, site, root = mesh.root().id](NodeId origin, BytesView payload,
+                                          std::uint8_t) {
         BufReader r(payload);
         auto tag = r.u8();
         auto object = r.u16();
         auto value = r.f64();
         if (!tag || *tag != kTagSensor || !object || !value) return;
+        if (obs::Tracer* t = obs::tracer(sched_)) {
+          // Final hop of a sensor reading's causal chain: the delivery
+          // upcall carries the message's trace.
+          t->instant(t->current_trace(), root, obs::Layer::kBackend,
+                     "publish");
+        }
         char buf[32];
         std::snprintf(buf, sizeof(buf), "%.4f", *value);
         bus_.publish(site + "/" + std::to_string(origin) + "/" +
@@ -58,12 +67,19 @@ void System::add_periodic_sensor(MeshNode& node, std::uint16_t object,
   auto* routing = node.routing.get();
   auto timer = std::make_unique<sim::PeriodicTimer>(
       sched_, period,
-      [routing, object, sample = std::move(sample)] {
+      [this, routing, object, sample = std::move(sample)] {
         Buffer out;
         BufWriter w(out);
         w.u8(kTagSensor);
         w.u16(object);
         w.f64(sample());
+        // Each reading starts a fresh end-to-end trace at the app layer.
+        obs::Tracer* t = obs::tracer(sched_);
+        std::optional<obs::TraceScope> scope;
+        if (t != nullptr && t->enabled()) {
+          scope.emplace(t, t->start_trace(routing->id(), obs::Layer::kApp),
+                        0);
+        }
         routing->send_up(std::move(out));
       });
   // Desynchronize first firings across nodes.
@@ -85,6 +101,13 @@ bool System::actuate(MeshNetwork& mesh, NodeId target, std::uint16_t object,
   w.u8(kTagCommand);
   w.u16(object);
   w.f64(value);
+  // Commands trace from the backend down to the actuating node.
+  obs::Tracer* t = obs::tracer(sched_);
+  std::optional<obs::TraceScope> scope;
+  if (t != nullptr && t->enabled()) {
+    scope.emplace(t, t->start_trace(mesh.root().id, obs::Layer::kBackend),
+                  0);
+  }
   return mesh.root().routing->send_down(target, std::move(out));
 }
 

@@ -27,6 +27,14 @@ namespace iiot::core {
 struct SystemConfig {
   backend::RetentionPolicy retention{};
   radio::PropagationConfig propagation{};
+  /// Creates the per-world obs::Context (metrics registry + tracer).
+  /// Off by default: with no context installed, every instrumentation
+  /// site in the stack reduces to a null-pointer test.
+  bool observability = false;
+  /// Additionally enables causal tracing (implies observability).
+  bool tracing = false;
+  /// Tracer memory bound (records); drops deterministically past it.
+  std::size_t trace_capacity = 1u << 20;
 };
 
 class System {
@@ -37,6 +45,22 @@ class System {
         cfg_(cfg),
         store_(cfg.retention),
         rules_(bus_) {
+    if (cfg_.observability || cfg_.tracing) {
+      // Must exist before any mesh/backend object registers metrics.
+      obs_ = std::make_unique<obs::Context>(sched_, cfg_.trace_capacity);
+      obs_->tracer().set_enabled(cfg_.tracing);
+      obs::MetricsRegistry& m = obs_->metrics();
+      m.attach_gauge_fn(
+          "backend", "bus_published", obs::kWorldNode,
+          [this] { return static_cast<double>(bus_.published()); }, this);
+      m.attach_gauge_fn(
+          "backend", "bus_delivered", obs::kWorldNode,
+          [this] { return static_cast<double>(bus_.delivered()); }, this);
+      m.attach_gauge_fn(
+          "backend", "store_appended", obs::kWorldNode,
+          [this] { return static_cast<double>(store_.total_appended()); },
+          this);
+    }
     // Everything published on measurement topics lands in storage.
     bus_.subscribe("+/+/#", [this](const std::string& topic, BytesView p) {
       const std::string s = iiot::to_string(p);
@@ -46,10 +70,16 @@ class System {
     });
   }
 
+  ~System() {
+    if (obs_) obs_->metrics().detach(this);
+  }
+
   [[nodiscard]] backend::TopicBus& bus() { return bus_; }
   [[nodiscard]] backend::TimeSeriesStore& store() { return store_; }
   [[nodiscard]] backend::RuleEngine& rules() { return rules_; }
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+  /// The world's observability context (null unless enabled in config).
+  [[nodiscard]] obs::Context* observability() { return obs_.get(); }
 
   /// Creates a new radio space + mesh for a site. Topology is built by
   /// the caller through the returned network.
@@ -91,6 +121,10 @@ class System {
   sim::Scheduler& sched_;
   Rng rng_;
   SystemConfig cfg_;
+  // Declared before every tier: meshes and backend objects register
+  // metrics at construction and detach at destruction, so the context
+  // must outlive them all.
+  std::unique_ptr<obs::Context> obs_;
   backend::TopicBus bus_;
   backend::TimeSeriesStore store_;
   backend::RuleEngine rules_;

@@ -148,6 +148,10 @@ void LplMac::strobe_loop() {
   }
   radio::Frame strobe =
       make_control_frame(radio::FrameType::kStrobe, p.dst, tx_seq_);
+  // Strobes are part of the pending request's MAC transmission: their
+  // airtime nests under its "tx" span.
+  strobe.trace = p.trace;
+  strobe.span = p.span;
   if (!radio_.transmit(std::move(strobe), [this] {
         // Listen for the early-ack during the inter-strobe gap.
         gap_timer_ = sched_.schedule_after(cfg_.strobe_gap,
@@ -242,6 +246,7 @@ void LplMac::on_frame(const radio::Frame& f, double rssi) {
           strobe_deadline_ += 40'000;
           radio::Frame pack = make_control_frame(
               radio::FrameType::kStrobeAck, f.src, f.seq);
+          pack.trace = f.trace;
           sched_.schedule_after(kTurnaround,
                                 [this, pack = std::move(pack)]() mutable {
                                   if (running_ && radio_.can_transmit()) {
@@ -257,6 +262,7 @@ void LplMac::on_frame(const radio::Frame& f, double rssi) {
         expecting_data_ = true;
         radio::Frame ack = make_control_frame(radio::FrameType::kStrobeAck,
                                               f.src, f.seq);
+        ack.trace = f.trace;
         sched_.schedule_after(kTurnaround,
                               [this, ack = std::move(ack)]() mutable {
                                 if (running_ && radio_.can_transmit()) {
@@ -281,6 +287,7 @@ void LplMac::on_frame(const radio::Frame& f, double rssi) {
       if (!f.broadcast()) {
         radio::Frame ack =
             make_control_frame(radio::FrameType::kAck, f.src, f.seq);
+        ack.trace = f.trace;
         sched_.schedule_after(kTurnaround,
                               [this, ack = std::move(ack)]() mutable {
                                 if (running_ && radio_.can_transmit()) {

@@ -18,6 +18,7 @@
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "obs/context.hpp"
 #include "radio/radio.hpp"
 #include "sim/scheduler.hpp"
 
@@ -78,7 +79,25 @@ class MacBase : public Mac {
         sched_(sched),
         rng_(rng),
         tenant_(tenant),
-        queue_capacity_(queue_capacity) {}
+        queue_capacity_(queue_capacity) {
+    if (obs::MetricsRegistry* m = obs::metrics(sched_)) {
+      const auto node = static_cast<std::int64_t>(radio_.id());
+      m->attach_counter("mac", "enqueued", node, &stats_.enqueued, this);
+      m->attach_counter("mac", "queue_drops", node, &stats_.queue_drops, this);
+      m->attach_counter("mac", "delivered", node, &stats_.delivered, this);
+      m->attach_counter("mac", "failed", node, &stats_.failed, this);
+      m->attach_counter("mac", "retries", node, &stats_.retries, this);
+      m->attach_counter("mac", "rx_delivered", node, &stats_.rx_delivered,
+                        this);
+      m->attach_counter("mac", "rx_duplicates", node, &stats_.rx_duplicates,
+                        this);
+      m->attach_counter("mac", "rx_foreign", node, &stats_.rx_foreign, this);
+    }
+  }
+
+  ~MacBase() override {
+    if (obs::MetricsRegistry* m = obs::metrics(sched_)) m->detach(this);
+  }
 
   using Mac::send;  // re-expose the 2-arg convenience overload
 
@@ -96,17 +115,33 @@ class MacBase : public Mac {
     Buffer payload;
     SendCallback cb;
     int attempts = 0;
+    obs::TraceId trace = 0;       // captured from ambient trace at enqueue
+    obs::SpanRef parent_span = 0; // caller's span (e.g. net.hop)
+    obs::SpanRef span = 0;        // this request's mac "tx" span
   };
 
   /// Enqueues a request; returns false when the queue is at capacity.
+  /// Captures the ambient trace so the queued transmission — including
+  /// retries, strobes and beacon waits — is attributed to the message that
+  /// caused it.
   bool enqueue(NodeId dst, Buffer payload, SendCallback cb) {
     if (queue_.size() >= queue_capacity_) {
       ++stats_.queue_drops;
+      if (obs::Tracer* t = obs::tracer(sched_)) {
+        t->instant(t->current_trace(), id(), obs::Layer::kMac, "queue_drop",
+                   t->current_span());
+      }
       if (cb) cb(SendStatus{false, 0});
       return false;
     }
     ++stats_.enqueued;
-    queue_.push_back(Pending{dst, std::move(payload), std::move(cb), 0});
+    Pending p{dst, std::move(payload), std::move(cb), 0};
+    if (obs::Tracer* t = obs::tracer(sched_)) {
+      p.trace = t->current_trace();
+      p.parent_span = t->current_span();
+      p.span = t->begin(p.trace, id(), obs::Layer::kMac, "tx", p.parent_span);
+    }
+    queue_.push_back(std::move(p));
     return true;
   }
 
@@ -123,6 +158,15 @@ class MacBase : public Mac {
     } else {
       ++stats_.failed;
     }
+    obs::Tracer* t = obs::tracer(sched_);
+    if (t != nullptr) {
+      t->annotate(p.span, "attempts",
+                  static_cast<std::uint64_t>(p.attempts));
+      t->end(p.span);
+    }
+    // The callback runs in this request's trace: a routing layer that
+    // reroutes on failure re-enqueues under the same trace automatically.
+    obs::TraceScope scope(t, p.trace, p.parent_span);
     if (p.cb) p.cb(SendStatus{delivered, p.attempts});
   }
 
@@ -135,6 +179,8 @@ class MacBase : public Mac {
     f.type = radio::FrameType::kData;
     f.seq = next_seq_++;
     f.payload = p.payload;
+    f.trace = p.trace;
+    f.span = p.span;
     return f;
   }
 
@@ -167,6 +213,13 @@ class MacBase : public Mac {
       it->second = key;
     }
     ++stats_.rx_delivered;
+    obs::Tracer* t = obs::tracer(sched_);
+    if (t != nullptr) {
+      t->instant(f.trace, radio_.id(), obs::Layer::kMac, "rx");
+    }
+    // Upcall runs in the frame's trace so the next layer (routing,
+    // transport) continues the causal chain.
+    obs::TraceScope scope(t, f.trace, 0);
     if (on_receive_) on_receive_(f.src, f.payload, rssi);
     return true;
   }

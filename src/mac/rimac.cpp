@@ -186,6 +186,7 @@ void RiMac::on_frame(const radio::Frame& f, double rssi) {
       if (!f.broadcast()) {
         radio::Frame ack =
             make_control_frame(radio::FrameType::kAck, f.src, f.seq);
+        ack.trace = f.trace;
         sched_.schedule_after(kTurnaround,
                               [this, ack = std::move(ack)]() mutable {
                                 if (running_ && radio_.can_transmit()) {

@@ -12,7 +12,24 @@ constexpr std::uint8_t kSubtypeGossip = 1;
 
 RnfdDetector::RnfdDetector(RplRouting& routing, sim::Scheduler& sched,
                            Rng rng, RnfdConfig cfg)
-    : routing_(routing), sched_(sched), rng_(rng), cfg_(cfg) {}
+    : routing_(routing), sched_(sched), rng_(rng), cfg_(cfg) {
+  if (obs::MetricsRegistry* m = obs::metrics(sched_)) {
+    const auto node = static_cast<std::int64_t>(routing_.id());
+    m->attach_counter("rnfd", "probes_sent", node, &stats_.probes_sent, this);
+    m->attach_counter("rnfd", "probes_acked", node, &stats_.probes_acked,
+                      this);
+    m->attach_counter("rnfd", "probes_missed", node, &stats_.probes_missed,
+                      this);
+    m->attach_counter("rnfd", "gossip_tx", node, &stats_.gossip_tx, this);
+    m->attach_counter("rnfd", "gossip_rx", node, &stats_.gossip_rx, this);
+    m->attach_counter("rnfd", "epoch_advances", node,
+                      &stats_.epoch_advances, this);
+  }
+}
+
+RnfdDetector::~RnfdDetector() {
+  if (obs::MetricsRegistry* m = obs::metrics(sched_)) m->detach(this);
+}
 
 bool RnfdDetector::is_sentinel() const {
   return !routing_.is_root() &&
@@ -73,6 +90,10 @@ void RnfdDetector::probe() {
             ++stats_.epoch_advances;
             declared_dead_ = false;
             dirty_ = true;
+            if (obs::Tracer* t = obs::tracer(sched_)) {
+              t->instant(0, routing_.id(), obs::Layer::kNet,
+                         "rnfd_root_alive");
+            }
           }
         } else {
           ++stats_.probes_missed;
@@ -144,6 +165,11 @@ void RnfdDetector::evaluate() {
   if (suspects >= static_cast<std::size_t>(cfg_.quorum_min) &&
       cfrc_.suspicion_ratio() >= cfg_.quorum_ratio) {
     declared_dead_ = true;
+    if (obs::Tracer* t = obs::tracer(sched_)) {
+      const obs::SpanRef s = t->instant(0, routing_.id(), obs::Layer::kNet,
+                                        "rnfd_root_dead");
+      t->annotate(s, "suspects", suspects);
+    }
     if (on_failure_) on_failure_();
   }
 }

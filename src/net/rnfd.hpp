@@ -66,6 +66,7 @@ class RnfdDetector {
 
   RnfdDetector(RplRouting& routing, sim::Scheduler& sched, Rng rng,
                RnfdConfig cfg = {});
+  ~RnfdDetector();
 
   void start();
   void stop();

@@ -1,6 +1,7 @@
 #include "net/rpl.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 namespace iiot::net {
@@ -11,7 +12,40 @@ RplRouting::RplRouting(mac::Mac& mac, sim::Scheduler& sched, Rng rng,
       sched_(sched),
       rng_(rng),
       cfg_(cfg),
-      trickle_(sched, rng.fork(0x7121), cfg.trickle, [this] { send_dio(); }) {}
+      trickle_(sched, rng.fork(0x7121), cfg.trickle, [this] { send_dio(); }) {
+  trickle_.set_obs_node(mac_.id());
+  if (obs::MetricsRegistry* m = obs::metrics(sched_)) {
+    const auto node = static_cast<std::int64_t>(mac_.id());
+    m->attach_counter("net", "dio_tx", node, &stats_.dio_tx, this);
+    m->attach_counter("net", "dio_rx", node, &stats_.dio_rx, this);
+    m->attach_counter("net", "dis_tx", node, &stats_.dis_tx, this);
+    m->attach_counter("net", "dao_tx", node, &stats_.dao_tx, this);
+    m->attach_counter("net", "data_originated", node,
+                      &stats_.data_originated, this);
+    m->attach_counter("net", "data_forwarded", node, &stats_.data_forwarded,
+                      this);
+    m->attach_counter("net", "data_delivered", node, &stats_.data_delivered,
+                      this);
+    m->attach_counter("net", "drops_no_route", node, &stats_.drops_no_route,
+                      this);
+    m->attach_counter("net", "drops_link", node, &stats_.drops_link, this);
+    m->attach_counter("net", "drops_ttl", node, &stats_.drops_ttl, this);
+    m->attach_counter("net", "drops_loop", node, &stats_.drops_loop, this);
+    m->attach_counter("net", "parent_changes", node, &stats_.parent_changes,
+                      this);
+    m->attach_counter("net", "trickle_resets", node, trickle_.resets_slot(),
+                      this);
+    e2e_latency_ms_ = m->histogram(
+        "net", "e2e_latency_ms", node,
+        {2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
+    e2e_hops_ =
+        m->histogram("net", "e2e_hops", node, {1, 2, 3, 4, 6, 8, 12, 16, 24});
+  }
+}
+
+RplRouting::~RplRouting() {
+  if (obs::MetricsRegistry* m = obs::metrics(sched_)) m->detach(this);
+}
 
 void RplRouting::start_root() {
   running_ = true;
@@ -197,6 +231,13 @@ void RplRouting::handle_dao(NodeId src, const DaoMsg& dao) {
 
 bool RplRouting::send_up(Buffer payload) {
   if (!running_ || !joined()) return false;
+  // Callers that carry no trace (e.g. a raw protocol driver) still get an
+  // end-to-end trace per message when tracing is on.
+  obs::Tracer* t = obs::tracer(sched_);
+  std::optional<obs::TraceScope> auto_scope;
+  if (t != nullptr && t->enabled() && t->current_trace() == 0) {
+    auto_scope.emplace(t, t->start_trace(mac_.id(), obs::Layer::kNet), 0);
+  }
   DataMsg msg;
   msg.origin = mac_.id();
   msg.dest = kInvalidNode;
@@ -206,6 +247,7 @@ bool RplRouting::send_up(Buffer payload) {
   ++stats_.data_originated;
   if (is_root_) {
     ++stats_.data_delivered;
+    note_delivery(0);
     if (deliver_) deliver_(msg.origin, msg.payload, 0);
     return true;
   }
@@ -215,7 +257,13 @@ bool RplRouting::send_up(Buffer payload) {
 
 bool RplRouting::send_down(NodeId target, Buffer payload) {
   if (!running_ || !is_root_ || !cfg_.downward_routes) return false;
+  obs::Tracer* t = obs::tracer(sched_);
+  std::optional<obs::TraceScope> auto_scope;
+  if (t != nullptr && t->enabled() && t->current_trace() == 0) {
+    auto_scope.emplace(t, t->start_trace(mac_.id(), obs::Layer::kNet), 0);
+  }
   if (target == mac_.id()) {
+    note_delivery(0);
     if (deliver_) deliver_(mac_.id(), payload, 0);
     return true;
   }
@@ -241,6 +289,7 @@ void RplRouting::handle_data(NodeId src, DataMsg&& msg) {
     if (interceptor_ && interceptor_(msg.origin, msg.payload)) return;
     if (is_root_) {
       ++stats_.data_delivered;
+      note_delivery(msg.hops);
       if (deliver_) deliver_(msg.origin, msg.payload, msg.hops);
       return;
     }
@@ -266,6 +315,7 @@ void RplRouting::handle_data(NodeId src, DataMsg&& msg) {
   // Downward traffic.
   if (msg.dest == mac_.id()) {
     ++stats_.data_delivered;
+    note_delivery(msg.hops);
     if (deliver_) deliver_(msg.origin, msg.payload, msg.hops);
     return;
   }
@@ -274,21 +324,43 @@ void RplRouting::handle_data(NodeId src, DataMsg&& msg) {
 }
 
 void RplRouting::forward_up(DataMsg msg, bool allow_reroute) {
+  obs::Tracer* t = obs::tracer(sched_);
   if (msg.hops >= cfg_.max_hops) {
     ++stats_.drops_ttl;
+    if (t != nullptr) {
+      t->instant(t->current_trace(), mac_.id(), obs::Layer::kNet,
+                 "drop_ttl");
+    }
     return;
   }
   if (parent_ == kInvalidNode) {
     ++stats_.drops_no_route;
+    if (t != nullptr) {
+      t->instant(t->current_trace(), mac_.id(), obs::Layer::kNet,
+                 "drop_no_route");
+    }
     return;
   }
   ++msg.hops;
   Buffer out;
   msg.encode(out);
   const NodeId via = parent_;
+  // One "hop" span per forwarding attempt: it covers the MAC transmission
+  // (queueing, strobing, retries) and closes when the MAC reports the
+  // outcome. The ambient scope makes the MAC enqueue nest under it.
+  obs::SpanRef hop = 0;
+  obs::TraceId tr = 0;
+  if (t != nullptr) {
+    tr = t->current_trace();
+    hop = t->begin(tr, mac_.id(), obs::Layer::kNet, "hop");
+  }
+  obs::TraceScope hop_scope(t, tr, hop);
   mac_.send(via, std::move(out),
-            [this, msg = std::move(msg), via,
-             allow_reroute](const mac::SendStatus& st) mutable {
+            [this, msg = std::move(msg), via, allow_reroute,
+             hop](const mac::SendStatus& st) mutable {
+              if (obs::Tracer* tc = obs::tracer(sched_)) {
+                tc->end(hop, "delivered", st.delivered ? 1 : 0);
+              }
               links_.record_tx(via, st.attempts, st.delivered);
               if (st.delivered) {
                 // A MAC ack is direct proof the neighbor is alive;
@@ -315,20 +387,39 @@ void RplRouting::forward_up(DataMsg msg, bool allow_reroute) {
 }
 
 void RplRouting::forward_down(DataMsg msg) {
+  obs::Tracer* t = obs::tracer(sched_);
   if (msg.hops >= cfg_.max_hops) {
     ++stats_.drops_ttl;
+    if (t != nullptr) {
+      t->instant(t->current_trace(), mac_.id(), obs::Layer::kNet,
+                 "drop_ttl");
+    }
     return;
   }
   auto it = downward_.find(msg.dest);
   if (it == downward_.end()) {
     ++stats_.drops_no_route;
+    if (t != nullptr) {
+      t->instant(t->current_trace(), mac_.id(), obs::Layer::kNet,
+                 "drop_no_route");
+    }
     return;
   }
   ++msg.hops;
   const NodeId via = it->second;
   Buffer out;
   msg.encode(out);
-  mac_.send(via, std::move(out), [this, via](const mac::SendStatus& st) {
+  obs::SpanRef hop = 0;
+  obs::TraceId tr = 0;
+  if (t != nullptr) {
+    tr = t->current_trace();
+    hop = t->begin(tr, mac_.id(), obs::Layer::kNet, "hop");
+  }
+  obs::TraceScope hop_scope(t, tr, hop);
+  mac_.send(via, std::move(out), [this, via, hop](const mac::SendStatus& st) {
+    if (obs::Tracer* tc = obs::tracer(sched_)) {
+      tc->end(hop, "delivered", st.delivered ? 1 : 0);
+    }
     links_.record_tx(via, st.attempts, st.delivered);
     if (!st.delivered) {
       ++stats_.drops_link;
@@ -384,6 +475,11 @@ void RplRouting::select_parent() {
       ++stats_.parent_changes;
       const NodeId old = parent_;
       parent_ = best;
+      if (obs::Tracer* t = obs::tracer(sched_)) {
+        const obs::SpanRef s =
+            t->instant(0, mac_.id(), obs::Layer::kNet, "parent_switch");
+        t->annotate(s, "parent", parent_);
+      }
       trickle_.inconsistent();  // topology event: re-advertise promptly
       if (on_parent_change_) on_parent_change_(old, parent_);
       if (!had_parent) {
@@ -436,6 +532,9 @@ void RplRouting::become_orphan() {
   depth_ = 0xFF;
   if (was_joined) {
     ++stats_.parent_changes;
+    if (obs::Tracer* t = obs::tracer(sched_)) {
+      t->instant(0, mac_.id(), obs::Layer::kNet, "orphaned");
+    }
     // Poison: advertise infinite rank immediately, then solicit.
     send_dio();
     trickle_.inconsistent();
@@ -456,6 +555,21 @@ void RplRouting::local_repair() {
   if (is_root_) return;
   neighbors_.clear();
   become_orphan();
+}
+
+void RplRouting::note_delivery(std::uint8_t hops) {
+  if (obs::Tracer* t = obs::tracer(sched_)) {
+    const obs::TraceId tr = t->current_trace();
+    const obs::SpanRef d =
+        t->instant(tr, mac_.id(), obs::Layer::kNet, "deliver");
+    t->annotate(d, "hops", hops);
+    if (tr != 0) {
+      const sim::Time start = t->trace_start(tr);
+      e2e_latency_ms_.observe(
+          static_cast<double>(sched_.now() - start) / 1000.0);
+    }
+  }
+  e2e_hops_.observe(hops);
 }
 
 bool RplRouting::seen_recently(NodeId origin, SeqNo seq) {

@@ -71,6 +71,7 @@ class RplRouting {
 
   RplRouting(mac::Mac& mac, sim::Scheduler& sched, Rng rng,
              RplConfig cfg = {});
+  ~RplRouting();
 
   /// Starts this node as the DODAG root (border router).
   void start_root();
@@ -160,6 +161,9 @@ class RplRouting {
   [[nodiscard]] Rank path_cost_via(NodeId neighbor) const;
   void become_orphan();
   [[nodiscard]] bool seen_recently(NodeId origin, SeqNo seq);
+  /// Records a local delivery in the observability plane: "deliver"
+  /// instant plus the end-to-end hop/latency histograms.
+  void note_delivery(std::uint8_t hops);
 
   mac::Mac& mac_;
   sim::Scheduler& sched_;
@@ -168,6 +172,8 @@ class RplRouting {
   Trickle trickle_;
   LinkEstimator links_;
   RplStats stats_;
+  obs::Histogram e2e_latency_ms_;  // observed at this node's deliveries
+  obs::Histogram e2e_hops_;
 
   bool running_ = false;
   bool is_root_ = false;

@@ -7,6 +7,8 @@
 #include <functional>
 
 #include "common/rng.hpp"
+#include "common/types.hpp"
+#include "obs/context.hpp"
 #include "sim/scheduler.hpp"
 
 namespace iiot::net {
@@ -46,6 +48,7 @@ class Trickle {
     if (!running_) return;
     if (interval_ > cfg_.imin) {
       interval_ = cfg_.imin;
+      note_reset();
       begin_interval();
     }
   }
@@ -55,6 +58,7 @@ class Trickle {
   void reset() {
     if (!running_) return;
     interval_ = cfg_.imin;
+    note_reset();
     begin_interval();
   }
 
@@ -62,8 +66,22 @@ class Trickle {
   [[nodiscard]] bool running() const { return running_; }
   [[nodiscard]] std::uint64_t transmissions() const { return tx_count_; }
   [[nodiscard]] std::uint64_t suppressions() const { return suppressed_; }
+  /// Snap-backs to Imin (each one is a control-plane storm trigger; the
+  /// observability layer tracks them per node).
+  [[nodiscard]] std::uint64_t resets() const { return resets_; }
+  /// Stable address of the reset counter, for MetricsRegistry attachment.
+  [[nodiscard]] const std::uint64_t* resets_slot() const { return &resets_; }
+  /// Node the owning protocol runs on, for trace attribution of resets.
+  void set_obs_node(NodeId id) { obs_node_ = id; }
 
  private:
+  void note_reset() {
+    ++resets_;
+    if (obs::Tracer* t = obs::tracer(sched_)) {
+      t->instant(0, obs_node_, obs::Layer::kNet, "trickle_reset");
+    }
+  }
+
   void begin_interval() {
     counter_ = 0;
     t_timer_.cancel();
@@ -98,6 +116,8 @@ class Trickle {
   int counter_ = 0;
   std::uint64_t tx_count_ = 0;
   std::uint64_t suppressed_ = 0;
+  std::uint64_t resets_ = 0;
+  NodeId obs_node_ = kInvalidNode;
   sim::EventHandle t_timer_;
   sim::EventHandle i_timer_;
 };

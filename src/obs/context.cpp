@@ -1,0 +1,14 @@
+#include "obs/context.hpp"
+
+namespace iiot::obs {
+
+Context::Context(sim::Scheduler& sched, std::size_t trace_capacity)
+    : sched_(sched),
+      prev_(sched.observability()),
+      tracer_(sched, trace_capacity) {
+  sched_.set_observability(this);
+}
+
+Context::~Context() { sched_.set_observability(prev_); }
+
+}  // namespace iiot::obs

@@ -1,0 +1,65 @@
+// Per-world observability context (DESIGN.md §4d).
+//
+// One Context bundles the MetricsRegistry and the Tracer for one simulated
+// world. It installs itself on the world's Scheduler at construction (every
+// layer already holds the scheduler, so no constructor plumbing is needed
+// anywhere) and restores the previous pointer at destruction — stack-like,
+// so tests can nest worlds. Being per-scheduler rather than global means two
+// back-to-back runs in one process are fully independent, which is what the
+// golden run-twice-compare tests rely on.
+//
+// All instrumentation call sites go through the null-tolerant free helpers
+// below: with no Context installed (observability off) they compile down to
+// a pointer test, keeping the hot path intact.
+#pragma once
+
+#include <memory>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/scheduler.hpp"
+
+namespace iiot::obs {
+
+class Context {
+ public:
+  /// Installs itself as `sched.observability()`; `trace_capacity` bounds
+  /// tracer memory.
+  explicit Context(sim::Scheduler& sched, std::size_t trace_capacity = 1u << 20);
+  ~Context();
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const Tracer& tracer() const { return tracer_; }
+
+ private:
+  sim::Scheduler& sched_;
+  Context* prev_;
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+};
+
+// ---- null-tolerant accessors for instrumentation sites ----------------
+
+/// The context installed on `sched`, or nullptr when observability is off.
+[[nodiscard]] inline Context* ctx(sim::Scheduler& sched) {
+  return sched.observability();
+}
+
+/// The tracer, or nullptr (TraceScope and SpanRef-returning helpers all
+/// tolerate null).
+[[nodiscard]] inline Tracer* tracer(sim::Scheduler& sched) {
+  Context* c = sched.observability();
+  return c != nullptr ? &c->tracer() : nullptr;
+}
+
+/// The registry, or nullptr.
+[[nodiscard]] inline MetricsRegistry* metrics(sim::Scheduler& sched) {
+  Context* c = sched.observability();
+  return c != nullptr ? &c->metrics() : nullptr;
+}
+
+}  // namespace iiot::obs

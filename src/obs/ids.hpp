@@ -1,0 +1,15 @@
+// Trace identifier types, split out so wire-level headers (radio::Frame)
+// can carry trace metadata without pulling in the full tracer.
+#pragma once
+
+#include <cstdint>
+
+namespace iiot::obs {
+
+/// 0 means "no trace".
+using TraceId = std::uint64_t;
+
+/// 1-based index into the tracer's record vector; 0 means "no span".
+using SpanRef = std::uint32_t;
+
+}  // namespace iiot::obs

@@ -1,0 +1,194 @@
+// Whole-stack metrics plane (DESIGN.md §4d).
+//
+// A MetricsRegistry is the single enumeration point for every counter the
+// stack maintains, registered by (module, name, node_id). Two styles:
+//
+//   * registry-owned slots — counter()/gauge()/histogram() hand back a
+//     handle wrapping a plain uint64_t/double slot with a stable address,
+//     so the hot path is one increment through a pointer;
+//   * struct-backed slots — the pre-existing per-layer stats structs
+//     (MediumStats, MacStats, RplStats, ReassemblyStats, ...) register
+//     pointers to their own uint64_t fields with attach_counter(), which
+//     keeps their hot paths literally unchanged (one increment on a
+//     struct member) while making the registry the one place that can
+//     snapshot the whole stack.
+//
+// Determinism contract: the registry never consults the RNG, never
+// schedules events, and snapshots are emitted in sorted (module, name,
+// node) order — identical seeds yield byte-identical snapshot text. All
+// values are either integers or doubles derived purely from virtual-time
+// simulation, so formatting is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace iiot::obs {
+
+/// node_id for world-level metrics not owned by one node (e.g. the shared
+/// medium).
+inline constexpr std::int64_t kWorldNode = -1;
+
+/// Handle to a registry-owned counter slot. Null handles (default
+/// constructed, or from a disabled registry) ignore increments.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t n = 1) {
+    if (slot_ != nullptr) *slot_ += n;
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return slot_ != nullptr ? *slot_ : 0;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::uint64_t* slot) : slot_(slot) {}
+  std::uint64_t* slot_ = nullptr;
+};
+
+/// Handle to a registry-owned gauge slot (a plain double).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) {
+    if (slot_ != nullptr) *slot_ = v;
+  }
+  void add(double v) {
+    if (slot_ != nullptr) *slot_ += v;
+  }
+  [[nodiscard]] double value() const {
+    return slot_ != nullptr ? *slot_ : 0.0;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(double* slot) : slot_(slot) {}
+  double* slot_ = nullptr;
+};
+
+/// Fixed-bucket histogram: bucket upper bounds are set at registration and
+/// never change, so observe() is a linear scan over a handful of uint64_t
+/// slots (cheap and allocation-free). The last implicit bucket is +inf.
+struct HistogramData {
+  std::vector<double> bounds;        // ascending upper bounds
+  std::vector<std::uint64_t> counts; // bounds.size() + 1 buckets
+  std::uint64_t total = 0;
+  double sum = 0.0;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double v) {
+    if (data_ == nullptr) return;
+    std::size_t i = 0;
+    while (i < data_->bounds.size() && v > data_->bounds[i]) ++i;
+    ++data_->counts[i];
+    ++data_->total;
+    data_->sum += v;
+  }
+  [[nodiscard]] std::uint64_t total() const {
+    return data_ != nullptr ? data_->total : 0;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(HistogramData* d) : data_(d) {}
+  HistogramData* data_ = nullptr;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // ---- registry-owned slots -----------------------------------------
+  // Re-registering an existing (module, name, node) key returns a handle
+  // to the same slot (so a restarting protocol object keeps its series).
+  Counter counter(std::string module, std::string name,
+                  std::int64_t node = kWorldNode);
+  Gauge gauge(std::string module, std::string name,
+              std::int64_t node = kWorldNode);
+  Histogram histogram(std::string module, std::string name,
+                      std::int64_t node, std::vector<double> bounds);
+
+  // ---- struct-backed slots ------------------------------------------
+  // The registry reads through the pointer at snapshot time; `owner`
+  // groups registrations so a dying layer can detach them all. The
+  // pointee must stay valid until detach(owner).
+  void attach_counter(std::string module, std::string name,
+                      std::int64_t node, const std::uint64_t* slot,
+                      const void* owner);
+  /// Gauge polled via callback at snapshot time (e.g. an energy meter
+  /// that must settle before reading). Must be deterministic.
+  void attach_gauge_fn(std::string module, std::string name,
+                       std::int64_t node, std::function<double()> fn,
+                       const void* owner);
+  void detach(const void* owner);
+
+  // ---- snapshots ----------------------------------------------------
+  struct Sample {
+    std::string module;
+    std::string name;
+    std::int64_t node = kWorldNode;
+    enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram } kind =
+        Kind::kCounter;
+    std::uint64_t u64 = 0;            // counters
+    double f64 = 0.0;                 // gauges / histogram sum
+    const HistogramData* hist = nullptr;  // histograms only
+  };
+
+  /// All live metrics, sorted by (module, name, node). O(n log n); meant
+  /// for checkpoints and export, never the hot path.
+  [[nodiscard]] std::vector<Sample> snapshot() const;
+
+  /// Deterministic line-per-metric text form ("module.name[node] = v").
+  [[nodiscard]] std::string snapshot_text() const;
+
+  /// Deterministic JSON object keyed "module.name[node]"; histograms
+  /// expand to {buckets, counts, total, sum}.
+  [[nodiscard]] std::string snapshot_json() const;
+
+  [[nodiscard]] std::size_t size() const {
+    return owned_.size() + attached_.size();
+  }
+
+ private:
+  struct Key {
+    std::string module;
+    std::string name;
+    std::int64_t node;
+    [[nodiscard]] bool operator==(const Key&) const = default;
+  };
+
+  enum class SlotKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  struct OwnedEntry {
+    Key key;
+    SlotKind kind;
+    std::size_t index;  // into the matching slot deque
+  };
+
+  struct AttachedEntry {
+    Key key;
+    const std::uint64_t* slot = nullptr;  // counter style
+    std::function<double()> fn;           // gauge style (slot == nullptr)
+    const void* owner = nullptr;
+  };
+
+  OwnedEntry* find_owned(const Key& k, SlotKind kind);
+
+  std::vector<OwnedEntry> owned_;
+  std::vector<AttachedEntry> attached_;
+  // Deques: stable addresses for handles across growth.
+  std::deque<std::uint64_t> counter_slots_;
+  std::deque<double> gauge_slots_;
+  std::deque<HistogramData> hist_slots_;
+};
+
+}  // namespace iiot::obs

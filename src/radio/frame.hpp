@@ -10,6 +10,7 @@
 
 #include "common/bytes.hpp"
 #include "common/types.hpp"
+#include "obs/ids.hpp"
 #include "sim/time.hpp"
 
 namespace iiot::radio {
@@ -32,6 +33,13 @@ struct Frame {
   FrameType type = FrameType::kData;
   std::uint16_t seq = 0;
   Buffer payload;
+
+  // Observability metadata. In-memory only — deliberately NOT counted by
+  // size_bytes(), so carrying a trace never changes airtime, energy or any
+  // other simulated behavior (a real deployment would reserve header bits;
+  // here determinism across obs-on/obs-off matters more than that fidelity).
+  obs::TraceId trace = 0;
+  obs::SpanRef span = 0;  // span covering this frame's MAC transmission
 
   [[nodiscard]] bool broadcast() const { return dst == kBroadcastNode; }
 

@@ -44,7 +44,14 @@ void Medium::detach(Radio* r) {
       }
     }
   }
-  std::erase_if(active_, [r](const ActiveTx& tx) { return tx.src == r; });
+  obs::Tracer* t = obs::tracer(sched_);
+  std::erase_if(active_, [r, t](const ActiveTx& tx) {
+    if (tx.src != r) return false;
+    // Close the airtime span of transmissions dying with their source so
+    // traces do not accumulate spans for radios that no longer exist.
+    if (t != nullptr) t->end(tx.obs_span, "detached", 1);
+    return true;
+  });
 }
 
 const std::vector<Medium::Neighbor>& Medium::neighbors_of(
@@ -73,7 +80,11 @@ void Medium::begin_tx(Radio& src, Frame f) {
   const sim::Time end = start + airtime(f);
   const std::uint64_t id = next_tx_id_++;
 
-  ActiveTx tx{id, &src, src.channel(), start, end, std::move(f), {}, {}};
+  ActiveTx tx{id, &src, src.channel(), start, end, std::move(f), {}, 0, {}};
+  if (obs::Tracer* t = obs::tracer(sched_)) {
+    tx.obs_span = t->begin(tx.frame.trace, src.id(), obs::Layer::kRadio,
+                           "tx", tx.frame.span);
+  }
   if (fault_hook_) {
     tx.fault = fault_hook_(tx.frame);
     if (tx.fault.drop) ++stats_.fault_drops;
@@ -149,6 +160,7 @@ void Medium::finish_tx(std::uint64_t tx_id) {
   if (it == active_.end()) return;
   ActiveTx tx = std::move(*it);
   active_.erase(it);
+  obs::Tracer* t = obs::tracer(sched_);
 
   // Deliver surviving receptions in creation order. Each entry is removed
   // from its receiver's list *before* any delivery callback runs, so a
@@ -188,12 +200,21 @@ void Medium::finish_tx(std::uint64_t tx_id) {
       continue;
     }
     ++stats_.deliveries;
+    if (t != nullptr) {
+      t->instant(tx.frame.trace, receiver->id(), obs::Layer::kRadio, "rx",
+                 tx.obs_span);
+    }
     receiver->deliver(tx.frame, signal_dbm);
     if (tx.fault.duplicate) {
       ++stats_.deliveries;
+      if (t != nullptr) {
+        t->instant(tx.frame.trace, receiver->id(), obs::Layer::kRadio, "rx",
+                   tx.obs_span);
+      }
       receiver->deliver(tx.frame, signal_dbm);
     }
   }
+  if (t != nullptr) t->end(tx.obs_span);
 }
 
 void Medium::deliver_late(NodeId to, const Frame& f, double signal_dbm,
@@ -207,6 +228,12 @@ void Medium::deliver_late(NodeId to, const Frame& f, double signal_dbm,
       return;
     }
     ++stats_.deliveries;
+    if (obs::Tracer* t = obs::tracer(sched_)) {
+      // Parent deliberately 0: the originating airtime span has long since
+      // closed, and a late arrival outside its parent's bounds would break
+      // the nesting invariant.
+      t->instant(f.trace, r->id(), obs::Layer::kRadio, "rx_late");
+    }
     r->deliver(f, signal_dbm);
     return;
   }

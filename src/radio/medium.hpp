@@ -30,6 +30,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "obs/context.hpp"
 #include "radio/frame.hpp"
 #include "radio/propagation.hpp"
 #include "radio/radio.hpp"
@@ -59,7 +60,30 @@ struct FaultDecision {
 class Medium {
  public:
   Medium(sim::Scheduler& sched, PropagationConfig cfg, std::uint64_t seed)
-      : sched_(sched), prop_(cfg, seed), rng_(seed ^ 0xD1CEULL, 77) {}
+      : sched_(sched), prop_(cfg, seed), rng_(seed ^ 0xD1CEULL, 77) {
+    if (obs::MetricsRegistry* m = obs::metrics(sched_)) {
+      using obs::kWorldNode;
+      m->attach_counter("radio", "transmissions", kWorldNode,
+                        &stats_.transmissions, this);
+      m->attach_counter("radio", "deliveries", kWorldNode,
+                        &stats_.deliveries, this);
+      m->attach_counter("radio", "collisions", kWorldNode,
+                        &stats_.collisions, this);
+      m->attach_counter("radio", "snr_losses", kWorldNode,
+                        &stats_.snr_losses, this);
+      m->attach_counter("radio", "aborted", kWorldNode, &stats_.aborted,
+                        this);
+      m->attach_counter("radio", "fault_drops", kWorldNode,
+                        &stats_.fault_drops, this);
+      m->attach_counter("radio", "fault_dups", kWorldNode,
+                        &stats_.fault_dups, this);
+      m->attach_counter("radio", "fault_delays", kWorldNode,
+                        &stats_.fault_delays, this);
+    }
+  }
+  ~Medium() {
+    if (obs::MetricsRegistry* m = obs::metrics(sched_)) m->detach(this);
+  }
   Medium(const Medium&) = delete;
   Medium& operator=(const Medium&) = delete;
 
@@ -118,6 +142,7 @@ class Medium {
     sim::Time end;
     Frame frame;
     FaultDecision fault;
+    obs::SpanRef obs_span = 0;  // radio "tx" span covering the airtime
     /// Receivers with a reception for this tx, in creation order — the
     /// order the delivery loop (and thus the delivery RNG) follows.
     std::vector<Radio*> receivers;

@@ -27,6 +27,10 @@
 #include "sim/callback.hpp"
 #include "sim/time.hpp"
 
+namespace iiot::obs {
+class Context;
+}
+
 namespace iiot::sim {
 
 class Scheduler;
@@ -88,6 +92,13 @@ class Scheduler {
   /// Total events executed since construction (for perf accounting).
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
+  /// Observability context for this world, or nullptr when off. The
+  /// scheduler only carries the pointer (every layer already holds its
+  /// scheduler, so this is the one plumbing point); obs::Context installs
+  /// and removes itself.
+  [[nodiscard]] obs::Context* observability() const { return obs_; }
+  void set_observability(obs::Context* c) { obs_ = c; }
+
  private:
   friend class EventHandle;
 
@@ -139,6 +150,7 @@ class Scheduler {
   void compact();
 
   Time now_ = 0;
+  obs::Context* obs_ = nullptr;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t live_ = 0;          // armed events

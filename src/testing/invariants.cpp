@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -38,6 +39,81 @@ std::string check_routing_acyclic(core::MeshNetwork& mesh) {
     return "routing: parent chain from node " +
            std::to_string(mesh.node(start).id) + " does not terminate (loop)";
   next_start:;
+  }
+  return {};
+}
+
+std::string check_trace_wellformed(const obs::Tracer& tracer) {
+  const std::vector<obs::SpanRecord>& recs = tracer.records();
+  const auto describe = [&](std::size_t i) {
+    const obs::SpanRecord& r = recs[i];
+    return "span " + std::to_string(i + 1) + " (" +
+           std::string(to_string(r.layer)) + "." + r.name + ", trace " +
+           std::to_string(r.trace) + ", node " + std::to_string(r.node) +
+           ")";
+  };
+
+  // Origins: start_trace records one before handing out the id, so every
+  // id seen on any record must have one — drops can't lose an origin
+  // because the id is never allocated when the origin can't be recorded.
+  std::vector<bool> has_origin(tracer.traces_started() + 1, false);
+  for (const obs::SpanRecord& r : recs) {
+    if (r.trace != 0 && std::string_view(r.name) == "origin") {
+      if (r.trace > tracer.traces_started()) {
+        return "trace: origin carries unallocated trace id " +
+               std::to_string(r.trace);
+      }
+      has_origin[r.trace] = true;
+    }
+  }
+
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const obs::SpanRecord& r = recs[i];
+    if (r.trace > tracer.traces_started()) {
+      return "trace: " + describe(i) + " carries unallocated trace id";
+    }
+    if (r.trace != 0 && !has_origin[r.trace]) {
+      return "trace: " + describe(i) + " has no origin record";
+    }
+    if (r.instant && (r.open || r.end != r.start)) {
+      return "trace: instant " + describe(i) + " has a duration";
+    }
+    if (r.end < r.start) {
+      return "trace: " + describe(i) + " ends before it starts";
+    }
+    if (r.open) {
+      // Only layers with legitimately in-flight work at end of run —
+      // queued MAC transmissions, frames on the air, pending forwarding
+      // attempts — may leave spans open.
+      if (r.layer != obs::Layer::kNet && r.layer != obs::Layer::kMac &&
+          r.layer != obs::Layer::kRadio) {
+        return "trace: open span at end of run in layer " +
+               std::string(to_string(r.layer)) + ": " + describe(i);
+      }
+    }
+    if (r.parent != 0) {
+      if (r.parent > recs.size()) {
+        return "trace: " + describe(i) + " references nonexistent parent " +
+               std::to_string(r.parent);
+      }
+      // Refs are append-order indices, so a parent must precede its child;
+      // this also rules out self-parenting and cycles.
+      if (r.parent > i) {
+        return "trace: " + describe(i) + " precedes its parent " +
+               std::to_string(r.parent);
+      }
+      const obs::SpanRecord& p = recs[r.parent - 1];
+      if (r.start < p.start) {
+        return "trace: " + describe(i) + " starts before its parent";
+      }
+      // A child must start while its parent is active, but may end after
+      // it: layer handoffs are asynchronous, so e.g. a broadcast request
+      // completes at wake-interval end while the final radio copy is
+      // still on the air. End containment is deliberately NOT required.
+      if (!p.open && r.start > p.end) {
+        return "trace: " + describe(i) + " starts after its parent ended";
+      }
+    }
   }
   return {};
 }

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "core/network.hpp"
+#include "obs/trace.hpp"
 #include "radio/medium.hpp"
 
 namespace iiot::testing {
@@ -28,6 +29,14 @@ std::string check_medium_consistency(const radio::Medium& medium);
 /// joined node must terminate (at the root, or at a node outside the
 /// mesh) within mesh.size() hops.
 std::string check_routing_acyclic(core::MeshNetwork& mesh);
+
+/// Causal-trace well-formedness over everything a Tracer recorded: spans
+/// close no earlier than they open, children start within their parent's
+/// active window (they may end after it — layer handoffs are
+/// asynchronous), every record tagged with a trace id can reach that
+/// trace's origin, and only layers with legitimately in-flight work
+/// (net/mac/radio) may hold open spans at end of run.
+std::string check_trace_wellformed(const obs::Tracer& tracer);
 
 /// Scheduler semantics under random schedule/cancel/fire churn: fired
 /// events honor time order and never precede their schedule time,

@@ -13,6 +13,7 @@
 #include "energy/meter.hpp"
 #include "mac/tdma.hpp"
 #include "net/rnfd.hpp"
+#include "obs/context.hpp"
 #include "radio/medium.hpp"
 #include "sim/scheduler.hpp"
 #include "testing/invariants.hpp"
@@ -300,6 +301,13 @@ struct ChurnRig {
 
 ScenarioResult run_mesh(const ScenarioConfig& cfg) {
   sim::Scheduler sched;
+  // Observability rides along with every fuzzed scenario: the contract is
+  // that tracing can be on anywhere without perturbing the simulation, so
+  // the fuzzer keeps it on everywhere and audits every span the run
+  // produced (check_trace_wellformed at the end). The bounded capacity
+  // also exercises the deterministic-drop path on chatty scenarios.
+  obs::Context obsctx(sched, 1u << 18);
+  obsctx.tracer().set_enabled(true);
   radio::Medium medium(sched, propagation_for(cfg), cfg.seed);
   medium.debug_set_skip_detach_cleanup(cfg.canary_skip_detach_cleanup);
   radio::FaultInjector injector(medium, cfg.seed, cfg.frame_faults);
@@ -538,6 +546,11 @@ ScenarioResult run_mesh(const ScenarioConfig& cfg) {
     }
   }
 
+  ++cp.checks;
+  if (auto v = check_trace_wellformed(obsctx.tracer()); !v.empty()) {
+    return finish(v);
+  }
+
   if (auto v = run_subchecks(cfg, subchecks_passed); !v.empty()) {
     return finish(v);
   }
@@ -548,6 +561,8 @@ ScenarioResult run_mesh(const ScenarioConfig& cfg) {
 /// explicitly wired schedules and hop-by-hop forwarding toward node 0.
 ScenarioResult run_tdma(const ScenarioConfig& cfg) {
   sim::Scheduler sched;
+  obs::Context obsctx(sched, 1u << 18);  // same audit as run_mesh
+  obsctx.tracer().set_enabled(true);
   radio::Medium medium(sched, propagation_for(cfg), cfg.seed);
   medium.debug_set_skip_detach_cleanup(cfg.canary_skip_detach_cleanup);
   radio::FaultInjector injector(medium, cfg.seed, cfg.frame_faults);
@@ -716,6 +731,11 @@ ScenarioResult run_tdma(const ScenarioConfig& cfg) {
   if (!corrupting && log->malformed != 0) {
     return finish("delivery: " + std::to_string(log->malformed) +
                   " malformed payloads at the root without corruption");
+  }
+
+  ++cp.checks;
+  if (auto v = check_trace_wellformed(obsctx.tracer()); !v.empty()) {
+    return finish(v);
   }
 
   if (auto v = run_subchecks(cfg, subchecks_passed); !v.empty()) {

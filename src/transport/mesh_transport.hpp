@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "coap/endpoint.hpp"
 #include "net/rpl.hpp"
@@ -20,7 +21,22 @@ class MeshTransport {
   /// `mtu` is the max network-layer payload per frame.
   MeshTransport(net::RplRouting& routing, sim::Scheduler& sched,
                 std::size_t mtu = 80)
-      : routing_(routing), reassembler_(sched), mtu_(mtu) {}
+      : routing_(routing), sched_(sched), reassembler_(sched), mtu_(mtu) {
+    if (obs::MetricsRegistry* m = obs::metrics(sched_)) {
+      const auto node = static_cast<std::int64_t>(routing_.id());
+      m->attach_counter("transport", "rasm_completed", node,
+                        &reassembler_.stats().completed, this);
+      m->attach_counter("transport", "rasm_expired", node,
+                        &reassembler_.stats().expired, this);
+      m->attach_counter("transport", "rasm_malformed", node,
+                        &reassembler_.stats().malformed, this);
+    }
+  }
+  ~MeshTransport() {
+    if (obs::MetricsRegistry* m = obs::metrics(sched_)) m->detach(this);
+  }
+  MeshTransport(const MeshTransport&) = delete;
+  MeshTransport& operator=(const MeshTransport&) = delete;
 
   /// Wires `ep` to this mesh. The endpoint's NodeId must match the
   /// routing node's id. Replaces the routing delivery handler.
@@ -29,8 +45,16 @@ class MeshTransport {
     routing_.set_delivery_handler(
         [this](NodeId origin, BytesView payload, std::uint8_t) {
           auto whole = reassembler_.on_fragment(origin, payload);
-          if (whole && endpoint_ != nullptr) {
-            endpoint_->on_datagram(origin, *whole);
+          if (whole) {
+            // Reassembly completes in the trace of the *last* fragment
+            // (the ambient trace set by the routing delivery upcall).
+            if (obs::Tracer* t = obs::tracer(sched_)) {
+              const obs::SpanRef s =
+                  t->instant(t->current_trace(), routing_.id(),
+                             obs::Layer::kTransport, "rasm");
+              t->annotate(s, "bytes", whole->size());
+            }
+            if (endpoint_ != nullptr) endpoint_->on_datagram(origin, *whole);
           }
         });
   }
@@ -38,8 +62,24 @@ class MeshTransport {
   /// Send function to construct the Endpoint with.
   [[nodiscard]] coap::Endpoint::SendFn sender() {
     return [this](NodeId dst, Buffer bytes) {
+      // A datagram is one causal unit: if the caller carries no trace,
+      // open one here so all its fragments share it.
+      obs::Tracer* t = obs::tracer(sched_);
+      std::optional<obs::TraceScope> auto_scope;
+      if (t != nullptr && t->enabled() && t->current_trace() == 0) {
+        auto_scope.emplace(
+            t, t->start_trace(routing_.id(), obs::Layer::kTransport), 0);
+      }
       bool all_ok = true;
-      for (auto& frag : fragment(bytes, mtu_, next_tag_++)) {
+      auto frags = fragment(bytes, mtu_, next_tag_++);
+      const std::uint64_t nfrags = frags.size();
+      for (auto& frag : frags) {
+        if (obs::Tracer* t = obs::tracer(sched_)) {
+          const obs::SpanRef s =
+              t->instant(t->current_trace(), routing_.id(),
+                         obs::Layer::kTransport, "frag");
+          t->annotate(s, "of", nfrags);
+        }
         if (!routing_.send_to(dst, std::move(frag))) all_ok = false;
       }
       return all_ok;
@@ -52,6 +92,7 @@ class MeshTransport {
 
  private:
   net::RplRouting& routing_;
+  sim::Scheduler& sched_;
   Reassembler reassembler_;
   std::size_t mtu_;
   std::uint16_t next_tag_ = 1;

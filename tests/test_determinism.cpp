@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/network.hpp"
+#include "obs/context.hpp"
 #include "radio/medium.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
@@ -30,12 +32,16 @@ struct Counters {
   std::uint64_t dio_tx = 0;
   std::vector<std::uint64_t> mac_delivered;
   std::vector<net::Rank> ranks;
+  // Full registry snapshot: every metric the stack registered, formatted
+  // deterministically — one string equality covers all layers at once.
+  std::string metrics;
 
   bool operator==(const Counters&) const = default;
 };
 
 Counters run_mesh(std::uint64_t seed) {
   sim::Scheduler sched;
+  obs::Context obsctx(sched);  // metrics only; tracing stays off
   radio::PropagationConfig pcfg;
   pcfg.shadowing_sigma_db = 1.5;
   radio::Medium medium(sched, pcfg, seed);
@@ -77,6 +83,7 @@ Counters run_mesh(std::uint64_t seed) {
     c.mac_delivered.push_back(mesh.node(i).mac->stats().delivered);
     c.ranks.push_back(mesh.node(i).routing->rank());
   }
+  c.metrics = obsctx.metrics().snapshot_text();
   return c;
 }
 
@@ -93,9 +100,16 @@ TEST(Determinism, FiftyNodeMeshGoldenCounters) {
   EXPECT_EQ(first.dio_tx, second.dio_tx);
   EXPECT_EQ(first.mac_delivered, second.mac_delivered);
   EXPECT_EQ(first.ranks, second.ranks);
+  EXPECT_EQ(first.metrics, second.metrics);
   // And the run must have actually exercised the stack.
   EXPECT_GT(first.root_delivered, 0u);
   EXPECT_GT(first.transmissions, 100u);
+  // The snapshot must cover every instrumented layer.
+  for (const char* needle :
+       {"radio.transmissions", "mac.delivered", "net.data_delivered",
+        "net.trickle_resets", "energy.total_mj"}) {
+    EXPECT_NE(first.metrics.find(needle), std::string::npos) << needle;
+  }
 }
 
 TEST(Determinism, DifferentSeedsDiverge) {

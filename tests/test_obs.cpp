@@ -1,0 +1,499 @@
+// Observability layer tests (DESIGN.md §4d).
+//
+// Three tiers of guarantees, bottom-up:
+//   1. Unit behavior of MetricsRegistry / Tracer / Context — handles are
+//      null-safe, re-registration is stable, capacity drops are counted,
+//      exports are well-formed.
+//   2. Causal end-to-end: one application message can be followed across
+//      backend/transport → net → MAC → radio spans by its trace id.
+//   3. The determinism contract: a 20-node LPL+RPL world run twice from
+//      the same seed yields byte-identical JSONL traces, Chrome-trace
+//      JSON, and registry snapshots. This is what turns traces from debug
+//      output into golden test oracles.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "coap/endpoint.hpp"
+#include "core/network.hpp"
+#include "core/system.hpp"
+#include "harness.hpp"
+#include "net/rpl.hpp"
+#include "obs/context.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "radio/medium.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+#include "transport/mesh_transport.hpp"
+
+namespace iiot {
+namespace {
+
+using sim::operator""_s;
+
+// ===================================================== MetricsRegistry
+
+TEST(MetricsRegistry, NullHandlesIgnoreOperations) {
+  obs::Counter c;
+  obs::Gauge g;
+  obs::Histogram h;
+  c.inc();
+  g.set(3.0);
+  g.add(1.0);
+  h.observe(5.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(MetricsRegistry, CountersGaugesHistogramsRoundTrip) {
+  obs::MetricsRegistry reg;
+  obs::Counter c = reg.counter("mac", "tx", 3);
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+
+  obs::Gauge g = reg.gauge("energy", "mj", 3);
+  g.set(2.5);
+  g.add(0.5);
+  EXPECT_EQ(g.value(), 3.0);
+
+  obs::Histogram h = reg.histogram("net", "latency", 3, {10.0, 100.0});
+  h.observe(5.0);    // bucket 0
+  h.observe(50.0);   // bucket 1
+  h.observe(500.0);  // overflow bucket
+  EXPECT_EQ(h.total(), 3u);
+
+  const auto samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  // Sorted by (module, name, node): energy < mac < net.
+  EXPECT_EQ(samples[0].module, "energy");
+  EXPECT_EQ(samples[1].module, "mac");
+  EXPECT_EQ(samples[1].u64, 5u);
+  EXPECT_EQ(samples[2].module, "net");
+  ASSERT_NE(samples[2].hist, nullptr);
+  EXPECT_EQ(samples[2].hist->counts[0], 1u);
+  EXPECT_EQ(samples[2].hist->counts[1], 1u);
+  EXPECT_EQ(samples[2].hist->counts[2], 1u);
+  EXPECT_EQ(samples[2].hist->sum, 555.0);
+}
+
+TEST(MetricsRegistry, ReRegistrationReturnsTheSameSlot) {
+  obs::MetricsRegistry reg;
+  obs::Counter a = reg.counter("mac", "tx", 1);
+  a.inc(7);
+  // A protocol object restarting must resume its series, not fork it.
+  obs::Counter b = reg.counter("mac", "tx", 1);
+  EXPECT_EQ(b.value(), 7u);
+  b.inc();
+  EXPECT_EQ(a.value(), 8u);
+  EXPECT_EQ(reg.snapshot().size(), 1u);
+
+  obs::Histogram h1 = reg.histogram("net", "lat", 1, {1.0});
+  obs::Histogram h2 = reg.histogram("net", "lat", 1, {1.0});
+  h1.observe(0.5);
+  EXPECT_EQ(h2.total(), 1u);
+}
+
+TEST(MetricsRegistry, AttachedSlotsReadThroughAndDetach) {
+  obs::MetricsRegistry reg;
+  std::uint64_t raw = 0;
+  double polled = 1.25;
+  reg.attach_counter("mac", "delivered", 2, &raw, &raw);
+  reg.attach_gauge_fn("energy", "mj", 2, [&polled] { return polled; },
+                      &raw);
+  raw = 41;
+  polled = 2.5;
+
+  auto samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[1].u64, 41u);  // mac.delivered reads the live field
+  EXPECT_EQ(samples[0].f64, 2.5);  // energy.mj polls the callback
+
+  reg.detach(&raw);
+  EXPECT_EQ(reg.snapshot().size(), 0u);
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(MetricsRegistry, SnapshotTextAndJsonAreDeterministic) {
+  obs::MetricsRegistry reg;
+  reg.counter("b", "x", 1).inc(2);
+  reg.counter("a", "y", obs::kWorldNode).inc(9);
+  reg.gauge("c", "g", 0).set(1.5);
+  reg.histogram("d", "h", 0, {10.0}).observe(3.0);
+
+  const std::string text = reg.snapshot_text();
+  const std::string json = reg.snapshot_json();
+  // Sorted order puts module "a" first regardless of insertion order.
+  EXPECT_EQ(text.find("a.y"), text.find_first_not_of(" "));
+  EXPECT_NE(text.find("b.x[1] = 2"), std::string::npos);
+  EXPECT_NE(json.find("\"a.y[-1]\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\""), std::string::npos);
+  EXPECT_EQ(text, reg.snapshot_text());
+  EXPECT_EQ(json, reg.snapshot_json());
+}
+
+// ============================================================== Tracer
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  sim::Scheduler sched;
+  obs::Tracer t(sched);
+  EXPECT_FALSE(t.enabled());
+  EXPECT_EQ(t.start_trace(1, obs::Layer::kApp), 0u);
+  EXPECT_EQ(t.begin(1, 1, obs::Layer::kMac, "tx"), 0u);
+  EXPECT_EQ(t.instant(1, 1, obs::Layer::kMac, "rx"), 0u);
+  t.end(0);  // must be a harmless no-op
+  t.annotate(0, "k", 1);
+  EXPECT_TRUE(t.records().empty());
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, SpansCarryVirtualTimeAndAnnotations) {
+  sim::Scheduler sched;
+  obs::Tracer t(sched);
+  t.set_enabled(true);
+
+  const obs::TraceId tr = t.start_trace(5, obs::Layer::kApp);
+  EXPECT_EQ(tr, 1u);
+  EXPECT_EQ(t.trace_start(tr), 0u);
+
+  obs::SpanRef span = 0;
+  sched.schedule_at(100, [&] { span = t.begin(tr, 5, obs::Layer::kMac, "tx"); });
+  sched.schedule_at(250, [&] { t.end(span, "attempts", 2); });
+  sched.run_all();
+
+  ASSERT_EQ(t.records().size(), 2u);
+  const obs::SpanRecord& origin = t.records()[0];
+  EXPECT_TRUE(origin.instant);
+  EXPECT_STREQ(origin.name, "origin");
+  const obs::SpanRecord& s = t.records()[1];
+  EXPECT_EQ(s.start, 100u);
+  EXPECT_EQ(s.end, 250u);
+  EXPECT_FALSE(s.open);
+  EXPECT_STREQ(s.arg_key, "attempts");
+  EXPECT_EQ(s.arg_val, 2u);
+  EXPECT_EQ(t.traces_started(), 1u);
+}
+
+TEST(Tracer, CapacityDropsAreCountedAndEndOfDroppedSpanIsSafe) {
+  sim::Scheduler sched;
+  obs::Tracer t(sched, 2);
+  t.set_enabled(true);
+  const obs::TraceId tr = t.start_trace(1, obs::Layer::kApp);  // record 1
+  obs::SpanRef a = t.begin(tr, 1, obs::Layer::kMac, "tx");     // record 2
+  obs::SpanRef b = t.begin(tr, 1, obs::Layer::kMac, "tx");     // dropped
+  EXPECT_NE(a, 0u);
+  EXPECT_EQ(b, 0u);
+  EXPECT_EQ(t.records().size(), 2u);
+  EXPECT_EQ(t.dropped(), 1u);
+  t.end(b);  // dropped span: no-op
+  t.end(a);
+  t.end(a);  // double-end: no-op (span already closed)
+  EXPECT_FALSE(t.records()[1].open);
+}
+
+TEST(Tracer, TraceScopeSavesAndRestoresAmbientContext) {
+  sim::Scheduler sched;
+  obs::Tracer t(sched);
+  t.set_enabled(true);
+  t.set_current(7, 3);
+  {
+    obs::TraceScope inner(&t, 9, 4);
+    EXPECT_EQ(t.current_trace(), 9u);
+    EXPECT_EQ(t.current_span(), 4u);
+  }
+  EXPECT_EQ(t.current_trace(), 7u);
+  EXPECT_EQ(t.current_span(), 3u);
+  // Null tracer: the scope must be inert.
+  obs::TraceScope none(nullptr, 1, 1);
+}
+
+TEST(Tracer, JsonlAndChromeExportsAreWellFormed) {
+  sim::Scheduler sched;
+  obs::Tracer t(sched);
+  t.set_enabled(true);
+  const obs::TraceId tr = t.start_trace(2, obs::Layer::kApp);
+  obs::SpanRef s = 0;
+  sched.schedule_at(10, [&] { s = t.begin(tr, 2, obs::Layer::kMac, "tx"); });
+  sched.schedule_at(30, [&] {
+    t.instant(tr, kBroadcastNode, obs::Layer::kRadio, "rx", s);
+    t.end(s);
+    t.begin(tr, 2, obs::Layer::kNet, "hop");  // left open on purpose
+  });
+  sched.run_all();
+
+  const std::string jsonl = t.jsonl();
+  EXPECT_NE(jsonl.find("\"layer\":\"mac\",\"name\":\"tx\""),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"open\":1"), std::string::npos);
+  // One JSON object per line, every line starts with {"span":
+  std::size_t lines = 0;
+  for (std::size_t pos = 0; pos < jsonl.size();) {
+    EXPECT_EQ(jsonl.compare(pos, 8, "{\"span\":"), 0)
+        << "line " << lines << " malformed";
+    const std::size_t nl = jsonl.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos);
+    pos = nl + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, t.records().size());
+
+  std::ostringstream chrome;
+  t.write_chrome_json(chrome);
+  const std::string cj = chrome.str();
+  EXPECT_EQ(cj.front(), '{');
+  EXPECT_NE(cj.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(cj.find("\"ph\":\"X\""), std::string::npos);  // complete span
+  EXPECT_NE(cj.find("\"ph\":\"i\""), std::string::npos);  // instant
+  EXPECT_NE(cj.find("process_name"), std::string::npos);
+  EXPECT_NE(cj.find("\"pid\":-2"), std::string::npos);  // broadcast node
+}
+
+TEST(ObsContext, InstallsOnSchedulerAndNestsStackLike) {
+  sim::Scheduler sched;
+  EXPECT_EQ(sched.observability(), nullptr);
+  EXPECT_EQ(obs::tracer(sched), nullptr);
+  EXPECT_EQ(obs::metrics(sched), nullptr);
+  {
+    obs::Context outer(sched);
+    EXPECT_EQ(sched.observability(), &outer);
+    EXPECT_EQ(obs::metrics(sched), &outer.metrics());
+    {
+      obs::Context inner(sched, 16);
+      EXPECT_EQ(sched.observability(), &inner);
+    }
+    EXPECT_EQ(sched.observability(), &outer);
+  }
+  EXPECT_EQ(sched.observability(), nullptr);
+}
+
+// =================================================== causal end-to-end
+
+// Layers seen for one trace id, keyed by layer name, with record names.
+std::map<std::string, std::set<std::string>> layers_of(
+    const obs::Tracer& t, obs::TraceId tr) {
+  std::map<std::string, std::set<std::string>> out;
+  for (const obs::SpanRecord& r : t.records()) {
+    if (r.trace == tr) out[obs::to_string(r.layer)].insert(r.name);
+  }
+  return out;
+}
+
+// A CoAP GET over a 4-hop RPL line must leave a single causal chain:
+// transport origin + fragmentation, per-hop net spans, MAC tx spans,
+// radio airtime spans and rx instants, and the far side's reassembly.
+TEST(CausalTrace, CoapRequestCrossesTransportNetMacRadio) {
+  test::World w(61);
+  obs::Context obsctx(w.sched());
+  obsctx.tracer().set_enabled(true);
+
+  w.make_line(4, 25.0);
+  net::RplConfig rcfg;
+  rcfg.trickle = net::TrickleConfig{250'000, 8, 3};
+  rcfg.dao_interval = 5'000'000;
+  std::vector<std::unique_ptr<net::RplRouting>> routers;
+  for (std::size_t i = 0; i < 4; ++i) {
+    auto& m = w.with_mac<mac::CsmaMac>(w.node(i));
+    routers.push_back(std::make_unique<net::RplRouting>(
+        m, w.sched(), w.rng().fork(300 + i), rcfg));
+  }
+  w.start_all();
+  routers[0]->start_root();
+  for (std::size_t i = 1; i < 4; ++i) routers[i]->start();
+
+  transport::MeshTransport root_tp(*routers[0], w.sched());
+  transport::MeshTransport leaf_tp(*routers[3], w.sched());
+  coap::Endpoint root_ep(0, w.sched(), w.rng().fork(71), root_tp.sender());
+  coap::Endpoint leaf_ep(3, w.sched(), w.rng().fork(72), leaf_tp.sender());
+  root_tp.bind(root_ep);
+  leaf_tp.bind(leaf_ep);
+  root_ep.add_resource("cfg", [](const coap::Request&) {
+    coap::Response r;
+    // Long enough to force fragmentation across several frames.
+    r.payload = to_buffer(std::string(200, 'x'));
+    return r;
+  });
+
+  w.sched().run_until(40_s);
+  bool got = false;
+  w.sched().schedule_at(41_s, [&] {
+    leaf_ep.get(0, "cfg", [&](Result<coap::Response> r) { got = r.ok(); });
+  });
+  w.sched().run_until(60_s);
+  ASSERT_TRUE(got);
+
+  // Find the request's trace: a transport-layer origin at node 3 after
+  // t=41s whose chain reaches the root's reassembler.
+  const obs::Tracer& t = obsctx.tracer();
+  obs::TraceId req_trace = 0;
+  for (const obs::SpanRecord& r : t.records()) {
+    if (r.instant && std::string(r.name) == "origin" && r.node == 3 &&
+        r.layer == obs::Layer::kTransport && r.start >= 41_s) {
+      req_trace = r.trace;
+      break;
+    }
+  }
+  ASSERT_NE(req_trace, 0u);
+
+  const auto layers = layers_of(t, req_trace);
+  ASSERT_TRUE(layers.count("transport"));
+  EXPECT_TRUE(layers.at("transport").count("frag"));
+  EXPECT_TRUE(layers.at("transport").count("rasm"));
+  ASSERT_TRUE(layers.count("net"));
+  EXPECT_TRUE(layers.at("net").count("hop"));
+  EXPECT_TRUE(layers.at("net").count("deliver"));
+  ASSERT_TRUE(layers.count("mac"));
+  EXPECT_TRUE(layers.at("mac").count("tx"));
+  EXPECT_TRUE(layers.at("mac").count("rx"));
+  ASSERT_TRUE(layers.count("radio"));
+  EXPECT_TRUE(layers.at("radio").count("tx"));
+  EXPECT_TRUE(layers.at("radio").count("rx"));
+
+  // The request must be reassembled at the root; the root's synchronous
+  // response continues the same causal trace, so the leaf's reassembly of
+  // the response may appear under this trace id too. Every reassembly
+  // happens strictly after the origin.
+  std::set<NodeId> rasm_nodes;
+  for (const obs::SpanRecord& r : t.records()) {
+    if (r.trace == req_trace && std::string(r.name) == "rasm") {
+      rasm_nodes.insert(r.node);
+      EXPECT_GT(r.start, t.trace_start(req_trace));
+    }
+  }
+  EXPECT_TRUE(rasm_nodes.count(0));
+}
+
+// Through the System facade: a periodic sensor reading on a mesh node is
+// traced from its app-layer origin to the backend publish instant.
+TEST(CausalTrace, SensorReadingReachesBackendUnderOneTraceId) {
+  sim::Scheduler sched;
+  core::SystemConfig scfg;
+  scfg.observability = true;
+  scfg.tracing = true;
+  scfg.propagation.shadowing_sigma_db = 0.0;  // reliable 3-hop line
+  core::System sys(sched, 99, scfg);
+  ASSERT_NE(sys.observability(), nullptr);
+
+  core::NodeConfig ncfg;
+  ncfg.mac = core::MacKind::kCsma;
+  core::MeshNetwork& mesh = sys.add_mesh("plant", ncfg);
+  mesh.build_line(4, 25.0);
+  mesh.start();
+  sys.bridge("plant", mesh);
+  sys.add_periodic_sensor(mesh.node(3), 7, 2_s, [] { return 21.5; });
+  sched.run_until(60_s);
+
+  const obs::Tracer& t = sys.observability()->tracer();
+  // Some trace must span app origin → net → mac → radio → backend publish.
+  bool found = false;
+  for (const obs::SpanRecord& r : t.records()) {
+    if (!(r.instant && std::string(r.name) == "origin" && r.node == 3 &&
+          r.layer == obs::Layer::kApp)) {
+      continue;
+    }
+    const auto layers = layers_of(t, r.trace);
+    if (layers.count("net") && layers.count("mac") &&
+        layers.count("radio") && layers.count("backend") &&
+        layers.at("backend").count("publish")) {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // The backend gauges polled at snapshot time must reflect traffic.
+  const std::string snap = sys.observability()->metrics().snapshot_text();
+  EXPECT_NE(snap.find("backend.bus_published"), std::string::npos);
+  EXPECT_NE(snap.find("energy.total_mj"), std::string::npos);
+}
+
+// ================================================= golden determinism
+
+struct GoldenRun {
+  std::string jsonl;
+  std::string chrome;
+  std::string metrics;
+  std::size_t records = 0;
+  std::uint64_t delivered = 0;
+};
+
+// A 20-node LPL+RPL world with periodic upward traffic, traced end to
+// end. Everything obs emits must be a pure function of the seed.
+GoldenRun run_lpl_world(std::uint64_t seed) {
+  sim::Scheduler sched;
+  // Bounded tracer: LPL strobe trains are record-heavy, and hitting the
+  // cap exercises deterministic dropping too.
+  obs::Context obsctx(sched, 1u << 16);
+  obsctx.tracer().set_enabled(true);
+
+  radio::PropagationConfig pcfg;
+  pcfg.shadowing_sigma_db = 1.0;
+  radio::Medium medium(sched, pcfg, seed);
+  core::NodeConfig ncfg;
+  ncfg.mac = core::MacKind::kLpl;
+  ncfg.lpl.wake_interval = 250'000;
+  ncfg.rimac.wake_interval = 250'000;
+  ncfg.rpl.trickle = net::TrickleConfig{1'000'000, 8, 2};
+  ncfg.rpl.dao_interval = 60'000'000;
+  ncfg.rpl.dis_interval = 15'000'000;
+  ncfg.rpl.max_parent_failures = 6;
+  core::MeshNetwork mesh(sched, medium, Rng(seed), ncfg);
+  mesh.build_grid(20, 20.0);
+  mesh.start();
+  sched.run_until(90_s);
+
+  for (std::size_t i = 1; i < mesh.size(); ++i) {
+    core::MeshNode* node = &mesh.node(i);
+    const sim::Time phase = (static_cast<sim::Time>(i) * 7'919) % 4'000'000;
+    for (sim::Time t = 90_s + phase; t < 110_s; t += 4_s) {
+      sched.schedule_at(t, [node] {
+        if (!node->routing->joined()) return;
+        Buffer p;
+        p.push_back(0x5A);
+        (void)node->routing->send_up(std::move(p));
+      });
+    }
+  }
+  sched.run_until(115_s);
+
+  GoldenRun g;
+  g.jsonl = obsctx.tracer().jsonl();
+  std::ostringstream chrome;
+  obsctx.tracer().write_chrome_json(chrome);
+  g.chrome = chrome.str();
+  g.metrics = obsctx.metrics().snapshot_json();
+  g.records = obsctx.tracer().records().size();
+  g.delivered = mesh.root().routing->stats().data_delivered;
+  mesh.stop();
+  return g;
+}
+
+TEST(GoldenTrace, TwentyNodeLplWorldIsByteIdenticalAcrossRuns) {
+  const GoldenRun a = run_lpl_world(20'2408);
+  const GoldenRun b = run_lpl_world(20'2408);
+  // Byte-identical exports: JSONL, Chrome JSON, and the full registry.
+  EXPECT_EQ(a.jsonl, b.jsonl);
+  EXPECT_EQ(a.chrome, b.chrome);
+  EXPECT_EQ(a.metrics, b.metrics);
+  // And the run must have actually exercised the traced stack.
+  EXPECT_GT(a.records, 1000u);
+  EXPECT_GT(a.delivered, 0u);
+  EXPECT_NE(a.jsonl.find("\"layer\":\"radio\",\"name\":\"tx\""),
+            std::string::npos);
+  EXPECT_NE(a.metrics.find("net.data_delivered"), std::string::npos);
+}
+
+TEST(GoldenTrace, DifferentSeedsProduceDifferentTraces) {
+  const GoldenRun a = run_lpl_world(111);
+  const GoldenRun b = run_lpl_world(222);
+  EXPECT_NE(a.jsonl, b.jsonl);
+}
+
+}  // namespace
+}  // namespace iiot

@@ -159,5 +159,69 @@ TEST(Proptest, CpReadYourWritesCheckerHolds) {
   }
 }
 
+// The trace auditor itself: a legitimate span tree passes; each class of
+// malformation it exists to catch is rejected with a pointed message.
+TEST(Proptest, TraceWellformedAcceptsProperSpanTree) {
+  sim::Scheduler sched;
+  obs::Tracer tracer(sched);
+  tracer.set_enabled(true);
+
+  const obs::TraceId t = tracer.start_trace(3, obs::Layer::kApp);
+  const obs::SpanRef hop = tracer.begin(t, 3, obs::Layer::kNet, "hop");
+  sched.schedule_at(50, [] {});
+  sched.run_all();
+  const obs::SpanRef tx = tracer.begin(t, 3, obs::Layer::kMac, "tx", hop);
+  tracer.instant(t, 2, obs::Layer::kMac, "rx", tx);
+  // A transmission handed to the radio while the MAC request is active;
+  // legitimately still unfinished at end of run.
+  tracer.begin(t, 3, obs::Layer::kRadio, "tx", tx);
+  tracer.end(tx);
+  sched.schedule_at(80, [] {});
+  sched.run_all();
+  tracer.end(hop);
+
+  EXPECT_EQ(check_trace_wellformed(tracer), "");
+}
+
+TEST(Proptest, TraceWellformedRejectsMalformations) {
+  sim::Scheduler sched;
+
+  {  // a record referencing a trace id that was never started
+    obs::Tracer tracer(sched);
+    tracer.set_enabled(true);
+    tracer.instant(7, 1, obs::Layer::kNet, "deliver");
+    EXPECT_NE(check_trace_wellformed(tracer).find("unallocated trace id"),
+              std::string::npos);
+  }
+  {  // a parent ref pointing past the end of the record log
+    obs::Tracer tracer(sched);
+    tracer.set_enabled(true);
+    tracer.begin(0, 1, obs::Layer::kMac, "tx", /*parent=*/99);
+    EXPECT_NE(check_trace_wellformed(tracer).find("nonexistent parent"),
+              std::string::npos);
+  }
+  {  // an open span left in a layer that cannot have in-flight work
+    obs::Tracer tracer(sched);
+    tracer.set_enabled(true);
+    tracer.begin(0, 1, obs::Layer::kBackend, "publish");
+    EXPECT_NE(check_trace_wellformed(tracer).find("open span"),
+              std::string::npos);
+  }
+  {  // a child starting after its (closed) parent already ended
+    obs::Tracer tracer(sched);
+    tracer.set_enabled(true);
+    const obs::SpanRef parent = tracer.begin(0, 1, obs::Layer::kNet, "hop");
+    tracer.end(parent);
+    sched.schedule_at(100, [] {});
+    sched.run_all();
+    const obs::SpanRef late =
+        tracer.begin(0, 1, obs::Layer::kMac, "tx", parent);
+    tracer.end(late);
+    EXPECT_NE(
+        check_trace_wellformed(tracer).find("starts after its parent ended"),
+        std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace iiot::testing

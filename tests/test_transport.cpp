@@ -1,0 +1,291 @@
+// Transport-layer tests: fragmentation/reassembly corner cases the mesh
+// actually produces (out-of-order arrival over multipath, duplicated
+// fragments from MAC retries, partial datagrams orphaned by link loss)
+// and CoAP observe recovery when a server endpoint restarts and loses its
+// observer table.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coap/endpoint.hpp"
+#include "common/bytes.hpp"
+#include "sim/scheduler.hpp"
+#include "transport/frag.hpp"
+
+namespace iiot::transport {
+namespace {
+
+using namespace sim;  // NOLINT: time literals
+
+Buffer pattern_datagram(std::size_t n) {
+  Buffer d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    d[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  return d;
+}
+
+// ------------------------------------------------------------ fragmentation
+
+TEST(Fragmentation, SplitsAndLabelsEveryPiece) {
+  const Buffer d = pattern_datagram(100);
+  const auto frags = fragment(d, 20, 0x0701);
+  // 16 payload bytes per fragment after the 4-byte header.
+  ASSERT_EQ(frags.size(), 7u);
+  for (std::size_t i = 0; i < frags.size(); ++i) {
+    ASSERT_GE(frags[i].size(), kFragHeader);
+    EXPECT_LE(frags[i].size(), 20u);
+    BufReader r(frags[i]);
+    EXPECT_EQ(*r.u16(), 0x0701);
+    EXPECT_EQ(*r.u8(), i);
+    EXPECT_EQ(*r.u8(), frags.size());
+  }
+}
+
+TEST(Fragmentation, OutOfOrderArrivalReassembles) {
+  Scheduler sched;
+  Reassembler rasm(sched);
+  const Buffer d = pattern_datagram(100);
+  auto frags = fragment(d, 20, 1);
+  ASSERT_GT(frags.size(), 2u);
+
+  // Worst-case reorder: deliver the pieces back to front.
+  std::reverse(frags.begin(), frags.end());
+  std::optional<Buffer> whole;
+  for (const Buffer& f : frags) {
+    auto r = rasm.on_fragment(7, f);
+    if (r.has_value()) {
+      EXPECT_FALSE(whole.has_value()) << "completed more than once";
+      whole = std::move(r);
+    }
+  }
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_EQ(*whole, d);
+  EXPECT_EQ(rasm.stats().completed, 1u);
+  EXPECT_EQ(rasm.stats().malformed, 0u);
+  EXPECT_EQ(rasm.in_flight(), 0u);
+}
+
+TEST(Fragmentation, InterleavedSourcesKeepSeparateBuffers) {
+  Scheduler sched;
+  Reassembler rasm(sched);
+  const Buffer da = pattern_datagram(60);
+  const Buffer db = pattern_datagram(90);
+  const auto fa = fragment(da, 20, 5);
+  const auto fb = fragment(db, 20, 5);  // same tag, different source
+
+  // Alternate fragments from the two sources; both must reassemble.
+  std::optional<Buffer> got_a;
+  std::optional<Buffer> got_b;
+  const std::size_t rounds = std::max(fa.size(), fb.size());
+  for (std::size_t i = 0; i < rounds; ++i) {
+    if (i < fa.size()) {
+      if (auto r = rasm.on_fragment(1, fa[i])) got_a = std::move(r);
+    }
+    if (i < fb.size()) {
+      if (auto r = rasm.on_fragment(2, fb[i])) got_b = std::move(r);
+    }
+  }
+  ASSERT_TRUE(got_a.has_value());
+  ASSERT_TRUE(got_b.has_value());
+  EXPECT_EQ(*got_a, da);
+  EXPECT_EQ(*got_b, db);
+  EXPECT_EQ(rasm.stats().completed, 2u);
+  EXPECT_EQ(rasm.in_flight(), 0u);
+}
+
+TEST(Fragmentation, DuplicateFragmentsAreIdempotent) {
+  Scheduler sched;
+  Reassembler rasm(sched);
+  const Buffer d = pattern_datagram(80);
+  const auto frags = fragment(d, 24, 2);
+  ASSERT_GT(frags.size(), 1u);
+
+  // A retrying MAC can deliver every fragment twice; the duplicate copies
+  // must neither corrupt the buffer nor complete the datagram early.
+  std::optional<Buffer> whole;
+  for (std::size_t i = 0; i < frags.size(); ++i) {
+    for (int copy = 0; copy < (i == 0 ? 3 : 2); ++copy) {
+      if (whole.has_value()) break;  // post-completion copies tested below
+      auto r = rasm.on_fragment(9, frags[i]);
+      if (r.has_value()) {
+        EXPECT_EQ(i, frags.size() - 1) << "completed before all pieces";
+        whole = std::move(r);
+      }
+    }
+  }
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_EQ(*whole, d);
+  EXPECT_EQ(rasm.stats().completed, 1u);
+  EXPECT_EQ(rasm.in_flight(), 0u);
+
+  // A straggler duplicate after completion looks like tag reuse: it opens
+  // a fresh partial (reclaimed by timeout) but must never complete or
+  // corrupt anything.
+  EXPECT_FALSE(rasm.on_fragment(9, frags[0]).has_value());
+  EXPECT_EQ(rasm.stats().completed, 1u);
+  EXPECT_EQ(rasm.in_flight(), 1u);
+}
+
+TEST(Fragmentation, TimeoutReleasesPartialState) {
+  Scheduler sched;
+  Reassembler rasm(sched, /*timeout=*/5'000'000);
+  const Buffer d = pattern_datagram(100);
+  const auto frags = fragment(d, 20, 3);
+  ASSERT_GT(frags.size(), 1u);
+
+  // All but the last piece arrive, then the route dies.
+  for (std::size_t i = 0; i + 1 < frags.size(); ++i) {
+    EXPECT_FALSE(rasm.on_fragment(4, frags[i]).has_value());
+  }
+  EXPECT_EQ(rasm.in_flight(), 1u);
+
+  // Past the deadline, the next multi-fragment arrival sweeps the orphan.
+  sched.run_until(6_s);
+  const auto other = fragment(pattern_datagram(40), 20, 99);
+  EXPECT_FALSE(rasm.on_fragment(5, other[0]).has_value());
+  EXPECT_EQ(rasm.stats().expired, 1u);
+  EXPECT_EQ(rasm.stats().completed, 0u);
+
+  // The straggler last piece now starts a fresh (incomplete) datagram
+  // instead of completing against freed state.
+  EXPECT_FALSE(rasm.on_fragment(4, frags.back()).has_value());
+  EXPECT_EQ(rasm.stats().completed, 0u);
+}
+
+TEST(Fragmentation, MalformedFragmentsCountedNotCrashed) {
+  Scheduler sched;
+  Reassembler rasm(sched);
+
+  Buffer truncated = {0x00};  // shorter than the header
+  EXPECT_FALSE(rasm.on_fragment(1, truncated).has_value());
+
+  Buffer zero_count;
+  BufWriter wz(zero_count);
+  wz.u16(7);
+  wz.u8(0);
+  wz.u8(0);  // count == 0
+  EXPECT_FALSE(rasm.on_fragment(1, zero_count).has_value());
+
+  Buffer index_oob;
+  BufWriter wi(index_oob);
+  wi.u16(7);
+  wi.u8(3);
+  wi.u8(2);  // index >= count
+  EXPECT_FALSE(rasm.on_fragment(1, index_oob).has_value());
+
+  EXPECT_EQ(rasm.stats().malformed, 3u);
+  EXPECT_EQ(rasm.in_flight(), 0u);
+}
+
+TEST(Fragmentation, RoundTripAcrossSizesAndMtus) {
+  Scheduler sched;
+  Reassembler rasm(sched);
+  std::uint16_t tag = 100;
+  for (std::size_t size : {0u, 1u, 15u, 16u, 17u, 64u, 255u, 1000u}) {
+    for (std::size_t mtu : {5u, 20u, 128u}) {
+      // The one-byte index/count fields cap a datagram at 255 fragments.
+      const std::size_t chunk = mtu - kFragHeader;
+      if ((size + chunk - 1) / chunk > 255) continue;
+      const Buffer d = pattern_datagram(size);
+      std::optional<Buffer> whole;
+      for (const Buffer& f : fragment(d, mtu, tag)) {
+        if (auto r = rasm.on_fragment(1, f)) whole = std::move(r);
+      }
+      ASSERT_TRUE(whole.has_value()) << size << "/" << mtu;
+      EXPECT_EQ(*whole, d) << size << "/" << mtu;
+      ++tag;
+    }
+  }
+  EXPECT_EQ(rasm.in_flight(), 0u);
+  EXPECT_EQ(rasm.stats().malformed, 0u);
+}
+
+// --------------------------------------------------------- observe restart
+
+/// Client and restartable server joined by a delayed pipe. Datagrams
+/// address whichever server instance is alive at delivery time, like a
+/// rebooted field device keeping its address.
+struct RestartPair {
+  RestartPair() : rng(42) {
+    client = std::make_unique<coap::Endpoint>(
+        1, sched, rng.fork(1), make_send(2), coap::CoapConfig{});
+    start_server();
+  }
+
+  coap::Endpoint::SendFn make_send(NodeId to) {
+    return [this, to](NodeId, Buffer bytes) {
+      sched.schedule_after(10'000, [this, to, bytes = std::move(bytes)] {
+        auto& dst = to == 1 ? client : server;
+        if (dst) dst->on_datagram(to == 1 ? 2 : 1, bytes);
+      });
+      return true;
+    };
+  }
+
+  void start_server() {
+    server = std::make_unique<coap::Endpoint>(
+        2, sched, rng.fork(++incarnation), make_send(1), coap::CoapConfig{});
+    server->add_resource("temp", [this](const coap::Request&) {
+      coap::Response r;
+      r.payload = to_buffer(reading);
+      return r;
+    });
+  }
+
+  Scheduler sched;
+  Rng rng;
+  std::uint64_t incarnation = 1;
+  std::string reading = "20.0";
+  std::unique_ptr<coap::Endpoint> client;
+  std::unique_ptr<coap::Endpoint> server;
+};
+
+TEST(CoapObserve, ReRegistrationAfterServerRestart) {
+  RestartPair p;
+  std::vector<std::string> seen;
+  const auto on_notify = [&](const coap::Response& r) {
+    seen.push_back(to_string(r.payload));
+  };
+
+  p.client->observe(2, "temp", on_notify);
+  p.sched.run_until(1_s);
+  ASSERT_EQ(seen, std::vector<std::string>{"20.0"});
+  EXPECT_EQ(p.server->observer_count("temp"), 1u);
+
+  p.reading = "21.5";
+  p.server->notify_observers("temp");
+  p.sched.run_until(2_s);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen.back(), "21.5");
+
+  // The server restarts: in-RAM observer registrations are gone, so
+  // notifications silently stop — the classic IIoT observe failure mode.
+  p.server.reset();
+  p.start_server();
+  EXPECT_EQ(p.server->observer_count("temp"), 0u);
+  p.reading = "23.0";
+  p.server->notify_observers("temp");
+  p.sched.run_until(3_s);
+  EXPECT_EQ(seen.size(), 2u) << "stale observer survived the restart";
+
+  // Client-side re-registration restores the subscription end to end.
+  p.client->observe(2, "temp", on_notify);
+  p.sched.run_until(4_s);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen.back(), "23.0");
+  EXPECT_EQ(p.server->observer_count("temp"), 1u);
+
+  p.reading = "24.0";
+  p.server->notify_observers("temp");
+  p.sched.run_until(5_s);
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen.back(), "24.0");
+}
+
+}  // namespace
+}  // namespace iiot::transport
