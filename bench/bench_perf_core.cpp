@@ -11,10 +11,24 @@
 //   2. A CSMA mesh of 50/200/500 nodes running RPL + periodic sensor
 //      traffic for a fixed span of virtual time.
 //
+// Repetitions run on the runner engine (DESIGN.md §4e): each (rep,
+// workload) pair owns an isolated world and a result slot, best-of-N is
+// taken per workload, and the simulation counters must be bit-identical
+// across repetitions — a free determinism gate on every perf run.
+//
 // Results are appended to BENCH_core.json (one JSON object per run, under
 // "runs") so the perf trajectory is tracked across PRs:
 //
-//   ./bench_perf_core [label] [output.json]
+//   ./bench_perf_core [label] [output.json] [--reps=N] [--jobs=N]
+//                     [--compare=BASELINE.json] [--min-ratio=R]
+//
+// --reps=N       best-of-N per workload (default 1; CI uses 3)
+// --jobs=N       shard repetitions across N workers (default 1 — timing
+//                runs are cleanest serial; >1 trades noise for speed)
+// --compare=F    perf-regression gate: read the newest run line of F and
+//                exit 1 if any events/sec metric drops below
+//                min-ratio × baseline (default 0.8, i.e. a >20% drop)
+// --min-ratio=R  override the compare threshold
 //
 // Pass a label like "seed" or "optimized"; default "current".
 #include <chrono>
@@ -28,6 +42,7 @@
 #include "bench_util.hpp"
 #include "core/network.hpp"
 #include "radio/medium.hpp"
+#include "runner/engine.hpp"
 #include "sim/scheduler.hpp"
 
 namespace {
@@ -164,30 +179,167 @@ NetResult csma_network(int n, std::uint64_t seed,
   return r;
 }
 
+// ------------------------------------------------------------ measurement
+
+constexpr int kNetSizes[] = {50, 200, 500};
+constexpr std::size_t kWorkloads = 5;  // churn, periodic, net50/200/500
+
+/// Slot for one (rep, workload) task; only the fields of that workload
+/// are populated.
+struct TaskResult {
+  ChurnResult churn;
+  double periodic = 0;
+  NetResult net;
+};
+
+struct Best {
+  ChurnResult churn;
+  double periodic = 0;
+  NetResult nets[3];
+};
+
+/// Runs `reps` repetitions of every workload on the engine (task index =
+/// rep * kWorkloads + workload) and aggregates best-of across reps from
+/// the slots. Fails (returns false) if any simulation counter differs
+/// across repetitions — repetitions are identical worlds, so divergence
+/// means nondeterminism leaked in.
+bool measure(runner::Engine& eng, std::uint64_t reps, Best& best) {
+  const std::size_t tasks = static_cast<std::size_t>(reps) * kWorkloads;
+  std::vector<TaskResult> slots(tasks);
+  eng.run(tasks, [&](std::size_t t) {
+    const std::size_t w = t % kWorkloads;
+    switch (w) {
+      case 0: slots[t].churn = scheduler_churn(); break;
+      case 1: slots[t].periodic = periodic_timer_events_per_sec(); break;
+      default: slots[t].net = csma_network(kNetSizes[w - 2], 42); break;
+    }
+  });
+
+  bool deterministic = true;
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    const std::size_t base = static_cast<std::size_t>(rep) * kWorkloads;
+    const TaskResult& c = slots[base + 0];
+    if (c.churn.events_per_sec > best.churn.events_per_sec) {
+      best.churn = c.churn;
+    }
+    best.periodic = std::max(best.periodic, slots[base + 1].periodic);
+    for (int k = 0; k < 3; ++k) {
+      const NetResult& r = slots[base + 2 + static_cast<std::size_t>(k)].net;
+      const NetResult& r0 = slots[2 + static_cast<std::size_t>(k)].net;
+      if (r.transmissions != r0.transmissions ||
+          r.deliveries != r0.deliveries || r.collisions != r0.collisions) {
+        std::printf(
+            "FAIL: rep %llu of net%d diverged from rep 0 "
+            "(%llu/%llu/%llu tx/rx/coll vs %llu/%llu/%llu)\n",
+            static_cast<unsigned long long>(rep), r.nodes,
+            static_cast<unsigned long long>(r.transmissions),
+            static_cast<unsigned long long>(r.deliveries),
+            static_cast<unsigned long long>(r.collisions),
+            static_cast<unsigned long long>(r0.transmissions),
+            static_cast<unsigned long long>(r0.deliveries),
+            static_cast<unsigned long long>(r0.collisions));
+        deterministic = false;
+      }
+      if (r.events_per_sec > best.nets[k].events_per_sec) best.nets[k] = r;
+    }
+  }
+  return deterministic;
+}
+
+// ---------------------------------------------------------------- compare
+
+/// Perf-regression gate: every events/sec metric of `run_line` must reach
+/// `min_ratio` × the same metric in `base_line`. Counters are reported
+/// informationally (they may legitimately drift across compiler/libm
+/// versions; within-run determinism is gated by measure() instead).
+bool compare_against_baseline(const std::string& base_line,
+                              const std::string& run_line, double min_ratio) {
+  static const char* kGated[] = {
+      "churn_events_per_sec",  "churn_ops_per_sec",
+      "periodic_events_per_sec", "net50_events_per_sec",
+      "net200_events_per_sec", "net500_events_per_sec",
+  };
+  bool ok = true;
+  std::printf("\nperf-regression gate (min ratio %.2f):\n", min_ratio);
+  for (const char* key : kGated) {
+    double base = 0;
+    double cur = 0;
+    if (!iiot::bench::bench_field(base_line, key, base) || base <= 0) {
+      std::printf("  %-26s baseline missing — skipped\n", key);
+      continue;
+    }
+    if (!iiot::bench::bench_field(run_line, key, cur)) {
+      std::printf("  %-26s MISSING in current run\n", key);
+      ok = false;
+      continue;
+    }
+    const double ratio = cur / base;
+    std::printf("  %-26s %12.0f vs %12.0f baseline  (x%.2f)%s\n", key, cur,
+                base, ratio, ratio < min_ratio ? "  REGRESSION" : "");
+    if (ratio < min_ratio) ok = false;
+  }
+  for (const char* key : {"net200_transmissions", "net200_collisions"}) {
+    double base = 0;
+    double cur = 0;
+    if (iiot::bench::bench_field(base_line, key, base) &&
+        iiot::bench::bench_field(run_line, key, cur) && base != cur) {
+      std::printf("  note: %s drifted from baseline (%.0f vs %.0f) — "
+                  "toolchain change?\n",
+                  key, cur, base);
+    }
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string label = argc > 1 ? argv[1] : "current";
-  const std::string out_path = argc > 2 ? argv[2] : "BENCH_core.json";
+  std::string label = "current";
+  std::string out_path = "BENCH_core.json";
+  std::string compare_path;
+  std::uint64_t reps = 1;
+  std::uint64_t jobs = 1;
+  double min_ratio = 0.8;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (iiot::bench::flag_u64(arg, "--reps", reps) ||
+        iiot::bench::flag_u64(arg, "--jobs", jobs) ||
+        iiot::bench::flag_str(arg, "--compare", compare_path) ||
+        iiot::bench::flag_double(arg, "--min-ratio", min_ratio)) {
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+    if (positional == 0) {
+      label = arg;
+    } else {
+      out_path = arg;
+    }
+    ++positional;
+  }
+  if (reps == 0) reps = 1;
 
   iiot::bench::print_header(
       "PERF: discrete-event core wall-clock throughput",
       "scheduler + medium must sustain production-scale event rates");
 
-  ChurnResult churn = scheduler_churn();
-  std::printf("scheduler churn:     %12.0f events/s  %12.0f ops/s\n",
-              churn.events_per_sec, churn.ops_per_sec);
-  double periodic = periodic_timer_events_per_sec();
-  std::printf("periodic timers:     %12.0f events/s\n", periodic);
+  iiot::runner::Engine eng(static_cast<unsigned>(jobs));
+  Best best;
+  const bool deterministic = measure(eng, reps, best);
 
-  std::vector<NetResult> nets;
-  for (int n : {50, 200, 500}) {
-    NetResult r = csma_network(n, 42);
-    nets.push_back(r);
+  std::printf("best of %llu rep(s), jobs=%u\n",
+              static_cast<unsigned long long>(reps), eng.jobs());
+  std::printf("scheduler churn:     %12.0f events/s  %12.0f ops/s\n",
+              best.churn.events_per_sec, best.churn.ops_per_sec);
+  std::printf("periodic timers:     %12.0f events/s\n", best.periodic);
+  for (const NetResult& r : best.nets) {
     std::printf(
         "csma %4d nodes:     %12.0f events/s  %12.0f frames/s  "
         "(%.2fs wall, %llu tx, %llu rx, %llu coll)\n",
-        n, r.events_per_sec, r.frames_per_sec, r.wall_sec,
+        r.nodes, r.events_per_sec, r.frames_per_sec, r.wall_sec,
         static_cast<unsigned long long>(r.transmissions),
         static_cast<unsigned long long>(r.deliveries),
         static_cast<unsigned long long>(r.collisions));
@@ -199,10 +351,10 @@ int main(int argc, char** argv) {
                 "{\"label\": \"%s\", \"churn_events_per_sec\": %.0f, "
                 "\"churn_ops_per_sec\": %.0f, "
                 "\"periodic_events_per_sec\": %.0f",
-                label.c_str(), churn.events_per_sec, churn.ops_per_sec,
-                periodic);
+                label.c_str(), best.churn.events_per_sec,
+                best.churn.ops_per_sec, best.periodic);
   run << buf;
-  for (const NetResult& r : nets) {
+  for (const NetResult& r : best.nets) {
     std::snprintf(buf, sizeof buf,
                   ", \"net%d_events_per_sec\": %.0f, "
                   "\"net%d_frames_per_sec\": %.0f, "
@@ -215,13 +367,32 @@ int main(int argc, char** argv) {
                   r.nodes, static_cast<unsigned long long>(r.collisions));
     run << buf;
   }
+  std::snprintf(buf, sizeof buf, ", \"reps\": %llu, \"jobs\": %u",
+                static_cast<unsigned long long>(reps), eng.jobs());
+  run << buf;
   // Per-layer metrics snapshot from an instrumented (untimed) replay of
   // the 50-node workload: says which layer a perf regression lives in.
   std::string metrics;
   (void)csma_network(50, 42, &metrics);
   run << ", \"metrics\": " << metrics;
   run << "}";
-  bench::append_bench_run(out_path, "bench_perf_core", run.str());
+  iiot::bench::append_bench_run(out_path, "bench_perf_core", run.str());
   std::printf("\nwrote %s (label \"%s\")\n", out_path.c_str(), label.c_str());
-  return 0;
+
+  bool gate_ok = true;
+  if (!compare_path.empty()) {
+    const std::string base_line =
+        iiot::bench::last_bench_run_line(compare_path);
+    if (base_line.empty()) {
+      std::printf("FAIL: no baseline run line in %s\n", compare_path.c_str());
+      gate_ok = false;
+    } else {
+      gate_ok = compare_against_baseline(base_line, run.str(), min_ratio);
+      std::printf("perf gate: %s\n", gate_ok ? "OK" : "FAILED");
+    }
+  }
+  if (!deterministic) {
+    std::printf("determinism gate: FAILED (counters diverged across reps)\n");
+  }
+  return deterministic && gate_ok ? 0 : 1;
 }

@@ -1,0 +1,126 @@
+// Runner engine scaling benchmark (DESIGN.md §4e).
+//
+// Measures wall-clock speedup of the parallel scenario-execution engine
+// on the real workload it exists for: the N-scenario fuzz batch. The
+// batch runs twice in one process — serially (jobs=1, the reference
+// execution) and sharded across the pool — and every jobs-invariant
+// artifact (failing seeds, per-seed fingerprints, report text) is diffed
+// between the two runs, so the speedup number is only ever reported for
+// byte-identical output.
+//
+//   ./bench_runner [label] [output.json] [--runs=N] [--jobs=N]
+//
+// --runs=N   scenarios per batch (default 200, the CI smoke batch)
+// --jobs=N   parallel job count (default 0 = all cores)
+//
+// Appends one run line to BENCH_runner.json: serial/parallel wall
+// seconds, scenarios/sec for both, speedup, and whether artifacts
+// matched. Exits 1 on any artifact divergence.
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "runner/engine.hpp"
+#include "testing/batch.hpp"
+
+namespace {
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string label = "current";
+  std::string out_path = "BENCH_runner.json";
+  std::uint64_t runs = 200;
+  std::uint64_t jobs = 0;  // all cores
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (iiot::bench::flag_u64(arg, "--runs", runs) ||
+        iiot::bench::flag_u64(arg, "--jobs", jobs)) {
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+    if (positional == 0) {
+      label = arg;
+    } else {
+      out_path = arg;
+    }
+    ++positional;
+  }
+
+  iiot::bench::print_header(
+      "PERF: parallel scenario-execution engine (fuzz batch)",
+      "sharded batches must scale with cores and stay byte-identical");
+
+  iiot::testing::FuzzBatchOptions opt;
+  opt.runs = runs;
+  opt.shrink = false;  // measure scenario execution, not shrink re-runs
+
+  iiot::runner::Engine serial(1);
+  iiot::runner::Engine pool(static_cast<unsigned>(jobs));
+
+  double t0 = now_seconds();
+  const iiot::testing::FuzzBatchResult a =
+      iiot::testing::run_fuzz_batch(opt, serial);
+  const double serial_sec = now_seconds() - t0;
+
+  t0 = now_seconds();
+  const iiot::testing::FuzzBatchResult b =
+      iiot::testing::run_fuzz_batch(opt, pool);
+  const double parallel_sec = now_seconds() - t0;
+
+  bool identical = a.failing_seeds == b.failing_seeds &&
+                   a.fingerprints.size() == b.fingerprints.size() &&
+                   a.report == b.report;
+  if (identical) {
+    for (std::size_t i = 0; i < a.fingerprints.size(); ++i) {
+      if (!(a.fingerprints[i] == b.fingerprints[i])) {
+        identical = false;
+        std::printf("FAIL: fingerprint diverges at seed %llu\n",
+                    static_cast<unsigned long long>(opt.seed_base + i));
+        break;
+      }
+    }
+  } else {
+    std::printf("FAIL: failing seeds or report diverge between jobs=1 "
+                "and jobs=%u\n",
+                pool.jobs());
+  }
+
+  const double speedup = parallel_sec > 0 ? serial_sec / parallel_sec : 0;
+  std::printf("%llu scenarios  jobs=1: %.2fs (%.0f/s)   jobs=%u: %.2fs "
+              "(%.0f/s)   speedup x%.2f   artifacts %s\n",
+              static_cast<unsigned long long>(runs), serial_sec,
+              static_cast<double>(runs) / serial_sec, pool.jobs(),
+              parallel_sec, static_cast<double>(runs) / parallel_sec, speedup,
+              identical ? "identical" : "DIVERGED");
+
+  std::ostringstream run;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"label\": \"%s\", \"runs\": %llu, \"jobs\": %u, "
+                "\"serial_sec\": %.3f, \"parallel_sec\": %.3f, "
+                "\"serial_scenarios_per_sec\": %.1f, "
+                "\"parallel_scenarios_per_sec\": %.1f, "
+                "\"speedup\": %.2f, \"identical\": %s, \"failing\": %zu}",
+                label.c_str(), static_cast<unsigned long long>(runs),
+                pool.jobs(), serial_sec, parallel_sec,
+                static_cast<double>(runs) / serial_sec,
+                static_cast<double>(runs) / parallel_sec, speedup,
+                identical ? "true" : "false", a.failing_seeds.size());
+  run << buf;
+  iiot::bench::append_bench_run(out_path, "bench_runner", run.str());
+  std::printf("wrote %s (label \"%s\")\n", out_path.c_str(), label.c_str());
+  return identical ? 0 : 1;
+}

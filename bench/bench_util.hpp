@@ -8,15 +8,59 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/network.hpp"
 #include "obs/context.hpp"
+#include "runner/engine.hpp"
 #include "sim/time.hpp"
 
 namespace iiot::bench {
+
+// ---- CLI flag helpers ("--key=value" style) ---------------------------
+
+/// True when `arg` is `--key=<v>`; parses <v> into `out`.
+inline bool flag_u64(const std::string& arg, const char* key,
+                     std::uint64_t& out) {
+  const std::string prefix = std::string(key) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  char* end = nullptr;
+  out = std::strtoull(arg.c_str() + prefix.size(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+inline bool flag_double(const std::string& arg, const char* key, double& out) {
+  const std::string prefix = std::string(key) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  char* end = nullptr;
+  out = std::strtod(arg.c_str() + prefix.size(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+inline bool flag_str(const std::string& arg, const char* key,
+                     std::string& out) {
+  const std::string prefix = std::string(key) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  out = arg.substr(prefix.size());
+  return true;
+}
+
+// ---- engine sharding --------------------------------------------------
+
+/// Shards `count` independent repetitions/parameter points across the
+/// engine. Every repetition builds its own isolated world; results land
+/// in slots keyed by index, so aggregation (best-of, tables, JSON lines)
+/// is identical at any job count. fn must be callable as fn(std::size_t).
+template <typename R, typename Fn>
+[[nodiscard]] std::vector<R> run_sharded(runner::Engine& eng,
+                                         std::size_t count, Fn&& fn) {
+  std::vector<R> out(count);
+  eng.run(count, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
 
 inline void print_header(const char* experiment, const char* claim) {
   std::printf("\n==================================================================\n");
@@ -110,6 +154,33 @@ inline void append_bench_run(const std::string& path, const char* benchmark,
     out << "    " << runs[i] << (i + 1 < runs.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
+}
+
+/// Newest run line of a BENCH_*.json results file ("" when absent) — the
+/// line `--compare` baselines are read from.
+inline std::string last_bench_run_line(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  std::string last;
+  while (std::getline(in, line)) {
+    const auto pos = line.find_first_not_of(" \t");
+    if (pos != std::string::npos && line.compare(pos, 9, "{\"label\":") == 0) {
+      last = line.substr(pos);
+      if (!last.empty() && last.back() == ',') last.pop_back();
+    }
+  }
+  return last;
+}
+
+/// Extracts the numeric value of `"key": <number>` from a run line.
+inline bool bench_field(const std::string& run_line, const std::string& key,
+                        double& out) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = run_line.find(needle);
+  if (pos == std::string::npos) return false;
+  char* end = nullptr;
+  out = std::strtod(run_line.c_str() + pos + needle.size(), &end);
+  return end != nullptr && end != run_line.c_str() + pos + needle.size();
 }
 
 }  // namespace iiot::bench

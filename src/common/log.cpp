@@ -1,11 +1,16 @@
 #include "common/log.hpp"
 
+#include <atomic>
+
 namespace iiot::log {
 
-Level& level() {
-  static Level lvl = Level::kNone;
-  return lvl;
+namespace {
+std::atomic<Level> g_level{Level::kNone};
 }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_level(Level lvl) { g_level.store(lvl, std::memory_order_relaxed); }
 
 void write(Level lvl, const std::string& msg) {
   const char* tag = "?";

@@ -1,5 +1,8 @@
 // Tiny leveled logger. Silent by default so benches stay clean; tests and
-// examples can raise the level for debugging.
+// examples can raise the level for debugging. The level lives in a
+// process-wide atomic so parallel runner workers can consult it without a
+// data race (it is the one piece of intentionally global state in the
+// library — everything simulation-scoped hangs off a Scheduler).
 #pragma once
 
 #include <cstdio>
@@ -9,7 +12,8 @@ namespace iiot::log {
 
 enum class Level { kNone = 0, kError, kWarn, kInfo, kDebug };
 
-Level& level();
+[[nodiscard]] Level level();
+void set_level(Level lvl);
 
 void write(Level lvl, const std::string& msg);
 

@@ -1,0 +1,110 @@
+#include "runner/engine.hpp"
+
+#include <stdexcept>
+
+namespace iiot::runner {
+
+unsigned hardware_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
+Engine::Engine(unsigned jobs) : jobs_(jobs == 0 ? hardware_jobs() : jobs) {
+  if (jobs_ > 1) {
+    workers_.reserve(jobs_);
+    for (unsigned i = 0; i < jobs_; ++i) {
+      workers_.emplace_back([this] { worker(); });
+    }
+  }
+}
+
+Engine::~Engine() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+}
+
+std::size_t Engine::run(std::size_t tasks, const Task& body,
+                        const StopAfter& stop_after) {
+  if (tasks == 0) return 0;
+
+  if (jobs_ <= 1) {
+    // Inline reference execution: identical semantics, zero machinery.
+    std::size_t executed = 0;
+    for (std::size_t i = 0; i < tasks; ++i) {
+      body(i);
+      ++executed;
+      if (stop_after && stop_after(i)) break;
+    }
+    return executed;
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  if (body_ != nullptr) {
+    throw std::logic_error("runner::Engine::run called from inside a task");
+  }
+  body_ = &body;
+  stop_after_ = stop_after ? &stop_after : nullptr;
+  tasks_ = tasks;
+  next_ = 0;
+  active_ = 0;
+  executed_ = 0;
+  stop_ = false;
+  first_error_ = nullptr;
+  first_error_index_ = 0;
+  work_cv_.notify_all();
+  done_cv_.wait(lk, [this] { return batch_done(); });
+  body_ = nullptr;
+  stop_after_ = nullptr;
+  const std::size_t executed = executed_;
+  std::exception_ptr err = first_error_;
+  first_error_ = nullptr;
+  lk.unlock();
+  if (err) std::rethrow_exception(err);
+  return executed;
+}
+
+void Engine::worker() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [this] {
+      return shutdown_ || (body_ != nullptr && next_ < tasks_ && !stop_);
+    });
+    if (shutdown_) return;
+
+    const std::size_t i = next_++;  // ascending claims: executed set is a prefix
+    ++active_;
+    const Task* body = body_;
+    const StopAfter* stop_after = stop_after_;
+    lk.unlock();
+
+    bool stop_now = false;
+    std::exception_ptr err;
+    try {
+      (*body)(i);
+      if (stop_after != nullptr) stop_now = (*stop_after)(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+
+    lk.lock();
+    --active_;
+    ++executed_;
+    if (err) {
+      if (!first_error_ || i < first_error_index_) {
+        first_error_ = err;
+        first_error_index_ = i;
+      }
+      stop_ = true;
+    }
+    if (stop_now) stop_ = true;
+    if (batch_done()) done_cv_.notify_all();
+  }
+}
+
+}  // namespace iiot::runner

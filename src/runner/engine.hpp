@@ -1,0 +1,108 @@
+// Parallel scenario-execution engine (DESIGN.md §4e).
+//
+// Shards a batch of independent tasks — fuzz seeds, bench repetitions,
+// experiment parameter points — across a fixed pool of worker threads.
+// Each task owns a fully isolated simulated world (its own Scheduler,
+// Medium, System, Rng, obs::Context), so workers share no simulation
+// state at all; the only cross-thread traffic is the engine's own queue
+// bookkeeping and the per-task result slots.
+//
+// Determinism contract (the whole point of this module):
+//   * Tasks are identified by their index in [0, tasks). Callers write
+//     results into pre-sized slots keyed by that index, never into shared
+//     accumulators, so aggregated output is a pure function of the task
+//     set — byte-identical regardless of thread count or completion
+//     order. `--jobs=8` must produce the same artifacts as `--jobs=1`.
+//   * Indices are claimed in ascending order from a single queue, so the
+//     set of executed tasks is always a prefix {0..K} of the batch. With
+//     early stop (`stop_after`) or a throwing task, K varies with
+//     timing — but the *lowest* interesting index does not: every index
+//     below it was claimed earlier and runs to completion. Aggregations
+//     that scan slots in index order and stop at the first hit are
+//     therefore jobs-invariant even under cancellation.
+//   * Exceptions: the lowest-index throwing task wins; its exception is
+//     rethrown from run() after the batch drains. Identical to what a
+//     serial loop would have thrown.
+//
+// jobs == 1 runs tasks inline on the calling thread (no workers, no
+// synchronization) — this is the reference execution the determinism
+// self-checks diff against, and it keeps single-job perf baselines free
+// of pool overhead.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace iiot::runner {
+
+/// Worker count matching the machine (>= 1 even when the runtime cannot
+/// tell). `Engine(0)` resolves to this.
+[[nodiscard]] unsigned hardware_jobs();
+
+class Engine {
+ public:
+  /// A pool of `jobs` workers (0 → hardware_jobs()). jobs == 1 spawns no
+  /// threads at all.
+  explicit Engine(unsigned jobs = 1);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] unsigned jobs() const { return jobs_; }
+
+  using Task = std::function<void(std::size_t)>;
+  using StopAfter = std::function<bool(std::size_t)>;
+
+  /// Runs body(i) for i in [0, tasks), sharded across the pool. Blocks
+  /// until every claimed task finished. If `stop_after` is provided and
+  /// returns true for a completed index, no further indices are claimed
+  /// (in-flight tasks still complete). Returns the number of tasks
+  /// executed — informational only: under early stop it depends on
+  /// timing, so it must never feed a determinism-contract artifact.
+  ///
+  /// Not reentrant on a multi-job engine: calling run() from inside a
+  /// task throws std::logic_error (serial engines nest fine).
+  std::size_t run(std::size_t tasks, const Task& body,
+                  const StopAfter& stop_after = {});
+
+ private:
+  void worker();
+  [[nodiscard]] bool batch_done() const {
+    return active_ == 0 && (next_ >= tasks_ || stop_);
+  }
+
+  unsigned jobs_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  // Current batch (valid while body_ != nullptr); guarded by mu_.
+  const Task* body_ = nullptr;
+  const StopAfter* stop_after_ = nullptr;
+  std::size_t tasks_ = 0;
+  std::size_t next_ = 0;      // next unclaimed index (ascending claims)
+  std::size_t active_ = 0;    // claimed, not yet finished
+  std::size_t executed_ = 0;
+  bool stop_ = false;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+  std::size_t first_error_index_ = 0;
+};
+
+/// Slot-collecting map: out[i] = fn(i), aggregation-safe at any job count
+/// because each task writes exactly one pre-sized slot.
+template <typename R>
+[[nodiscard]] std::vector<R> map(Engine& eng, std::size_t n,
+                                 const std::function<R(std::size_t)>& fn) {
+  std::vector<R> out(n);
+  eng.run(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace iiot::runner

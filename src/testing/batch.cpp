@@ -1,0 +1,122 @@
+#include "testing/batch.hpp"
+
+#include <cstdio>
+
+#include "runner/engine.hpp"
+#include "testing/shrink.hpp"
+
+namespace iiot::testing {
+
+namespace {
+
+/// One failure's report block, formatted exactly like the historical
+/// serial fuzz driver so reproducer lines stay grep-stable.
+std::string format_failure(const ScenarioConfig& cfg, const ScenarioResult& r,
+                           bool shrink, int shrink_budget,
+                           runner::Engine& eng) {
+  std::string out;
+  char buf[160];
+  out += "FAIL  " + cfg.summary() + "\n";
+  out += "      " + r.failure + "\n";
+  std::snprintf(buf, sizeof buf, "      reproduce: iiot_fuzz --replay_seed=%llu%s\n",
+                static_cast<unsigned long long>(cfg.seed),
+                cfg.canary_skip_detach_cleanup ? " --canary" : "");
+  out += buf;
+  if (shrink) {
+    const ShrinkResult shrunk = shrink_scenario(cfg, shrink_budget, &eng);
+    std::snprintf(buf, sizeof buf, "      shrunk (%d reruns): ",
+                  shrunk.attempts);
+    out += buf;
+    out += shrunk.config.summary() + "\n";
+    out += "      shrunk failure: " + shrunk.failure + "\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+FuzzBatchResult run_fuzz_batch(const FuzzBatchOptions& opt,
+                               runner::Engine& eng) {
+  const auto n = static_cast<std::size_t>(opt.runs);
+  FuzzBatchResult out;
+
+  // Scenario expansion is a pure function of the seed and cheap next to a
+  // run, so the whole batch's configs (and the MAC mix) are materialized
+  // up front regardless of how much of it executes.
+  std::vector<ScenarioConfig> cfgs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cfgs[i] = generate_scenario(opt.seed_base + i);
+    if (opt.canary) cfgs[i].canary_skip_detach_cleanup = true;
+    ++out.by_mac[static_cast<int>(cfgs[i].mac)];
+  }
+
+  // One slot per seed. In canary mode the batch stops claiming seeds once
+  // any worker catches the planted bug; ascending claims guarantee every
+  // seed below the first catch still runs, so the first-failure scan
+  // below is exact at any job count.
+  std::vector<ScenarioResult> results(n);
+  runner::Engine::StopAfter stop;
+  if (opt.canary) {
+    stop = [&results](std::size_t i) { return !results[i].ok; };
+  }
+  out.scenarios_executed = eng.run(
+      n, [&](std::size_t i) { results[i] = run_scenario(cfgs[i]); }, stop);
+
+  // ---- slot-ordered aggregation (the jobs-invariant part) -------------
+  std::size_t limit = n;
+  if (opt.canary) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!results[i].ok) {
+        limit = i + 1;  // one caught bug is proof enough
+        break;
+      }
+    }
+  }
+  out.fingerprints.reserve(limit);
+  for (std::size_t i = 0; i < limit; ++i) {
+    out.fingerprints.push_back(results[i].fingerprint);
+    if (!results[i].ok) out.failing_seeds.push_back(cfgs[i].seed);
+  }
+  std::size_t reported = 0;
+  for (std::size_t i = 0; i < limit && reported < opt.max_reported; ++i) {
+    if (results[i].ok) continue;
+    out.report += format_failure(cfgs[i], results[i], opt.shrink,
+                                 opt.shrink_budget, eng);
+    ++reported;
+  }
+  return out;
+}
+
+std::string check_batch_determinism(const FuzzBatchOptions& opt,
+                                    runner::Engine& eng) {
+  runner::Engine serial(1);
+  const FuzzBatchResult a = run_fuzz_batch(opt, serial);
+  const FuzzBatchResult b = run_fuzz_batch(opt, eng);
+
+  if (a.failing_seeds != b.failing_seeds) {
+    return "failing-seed lists diverge: serial has " +
+           std::to_string(a.failing_seeds.size()) + ", jobs=" +
+           std::to_string(eng.jobs()) + " has " +
+           std::to_string(b.failing_seeds.size());
+  }
+  if (a.fingerprints.size() != b.fingerprints.size()) {
+    return "fingerprint counts diverge: " +
+           std::to_string(a.fingerprints.size()) + " vs " +
+           std::to_string(b.fingerprints.size());
+  }
+  for (std::size_t i = 0; i < a.fingerprints.size(); ++i) {
+    if (!(a.fingerprints[i] == b.fingerprints[i])) {
+      return "fingerprint diverges at seed " +
+             std::to_string(opt.seed_base + i) +
+             "\n  serial:   " + a.fingerprints[i].to_string() +
+             "\n  parallel: " + b.fingerprints[i].to_string();
+    }
+  }
+  if (a.report != b.report) {
+    return "failure report text diverges\n--- serial ---\n" + a.report +
+           "--- jobs=" + std::to_string(eng.jobs()) + " ---\n" + b.report;
+  }
+  return {};
+}
+
+}  // namespace iiot::testing

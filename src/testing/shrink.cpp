@@ -4,6 +4,8 @@
 #include <functional>
 #include <vector>
 
+#include "runner/engine.hpp"
+
 namespace iiot::testing {
 
 namespace {
@@ -99,26 +101,65 @@ std::vector<Move> moves() {
 
 }  // namespace
 
-ShrinkResult shrink_scenario(const ScenarioConfig& failing, int budget) {
+ShrinkResult shrink_scenario(const ScenarioConfig& failing, int budget,
+                             runner::Engine* engine) {
   ShrinkResult res;
   res.config = failing;
+
+  runner::Engine inline_eng(1);
+  runner::Engine& eng = engine != nullptr ? *engine : inline_eng;
 
   const std::vector<Move> m = moves();
   bool progressed = true;
   while (progressed && res.attempts < budget) {
     progressed = false;
-    for (const Move& move : m) {
-      if (res.attempts >= budget) break;
-      ScenarioConfig candidate = res.config;
-      if (!move(candidate)) continue;
-      ++res.attempts;
-      ScenarioResult r = run_scenario(candidate);
-      if (!r.ok) {
-        res.config = candidate;
-        res.failure = r.failure;
-        res.changed = true;
-        progressed = true;
+
+    // Speculate every applicable move against the current config, in
+    // fixed move order, sharded across the engine. The full round runs
+    // even when an early candidate fails — that fixed shape is what
+    // makes the rerun count and the accepted path jobs-invariant.
+    std::vector<std::size_t> move_idx;
+    std::vector<ScenarioConfig> candidates;
+    for (std::size_t k = 0; k < m.size(); ++k) {
+      if (res.attempts + static_cast<int>(candidates.size()) >= budget) break;
+      ScenarioConfig c = res.config;
+      if (!m[k](c)) continue;
+      move_idx.push_back(k);
+      candidates.push_back(std::move(c));
+    }
+    if (candidates.empty()) break;
+
+    std::vector<ScenarioResult> verdicts(candidates.size());
+    eng.run(candidates.size(), [&](std::size_t i) {
+      verdicts[i] = run_scenario(candidates[i]);
+    });
+    res.attempts += static_cast<int>(candidates.size());
+
+    // Accept failing candidates in move order. The first one applies
+    // as-is; later failing moves were speculated against the stale base,
+    // so re-apply them to the updated config and revalidate serially.
+    bool accepted_this_round = false;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (verdicts[i].ok) continue;
+      if (!accepted_this_round) {
+        res.config = std::move(candidates[i]);
+        res.failure = verdicts[i].failure;
+        accepted_this_round = true;
+        continue;
       }
+      if (res.attempts >= budget) break;
+      ScenarioConfig c = res.config;
+      if (!m[move_idx[i]](c)) continue;
+      ++res.attempts;
+      ScenarioResult r = run_scenario(c);
+      if (!r.ok) {
+        res.config = std::move(c);
+        res.failure = std::move(r.failure);
+      }
+    }
+    if (accepted_this_round) {
+      res.changed = true;
+      progressed = true;
     }
   }
   if (res.failure.empty()) {

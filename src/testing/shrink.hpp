@@ -3,11 +3,22 @@
 // fault kinds, fewer sub-checks) and keeps any that still fails. The
 // result is the locally minimal reproducer reported next to the
 // `--replay_seed` line.
+//
+// Candidate evaluation runs on the runner engine: each round speculates
+// every applicable move against the current config in parallel, then
+// accepts failing candidates in fixed move order (revalidating later ones
+// against the updated config). The round structure is the algorithm — it
+// is identical at jobs=1 and jobs=N, so the shrunk reproducer and the
+// rerun count are byte-identical at any thread count.
 #pragma once
 
 #include <string>
 
 #include "testing/scenario.hpp"
+
+namespace iiot::runner {
+class Engine;
+}
 
 namespace iiot::testing {
 
@@ -20,8 +31,11 @@ struct ShrinkResult {
 
 /// Shrinks `failing` (which must fail when run) within a re-run budget.
 /// Deterministic: candidates are tried in a fixed order and accepted on
-/// any failure, so the same input always shrinks to the same output.
+/// any failure, so the same input always shrinks to the same output —
+/// regardless of the engine's job count. `engine == nullptr` evaluates
+/// candidates inline (equivalent to a 1-job engine).
 [[nodiscard]] ShrinkResult shrink_scenario(const ScenarioConfig& failing,
-                                           int budget = 48);
+                                           int budget = 48,
+                                           runner::Engine* engine = nullptr);
 
 }  // namespace iiot::testing

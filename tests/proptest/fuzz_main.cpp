@@ -1,14 +1,22 @@
-// Property-based scenario fuzzer CLI (DESIGN.md §4c).
+// Property-based scenario fuzzer CLI (DESIGN.md §4c, §4e).
 //
-//   iiot_fuzz [--runs=N] [--seed=BASE] [--replay_seed=N] [--canary]
-//             [--trace] [--fail-file=PATH] [--quiet]
+//   iiot_fuzz [--runs=N] [--seed=BASE] [--jobs=N] [--replay_seed=N]
+//             [--canary] [--trace] [--fail-file=PATH] [--selfcheck]
+//             [--quiet]
 //
-// Default mode: expands and runs `--runs` consecutive seeds; any failure
-// prints a one-line reproducer (`--replay_seed=N`), a shrunk minimal
-// config, and exits 1. `--replay_seed=N` re-runs exactly one scenario and
-// prints its fingerprint. `--canary` enables the planted detach-cleanup
-// bug and inverts the exit code: the run succeeds only if the harness
-// catches the bug.
+// Default mode: expands and runs `--runs` consecutive seeds, sharded
+// across `--jobs` worker threads (each scenario owns an isolated world);
+// any failure prints a one-line reproducer (`--replay_seed=N`), a shrunk
+// minimal config, and exits 1. Failing seeds, reports and fail-file
+// contents are aggregated from per-seed slots in seed order, so they are
+// byte-identical at any --jobs value. `--jobs=0` means all cores.
+//
+// `--replay_seed=N` re-runs exactly one scenario and prints its
+// fingerprint. `--canary` enables the planted detach-cleanup bug and
+// inverts the exit code: the run succeeds only if the harness catches the
+// bug. `--selfcheck` runs the batch twice — serially and at --jobs — and
+// fails on any divergence in the jobs-invariant artifacts (the
+// determinism contract, checked in-process).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -17,25 +25,31 @@
 #include <string>
 #include <vector>
 
+#include "runner/engine.hpp"
+#include "testing/batch.hpp"
 #include "testing/scenario.hpp"
-#include "testing/shrink.hpp"
 
 namespace {
 
+using iiot::testing::check_batch_determinism;
+using iiot::testing::FuzzBatchOptions;
+using iiot::testing::FuzzBatchResult;
 using iiot::testing::generate_scenario;
+using iiot::testing::run_fuzz_batch;
 using iiot::testing::run_scenario;
 using iiot::testing::ScenarioConfig;
 using iiot::testing::ScenarioResult;
-using iiot::testing::shrink_scenario;
 
 struct Options {
   std::uint64_t runs = 200;
   std::uint64_t seed_base = 1;
   std::uint64_t replay_seed = 0;
+  std::uint64_t jobs = 1;  // 0 → all cores
   bool replay = false;
   bool canary = false;
   bool trace = false;
   bool quiet = false;
+  bool selfcheck = false;
   std::string fail_file;
 };
 
@@ -55,6 +69,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
       if (!parse_u64(val.c_str(), opt.runs)) return false;
     } else if (key == "--seed") {
       if (!parse_u64(val.c_str(), opt.seed_base)) return false;
+    } else if (key == "--jobs") {
+      if (!parse_u64(val.c_str(), opt.jobs)) return false;
     } else if (key == "--replay_seed") {
       if (!parse_u64(val.c_str(), opt.replay_seed)) return false;
       opt.replay = true;
@@ -64,6 +80,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.trace = true;
     } else if (key == "--quiet") {
       opt.quiet = true;
+    } else if (key == "--selfcheck") {
+      opt.selfcheck = true;
     } else if (key == "--fail-file") {
       opt.fail_file = val;
     } else {
@@ -74,24 +92,6 @@ bool parse_args(int argc, char** argv, Options& opt) {
   return true;
 }
 
-ScenarioConfig config_for(std::uint64_t seed, const Options& opt) {
-  ScenarioConfig cfg = generate_scenario(seed);
-  if (opt.canary) cfg.canary_skip_detach_cleanup = true;
-  return cfg;
-}
-
-void report_failure(const ScenarioConfig& cfg, const ScenarioResult& r) {
-  std::printf("FAIL  %s\n", cfg.summary().c_str());
-  std::printf("      %s\n", r.failure.c_str());
-  std::printf("      reproduce: iiot_fuzz --replay_seed=%llu%s\n",
-              static_cast<unsigned long long>(cfg.seed),
-              cfg.canary_skip_detach_cleanup ? " --canary" : "");
-  const auto shrunk = shrink_scenario(cfg);
-  std::printf("      shrunk (%d reruns): %s\n", shrunk.attempts,
-              shrunk.config.summary().c_str());
-  std::printf("      shrunk failure: %s\n", shrunk.failure.c_str());
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -99,7 +99,8 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, opt)) return 2;
 
   if (opt.replay) {
-    ScenarioConfig cfg = config_for(opt.replay_seed, opt);
+    ScenarioConfig cfg = generate_scenario(opt.replay_seed);
+    if (opt.canary) cfg.canary_skip_detach_cleanup = true;
     cfg.trace = opt.trace;  // replay-only: does not alter the scenario
     std::printf("replaying: %s\n", cfg.summary().c_str());
     const ScenarioResult r = run_scenario(cfg);
@@ -112,52 +113,66 @@ int main(int argc, char** argv) {
     return opt.canary ? 1 : 0;
   }
 
-  const auto wall_start = std::chrono::steady_clock::now();
-  std::vector<std::uint64_t> failing_seeds;
-  std::uint64_t by_mac[4] = {0, 0, 0, 0};
-  constexpr std::uint64_t kMaxReported = 5;
+  iiot::runner::Engine eng(static_cast<unsigned>(opt.jobs));
 
-  for (std::uint64_t i = 0; i < opt.runs; ++i) {
-    const std::uint64_t seed = opt.seed_base + i;
-    const ScenarioConfig cfg = config_for(seed, opt);
-    ++by_mac[static_cast<int>(cfg.mac)];
-    const ScenarioResult r = run_scenario(cfg);
-    if (r.ok) continue;
-    failing_seeds.push_back(seed);
-    if (failing_seeds.size() <= kMaxReported) {
-      report_failure(cfg, r);
+  FuzzBatchOptions bopt;
+  bopt.runs = opt.runs;
+  bopt.seed_base = opt.seed_base;
+  bopt.canary = opt.canary;
+
+  if (opt.selfcheck) {
+    const auto wall_start = std::chrono::steady_clock::now();
+    bopt.shrink = false;  // the diff covers reports; shrinking re-runs are
+                          // already covered by their own determinism tests
+    const std::string diff = check_batch_determinism(bopt, eng);
+    const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count();
+    if (!diff.empty()) {
+      std::printf("SELFCHECK FAIL (jobs=1 vs jobs=%u): %s\n", eng.jobs(),
+                  diff.c_str());
+      return 1;
     }
-    if (opt.canary) break;  // one caught bug is proof enough
+    std::printf(
+        "selfcheck OK: %llu scenarios byte-identical at jobs=1 and jobs=%u "
+        "(%lld ms)\n",
+        static_cast<unsigned long long>(opt.runs), eng.jobs(),
+        static_cast<long long>(wall_ms));
+    return 0;
   }
 
+  const auto wall_start = std::chrono::steady_clock::now();
+  const FuzzBatchResult res = run_fuzz_batch(bopt, eng);
   const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                            std::chrono::steady_clock::now() - wall_start)
                            .count();
+
+  if (!res.report.empty()) std::fputs(res.report.c_str(), stdout);
   if (!opt.quiet) {
     std::printf(
         "ran %llu scenarios (csma=%llu lpl=%llu rimac=%llu tdma=%llu) "
-        "in %lld ms: %zu failing\n",
+        "at jobs=%u in %lld ms: %zu failing\n",
         static_cast<unsigned long long>(opt.runs),
-        static_cast<unsigned long long>(by_mac[0]),
-        static_cast<unsigned long long>(by_mac[1]),
-        static_cast<unsigned long long>(by_mac[2]),
-        static_cast<unsigned long long>(by_mac[3]),
-        static_cast<long long>(wall_ms), failing_seeds.size());
+        static_cast<unsigned long long>(res.by_mac[0]),
+        static_cast<unsigned long long>(res.by_mac[1]),
+        static_cast<unsigned long long>(res.by_mac[2]),
+        static_cast<unsigned long long>(res.by_mac[3]), eng.jobs(),
+        static_cast<long long>(wall_ms), res.failing_seeds.size());
   }
-  if (!opt.fail_file.empty() && !failing_seeds.empty()) {
+  if (!opt.fail_file.empty() && !res.failing_seeds.empty()) {
     std::ofstream out(opt.fail_file);
-    for (std::uint64_t s : failing_seeds) out << s << "\n";
+    for (std::uint64_t s : res.failing_seeds) out << s << "\n";
   }
   if (opt.canary) {
-    if (failing_seeds.empty()) {
+    if (res.failing_seeds.empty()) {
       std::printf("canary NOT caught: the planted detach bug slipped "
                   "through %llu scenarios\n",
                   static_cast<unsigned long long>(opt.runs));
       return 1;
     }
     std::printf("canary caught by seed %llu\n",
-                static_cast<unsigned long long>(failing_seeds.front()));
+                static_cast<unsigned long long>(res.failing_seeds.front()));
     return 0;
   }
-  return failing_seeds.empty() ? 0 : 1;
+  return res.failing_seeds.empty() ? 0 : 1;
 }
