@@ -1,19 +1,42 @@
 // Condition → actuation rule engine: the application-logic tier's
 // closed-loop path from sensed values back down to actuators.
+//
+// Two rule families:
+//   * point rules (add_rule)        — threshold + debounce on each sample;
+//   * window rules (add_window_rule) — threshold on a decomposable
+//     aggregate (min/max/sum/count/avg) over the trailing time window of
+//     the measurement's series in the TimeSeriesStore. Evaluation rides
+//     the store's rollup-indexed aggregate() fast path, so a firing
+//     decision never rescans (or copies) the raw window.
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "backend/timeseries.hpp"
 #include "backend/topic_bus.hpp"
 
 namespace iiot::backend {
 
 enum class CmpOp { kLess, kLessEqual, kGreater, kGreaterEqual, kEqual };
+
+[[nodiscard]] inline bool cmp_holds(CmpOp op, double v, double threshold) {
+  switch (op) {
+    case CmpOp::kLess: return v < threshold;
+    case CmpOp::kLessEqual: return v <= threshold;
+    case CmpOp::kGreater: return v > threshold;
+    case CmpOp::kGreaterEqual: return v >= threshold;
+    case CmpOp::kEqual: return v == threshold;
+  }
+  return false;
+}
 
 struct Condition {
   std::string topic_filter;  // which measurements to watch
@@ -23,21 +46,28 @@ struct Condition {
   int consecutive = 1;
 
   [[nodiscard]] bool holds(double v) const {
-    switch (op) {
-      case CmpOp::kLess: return v < threshold;
-      case CmpOp::kLessEqual: return v <= threshold;
-      case CmpOp::kGreater: return v > threshold;
-      case CmpOp::kGreaterEqual: return v >= threshold;
-      case CmpOp::kEqual: return v == threshold;
-    }
-    return false;
+    return cmp_holds(op, v, threshold);
   }
+};
+
+/// Windowed condition: `fn` over the trailing `window` of the series that
+/// carries the triggering topic, compared against `threshold`. The
+/// window's reference point is the series' newest sample, so evaluation
+/// is well-defined with or without a scheduler.
+struct WindowCondition {
+  std::string topic_filter;
+  sim::Duration window = 0;
+  agg::AggFn fn = agg::AggFn::kAvg;
+  CmpOp op = CmpOp::kGreater;
+  double threshold = 0.0;
+  /// Minimum samples in the window before the rule may fire.
+  std::uint32_t min_samples = 1;
 };
 
 struct RuleFiring {
   std::string rule_id;
   std::string topic;   // measurement topic that triggered
-  double value = 0.0;
+  double value = 0.0;  // sample value (point rules) / aggregate (window)
 };
 
 /// Action: publishes a command on the bus and/or invokes a callback.
@@ -49,7 +79,10 @@ struct Action {
 
 class RuleEngine {
  public:
-  explicit RuleEngine(TopicBus& bus) : bus_(bus) {}
+  /// `store` is required only for window rules; point rules never touch
+  /// it.
+  explicit RuleEngine(TopicBus& bus, TimeSeriesStore* store = nullptr)
+      : bus_(bus), store_(store) {}
 
   /// Installs a rule; measurements must be numeric ASCII payloads.
   void add_rule(std::string id, Condition cond, Action action) {
@@ -65,14 +98,40 @@ class RuleEngine {
     rules_[std::move(id)] = rule;
   }
 
-  void remove_rule(const std::string& id) {
-    auto it = rules_.find(id);
-    if (it == rules_.end()) return;
-    bus_.unsubscribe(it->second->sub);
-    rules_.erase(it);
+  /// Installs a windowed rule (requires a store at construction). Fires
+  /// at most once per triggering sample; the firing carries the
+  /// aggregate's value.
+  void add_window_rule(std::string id, WindowCondition cond, Action action) {
+    if (store_ == nullptr) return;
+    auto rule = std::make_shared<WindowRule>();
+    rule->id = id;
+    rule->cond = std::move(cond);
+    rule->action = std::move(action);
+    rule->sub = bus_.subscribe(
+        rule->cond.topic_filter,
+        [this, rule](const std::string& topic, BytesView) {
+          evaluate_window(*rule, topic);
+        });
+    window_rules_[std::move(id)] = rule;
   }
 
-  [[nodiscard]] std::size_t rule_count() const { return rules_.size(); }
+  void remove_rule(const std::string& id) {
+    auto it = rules_.find(id);
+    if (it != rules_.end()) {
+      bus_.unsubscribe(it->second->sub);
+      rules_.erase(it);
+      return;
+    }
+    auto wit = window_rules_.find(id);
+    if (wit != window_rules_.end()) {
+      bus_.unsubscribe(wit->second->sub);
+      window_rules_.erase(wit);
+    }
+  }
+
+  [[nodiscard]] std::size_t rule_count() const {
+    return rules_.size() + window_rules_.size();
+  }
   [[nodiscard]] std::uint64_t firings() const { return firings_; }
 
  private:
@@ -84,6 +143,23 @@ class RuleEngine {
     std::map<std::string, int> streak;  // per-topic debounce state
   };
 
+  struct WindowRule {
+    std::string id;
+    WindowCondition cond;
+    Action action;
+    TopicBus::SubId sub = 0;
+  };
+
+  void fire(const std::string& id, const Action& action,
+            const std::string& topic, double value) {
+    ++firings_;
+    RuleFiring firing{id, topic, value};
+    if (!action.command_topic.empty()) {
+      bus_.publish(action.command_topic, action.command_payload);
+    }
+    if (action.callback) action.callback(firing);
+  }
+
   void evaluate(Rule& rule, const std::string& topic, BytesView payload) {
     const auto value = parse_number(payload);
     if (!value) return;
@@ -94,24 +170,44 @@ class RuleEngine {
     }
     if (++streak < rule.cond.consecutive) return;
     streak = 0;
-    ++firings_;
-    RuleFiring firing{rule.id, topic, *value};
-    if (!rule.action.command_topic.empty()) {
-      bus_.publish(rule.action.command_topic, rule.action.command_payload);
-    }
-    if (rule.action.callback) rule.action.callback(firing);
+    fire(rule.id, rule.action, topic, *value);
+  }
+
+  void evaluate_window(WindowRule& rule, const std::string& topic) {
+    // The store's "+/+/#" ingest subscription predates any rule's (lower
+    // SubId), so by delivery order the triggering sample is already
+    // appended when this runs under core::System.
+    const SeriesId sid = store_->find(topic);
+    if (sid == kInvalidSeries) return;
+    const auto last = store_->latest(sid);
+    if (!last) return;
+    const sim::Time from =
+        last->at >= rule.cond.window ? last->at - rule.cond.window : 0;
+    const agg::PartialAggregate pa =
+        store_->aggregate(sid, from, last->at);
+    if (pa.count < rule.cond.min_samples) return;
+    const double v = pa.evaluate(rule.cond.fn);
+    if (!cmp_holds(rule.cond.op, v, rule.cond.threshold)) return;
+    fire(rule.id, rule.action, topic, v);
   }
 
   static std::optional<double> parse_number(BytesView payload) {
-    std::string s(payload.begin(), payload.end());
+    // Numeric payloads are short ("%.4f"-formatted); parse from a stack
+    // buffer instead of a heap string.
+    char buf[64];
+    if (payload.size() >= sizeof(buf)) return std::nullopt;
+    std::memcpy(buf, payload.data(), payload.size());
+    buf[payload.size()] = '\0';
     char* end = nullptr;
-    const double v = std::strtod(s.c_str(), &end);
-    if (end == s.c_str()) return std::nullopt;
+    const double v = std::strtod(buf, &end);
+    if (end == buf) return std::nullopt;
     return v;
   }
 
   TopicBus& bus_;
+  TimeSeriesStore* store_ = nullptr;
   std::map<std::string, std::shared_ptr<Rule>> rules_;
+  std::map<std::string, std::shared_ptr<WindowRule>> window_rules_;
   std::uint64_t firings_ = 0;
 };
 

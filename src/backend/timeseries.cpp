@@ -1,0 +1,228 @@
+#include "backend/timeseries.hpp"
+
+#include <algorithm>
+
+namespace iiot::backend {
+
+// ---- interning --------------------------------------------------------
+
+SeriesId TimeSeriesStore::intern(std::string_view series) {
+  auto it = ids_.find(series);
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<SeriesId>(names_.size());
+  names_.emplace_back(series);
+  logs_.emplace_back();
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+SeriesId TimeSeriesStore::find(std::string_view series) const {
+  auto it = ids_.find(series);
+  return it != ids_.end() ? it->second : kInvalidSeries;
+}
+
+const std::string& TimeSeriesStore::name(SeriesId id) const {
+  static const std::string kEmpty;
+  return id < names_.size() ? names_[id] : kEmpty;
+}
+
+std::vector<std::string> TimeSeriesStore::series_names() const {
+  std::vector<std::string> out = names_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---- append path ------------------------------------------------------
+
+TimeSeriesStore::Chunk& TimeSeriesStore::writable_chunk(SeriesLog& log) {
+  if (log.chunks.empty() || log.chunks.back().pts.size() >= kChunkCap) {
+    log.chunks.emplace_back();
+    log.chunks.back().pts.reserve(kChunkCap);
+  }
+  return log.chunks.back();
+}
+
+void TimeSeriesStore::append(SeriesId id, sim::Time at, double value) {
+  if (id >= logs_.size()) return;
+  SeriesLog& log = logs_[id];
+  // Enforce monotone time per series (out-of-order points are clamped).
+  if (log.total > 0) {
+    const sim::Time last = log.chunks.back().last_at();
+    if (at < last) at = last;
+  }
+  Chunk& c = writable_chunk(log);
+  c.pts.push_back(Point{at, value});
+  c.agg.add_sample(value);
+  ++log.total;
+  ++stats_.appends;
+  enforce_retention(log, at);
+}
+
+void TimeSeriesStore::append_batch(SeriesId id, const Point* pts,
+                                   std::size_t n) {
+  if (id >= logs_.size() || n == 0) return;
+  SeriesLog& log = logs_[id];
+  sim::Time last =
+      log.total > 0 ? log.chunks.back().last_at() : sim::Time{0};
+  bool clamp = log.total > 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sim::Time at = pts[i].at;
+    if (clamp && at < last) at = last;
+    last = at;
+    clamp = true;
+    Chunk& c = writable_chunk(log);
+    c.pts.push_back(Point{at, pts[i].value});
+    c.agg.add_sample(pts[i].value);
+    ++log.total;
+  }
+  stats_.appends += n;
+  // Clamped times are monotone, so one retention pass at the batch's
+  // final timestamp reaches the same state as a pass after every append.
+  enforce_retention(log, last);
+}
+
+void TimeSeriesStore::erode_front(SeriesLog& log) {
+  Chunk& c = log.chunks.front();
+  ++c.head;
+  --log.total;
+  ++stats_.evicted;
+  if (c.head == c.pts.size()) log.chunks.pop_front();
+}
+
+void TimeSeriesStore::enforce_retention(SeriesLog& log, sim::Time now) {
+  if (retention_.max_age > 0) {
+    while (log.total > 0 &&
+           log.chunks.front().first_at() + retention_.max_age < now) {
+      erode_front(log);
+    }
+  }
+  if (retention_.max_points > 0) {
+    while (log.total > retention_.max_points) erode_front(log);
+  }
+}
+
+// ---- range lookups ----------------------------------------------------
+
+std::size_t TimeSeriesStore::chunk_lower_bound(const SeriesLog& log,
+                                               sim::Time from) {
+  std::size_t lo = 0;
+  std::size_t hi = log.chunks.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (log.chunks[mid].last_at() < from) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+const Point* TimeSeriesStore::lower_bound_at(const Point* first,
+                                             const Point* last,
+                                             sim::Time from) {
+  return std::lower_bound(
+      first, last, from,
+      [](const Point& p, sim::Time t) { return p.at < t; });
+}
+
+std::optional<Point> TimeSeriesStore::latest(SeriesId id) const {
+  if (id >= logs_.size() || logs_[id].total == 0) return std::nullopt;
+  const Chunk& back = logs_[id].chunks.back();
+  return back.pts.back();
+}
+
+std::vector<Point> TimeSeriesStore::query(SeriesId id, sim::Time from,
+                                          sim::Time to) const {
+  std::vector<Point> out;
+  visit(id, from, to, [&out](const Point& p) { out.push_back(p); });
+  return out;
+}
+
+agg::PartialAggregate TimeSeriesStore::aggregate(SeriesId id, sim::Time from,
+                                                 sim::Time to) const {
+  agg::PartialAggregate pa;
+  ++stats_.queries;
+  if (id >= logs_.size() || to < from) return pa;
+  const SeriesLog& log = logs_[id];
+  for (std::size_t ci = chunk_lower_bound(log, from); ci < log.chunks.size();
+       ++ci) {
+    const Chunk& c = log.chunks[ci];
+    if (c.first_at() > to) break;
+    if (c.head == 0 && c.first_at() >= from && c.last_at() <= to) {
+      pa.merge(c.agg);
+      ++stats_.rollup_hits;
+      continue;
+    }
+    ++stats_.chunk_scans;
+    const Point* p = c.pts.data() + c.head;
+    const Point* end = c.pts.data() + c.pts.size();
+    if (p->at < from) p = lower_bound_at(p, end, from);
+    for (; p != end && p->at <= to; ++p) pa.add_sample(p->value);
+  }
+  return pa;
+}
+
+std::vector<Point> TimeSeriesStore::downsample(SeriesId id, sim::Time from,
+                                               sim::Time to,
+                                               sim::Duration bucket) const {
+  std::vector<Point> out;
+  ++stats_.downsamples;
+  if (bucket == 0 || id >= logs_.size() || to < from) return out;
+  const SeriesLog& log = logs_[id];
+
+  sim::Time start = 0;
+  double sum = 0.0;
+  std::size_t n = 0;
+  bool open = false;
+  auto flush = [&] {
+    if (open) {
+      out.push_back(Point{start, sum / static_cast<double>(n)});
+      open = false;
+      sum = 0.0;
+      n = 0;
+    }
+  };
+
+  for (std::size_t ci = chunk_lower_bound(log, from); ci < log.chunks.size();
+       ++ci) {
+    const Chunk& c = log.chunks[ci];
+    if (c.first_at() > to) break;
+    // Whole-chunk rollup: a full, un-eroded chunk inside [from, to] whose
+    // points all land in a single bucket contributes count/sum without a
+    // point scan.
+    if (c.head == 0 && c.first_at() >= from && c.last_at() <= to) {
+      const sim::Time cstart =
+          c.first_at() - (c.first_at() - from) % bucket;
+      if (c.last_at() < cstart + bucket) {
+        if (!open || cstart != start) {
+          flush();
+          start = cstart;
+          open = true;
+        }
+        sum += c.agg.sum;
+        n += c.agg.count;
+        ++stats_.rollup_hits;
+        continue;
+      }
+    }
+    ++stats_.chunk_scans;
+    const Point* p = c.pts.data() + c.head;
+    const Point* end = c.pts.data() + c.pts.size();
+    if (p->at < from) p = lower_bound_at(p, end, from);
+    for (; p != end; ++p) {
+      if (p->at > to) break;
+      if (!open || p->at >= start + bucket) {
+        flush();
+        start = p->at - (p->at - from) % bucket;
+        open = true;
+      }
+      sum += p->value;
+      ++n;
+    }
+  }
+  flush();
+  return out;
+}
+
+}  // namespace iiot::backend

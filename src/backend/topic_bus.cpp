@@ -1,5 +1,7 @@
 #include "backend/topic_bus.hpp"
 
+#include <algorithm>
+
 namespace iiot::backend {
 
 bool topic_matches(std::string_view filter, std::string_view topic) {
@@ -24,6 +26,199 @@ bool topic_matches(std::string_view filter, std::string_view topic) {
     ti = tend + 1;
   }
   return false;
+}
+
+// ---- subscription index ----------------------------------------------
+
+void TopicBus::split_levels(std::string_view topic,
+                            std::vector<std::string_view>& out) {
+  // Every topic has >= 1 level; "a/" is ["a", ""] and "" is [""], exactly
+  // the level decomposition topic_matches() walks.
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t end = std::min(topic.find('/', i), topic.size());
+    out.push_back(topic.substr(i, end - i));
+    if (end >= topic.size()) break;
+    i = end + 1;
+  }
+}
+
+bool TopicBus::is_exact_filter(std::string_view filter) {
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t end = std::min(filter.find('/', i), filter.size());
+    const std::string_view level = filter.substr(i, end - i);
+    if (level == "+" || level == "#") return false;
+    if (end >= filter.size()) return true;
+    i = end + 1;
+  }
+}
+
+TopicBus::SubId TopicBus::subscribe(std::string filter, Handler handler) {
+  const SubId id = next_id_++;
+  Sub sub;
+  sub.handler = std::move(handler);
+  if (is_exact_filter(filter)) {
+    sub.exact = true;
+    exact_[filter].push_back(id);  // ids are issued ascending
+  } else {
+    std::vector<std::string_view> levels;
+    split_levels(filter, levels);
+    std::uint32_t cur = 0;
+    for (const std::string_view level : levels) {
+      std::int32_t* edge = nullptr;
+      if (level == "#") {
+        edge = &trie_[cur].hash;
+      } else if (level == "+") {
+        edge = &trie_[cur].plus;
+      }
+      if (edge != nullptr) {
+        if (*edge < 0) {
+          *edge = static_cast<std::int32_t>(trie_.size());
+          trie_.emplace_back();
+        }
+        cur = static_cast<std::uint32_t>(*edge);
+        if (level == "#") break;  // '#' is terminal (see header)
+        continue;
+      }
+      auto it = trie_[cur].children.find(level);
+      if (it == trie_[cur].children.end()) {
+        const auto next = static_cast<std::uint32_t>(trie_.size());
+        trie_[cur].children.emplace(std::string(level), next);
+        trie_.emplace_back();
+        cur = next;
+      } else {
+        cur = it->second;
+      }
+    }
+    trie_[cur].subs.push_back(id);
+    sub.node = cur;
+    ++wildcard_subs_;
+  }
+  sub.filter = std::move(filter);
+  subs_.emplace(id, std::move(sub));
+  ++active_subs_;
+  return id;
+}
+
+void TopicBus::unsubscribe(SubId id) {
+  auto it = subs_.find(id);
+  if (it == subs_.end() || !it->second.active) return;
+  Sub& sub = it->second;
+  sub.active = false;
+  --active_subs_;
+  // De-index now so future (and nested) matching passes skip it...
+  if (sub.exact) {
+    auto ex = exact_.find(sub.filter);
+    if (ex != exact_.end()) {
+      auto& ids = ex->second;
+      ids.erase(std::find(ids.begin(), ids.end(), id));
+      if (ids.empty()) exact_.erase(ex);
+    }
+  } else {
+    auto& ids = trie_[sub.node].subs;
+    ids.erase(std::find(ids.begin(), ids.end(), id));
+    --wildcard_subs_;
+  }
+  // ...but defer destroying the handler while any dispatch is on the
+  // stack: the departing handler may be the one currently executing.
+  if (depth_ > 0) {
+    pending_erase_.push_back(id);
+    ++stats_.deferred_unsubs;
+  } else {
+    subs_.erase(it);
+  }
+}
+
+void TopicBus::flush_deferred() {
+  for (const SubId id : pending_erase_) subs_.erase(id);
+  pending_erase_.clear();
+}
+
+// ---- matching + dispatch ----------------------------------------------
+
+void TopicBus::collect(const TrieNode& node, std::size_t i,
+                       const std::vector<std::string_view>& levels,
+                       std::vector<SubId>& out) const {
+  ++stats_.trie_nodes_visited;
+  if (i == levels.size()) {
+    out.insert(out.end(), node.subs.begin(), node.subs.end());
+    return;
+  }
+  if (node.hash >= 0) {
+    // '#' consumes the remaining (>= 1) levels.
+    const auto& subs = trie_[static_cast<std::size_t>(node.hash)].subs;
+    out.insert(out.end(), subs.begin(), subs.end());
+  }
+  if (node.plus >= 0) {
+    collect(trie_[static_cast<std::size_t>(node.plus)], i + 1, levels, out);
+  }
+  auto it = node.children.find(levels[i]);
+  if (it != node.children.end()) {
+    collect(trie_[it->second], i + 1, levels, out);
+  }
+}
+
+void TopicBus::dispatch(const std::string& topic, const BytesView* payloads,
+                        std::size_t n) {
+  stats_.published += n;
+  if (n == 0) return;
+  const std::size_t d = depth_;
+  if (scratch_.size() <= d) scratch_.push_back(std::make_unique<Scratch>());
+  Scratch& s = *scratch_[d];
+  s.ids.clear();
+  s.levels.clear();
+
+  // Snapshot the matching set before any handler runs: exact index...
+  auto ex = exact_.find(topic);
+  if (ex != exact_.end()) {
+    s.ids.insert(s.ids.end(), ex->second.begin(), ex->second.end());
+    stats_.exact_hits += ex->second.size();
+  }
+  // ...then the wildcard trie (skipped entirely when no wildcard subs).
+  if (wildcard_subs_ > 0) {
+    split_levels(topic, s.levels);
+    collect(trie_[0], 0, s.levels, s.ids);
+  }
+  // Ascending SubId == the seed's std::map iteration order.
+  std::sort(s.ids.begin(), s.ids.end());
+  fanout_.observe(static_cast<double>(s.ids.size()));
+
+  ++depth_;
+  for (std::size_t pi = 0; pi < n; ++pi) {
+    for (const SubId id : s.ids) {
+      auto it = subs_.find(id);
+      if (it == subs_.end() || !it->second.active) continue;
+      ++stats_.delivered;
+      it->second.handler(topic, payloads[pi]);
+    }
+  }
+  --depth_;
+  if (depth_ == 0) flush_deferred();
+}
+
+void TopicBus::publish_batch(std::span<const BusMessage> msgs) {
+  ++stats_.batches;
+  std::size_t i = 0;
+  while (i < msgs.size()) {
+    // Coalesce a run of consecutive same-topic messages into one
+    // matching pass. Payload views are built on the stack; runs are
+    // bounded so this stays allocation-light.
+    std::size_t j = i + 1;
+    while (j < msgs.size() && msgs[j].topic == msgs[i].topic) ++j;
+    if (j - i == 1) {
+      const BytesView view(msgs[i].payload.data(), msgs[i].payload.size());
+      dispatch(msgs[i].topic, &view, 1);
+    } else {
+      std::vector<BytesView> views;
+      views.reserve(j - i);
+      for (std::size_t k = i; k < j; ++k) {
+        views.emplace_back(msgs[k].payload.data(), msgs[k].payload.size());
+      }
+      dispatch(msgs[i].topic, views.data(), views.size());
+    }
+    i = j;
+  }
 }
 
 }  // namespace iiot::backend

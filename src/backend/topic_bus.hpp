@@ -3,22 +3,59 @@
 //
 // Topic filters support '+' (one level) and '#' (all remaining levels),
 // e.g. "site1/+/temperature" or "site1/floor2/#".
+//
+// Backend fast path (DESIGN.md §4f): subscriptions are indexed by a
+// topic-segment trie (literal / '+' / '#' children) with a separate
+// exact-match hash index for wildcard-free filters, so publish cost
+// scales with the number of *matching* subscribers instead of the total
+// subscriber count. Matches are dispatched in ascending SubId order —
+// exactly the seed implementation's std::map iteration order, so
+// delivery order is observably identical.
+//
+// Re-entrancy contract: handlers may subscribe, unsubscribe (including
+// themselves), and publish from inside a delivery. The matching set of a
+// publish is snapshotted before the first handler runs; a subscription
+// made during dispatch joins future publishes only, and an unsubscribe
+// during dispatch takes effect immediately for the remaining deliveries
+// of the in-flight message (physical removal is deferred until the
+// outermost dispatch unwinds, so a handler can safely remove itself).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "obs/metrics.hpp"
 
 namespace iiot::backend {
 
-/// True iff `filter` matches `topic` under MQTT matching rules.
+/// True iff `filter` matches `topic` under MQTT matching rules. (The
+/// reference predicate; the bus's trie walk is observably equivalent.)
 [[nodiscard]] bool topic_matches(std::string_view filter,
                                  std::string_view topic);
+
+/// One message for the batched multi-topic publish entry point.
+struct BusMessage {
+  std::string topic;
+  Buffer payload;
+};
+
+/// Struct-backed counters (obs attach_counter style; see MetricsRegistry).
+struct BusStats {
+  std::uint64_t published = 0;          // messages published
+  std::uint64_t delivered = 0;          // handler invocations
+  std::uint64_t batches = 0;            // publish_batch() calls
+  std::uint64_t exact_hits = 0;         // matches from the exact index
+  std::uint64_t trie_nodes_visited = 0; // trie nodes touched matching
+  std::uint64_t deferred_unsubs = 0;    // unsubscribes deferred mid-dispatch
+};
 
 class TopicBus {
  public:
@@ -26,46 +63,92 @@ class TopicBus {
       std::function<void(const std::string& topic, BytesView payload)>;
   using SubId = std::uint64_t;
 
-  SubId subscribe(std::string filter, Handler handler) {
-    const SubId id = next_id_++;
-    subs_.emplace(id, Subscription{std::move(filter), std::move(handler)});
-    return id;
-  }
+  SubId subscribe(std::string filter, Handler handler);
+  void unsubscribe(SubId id);
 
-  void unsubscribe(SubId id) { subs_.erase(id); }
-
-  /// Synchronous fan-out to every matching subscriber.
+  /// Synchronous fan-out to every matching subscriber (SubId order).
   void publish(const std::string& topic, BytesView payload) {
-    ++published_;
-    for (auto& [id, sub] : subs_) {
-      if (topic_matches(sub.filter, topic)) {
-        ++delivered_;
-        sub.handler(topic, payload);
-      }
-    }
+    dispatch(topic, &payload, 1);
+  }
+  void publish(const std::string& topic, const std::string& payload) {
+    const BytesView view(
+        reinterpret_cast<const std::uint8_t*>(payload.data()),
+        payload.size());
+    dispatch(topic, &view, 1);
   }
 
-  void publish(const std::string& topic, const std::string& payload) {
-    publish(topic, BytesView(reinterpret_cast<const std::uint8_t*>(
-                                 payload.data()),
-                             payload.size()));
+  /// Batched same-topic publish: one matching pass, then every payload is
+  /// fanned out in order. Deliveries are identical to the equivalent
+  /// sequence of publish() calls, except that the matching set is
+  /// snapshotted once for the whole batch.
+  void publish_batch(const std::string& topic,
+                     std::span<const BytesView> payloads) {
+    ++stats_.batches;
+    dispatch(topic, payloads.data(), payloads.size());
   }
+
+  /// Batched multi-topic publish; consecutive messages that share a topic
+  /// reuse one matching pass.
+  void publish_batch(std::span<const BusMessage> msgs);
 
   [[nodiscard]] std::size_t subscription_count() const {
-    return subs_.size();
+    return active_subs_;
   }
-  [[nodiscard]] std::uint64_t published() const { return published_; }
-  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t published() const { return stats_.published; }
+  [[nodiscard]] std::uint64_t delivered() const { return stats_.delivered; }
+  [[nodiscard]] const BusStats& stats() const { return stats_; }
+
+  /// Per-publish fan-out size distribution; a null handle (the default)
+  /// keeps the hot path at one branch.
+  void set_fanout_histogram(obs::Histogram h) { fanout_ = h; }
 
  private:
-  struct Subscription {
+  struct Sub {
     std::string filter;
     Handler handler;
+    bool active = true;
+    bool exact = false;       // indexed in exact_ (by filter) vs trie_
+    std::uint32_t node = 0;   // trie node holding this sub (trie subs)
   };
-  std::map<SubId, Subscription> subs_;
+
+  // Trie over filter levels. Children are keyed by literal level; '+' and
+  // '#' get dedicated edges ('#' is terminal: insertion stops there, as
+  // the reference matcher returns true at '#' regardless of what follows).
+  struct TrieNode {
+    std::map<std::string, std::uint32_t, std::less<>> children;
+    std::int32_t plus = -1;
+    std::int32_t hash = -1;
+    std::vector<SubId> subs;  // ascending (ids are issued in order)
+  };
+
+  // Per-depth scratch so nested publishes from handlers get their own
+  // match buffers; unique_ptr keeps them stable while the pool grows.
+  struct Scratch {
+    std::vector<SubId> ids;
+    std::vector<std::string_view> levels;
+  };
+
+  void dispatch(const std::string& topic, const BytesView* payloads,
+                std::size_t n);
+  void collect(const TrieNode& node, std::size_t i,
+               const std::vector<std::string_view>& levels,
+               std::vector<SubId>& out) const;
+  void flush_deferred();
+  static void split_levels(std::string_view topic,
+                           std::vector<std::string_view>& out);
+  static bool is_exact_filter(std::string_view filter);
+
+  std::unordered_map<SubId, Sub> subs_;
+  std::unordered_map<std::string, std::vector<SubId>> exact_;
+  std::vector<TrieNode> trie_{TrieNode{}};  // [0] = root
+  std::size_t wildcard_subs_ = 0;
+  std::size_t active_subs_ = 0;
   SubId next_id_ = 1;
-  std::uint64_t published_ = 0;
-  std::uint64_t delivered_ = 0;
+  std::size_t depth_ = 0;  // dispatch nesting depth
+  std::vector<SubId> pending_erase_;
+  std::vector<std::unique_ptr<Scratch>> scratch_;
+  mutable BusStats stats_;
+  obs::Histogram fanout_;
 };
 
 }  // namespace iiot::backend

@@ -1,6 +1,9 @@
 #include "core/system.hpp"
 
+#include <cstdio>
 #include <optional>
+
+#include "agg/collection.hpp"
 
 namespace iiot::core {
 
@@ -92,6 +95,48 @@ void System::add_actuator(MeshNode& node, std::uint16_t object,
                           std::function<void(double)> apply) {
   install_node_dispatch(node);
   apps_[node.id].actuators[object] = std::move(apply);
+}
+
+void System::ingest(const std::string& topic,
+                    std::span<const double> values) {
+  std::vector<Buffer> bufs;
+  std::vector<BytesView> views;
+  bufs.reserve(values.size());
+  views.reserve(values.size());
+  char buf[32];
+  for (const double v : values) {
+    const int len = std::snprintf(buf, sizeof(buf), "%.4f", v);
+    bufs.emplace_back(reinterpret_cast<const std::uint8_t*>(buf),
+                      reinterpret_cast<const std::uint8_t*>(buf) + len);
+    views.emplace_back(bufs.back().data(), bufs.back().size());
+  }
+  bus_.publish_batch(topic, views);
+}
+
+void System::bridge_aggregate_sink(const std::string& site,
+                                   const std::string& group,
+                                   agg::TreeAggregation& svc) {
+  const std::string base = site + "/" + group + "/";
+  svc.start_sink([this, base](std::uint32_t epoch,
+                              const agg::PartialAggregate& pa) {
+    (void)epoch;
+    if (pa.empty()) return;
+    static constexpr agg::AggFn kFns[] = {
+        agg::AggFn::kAvg, agg::AggFn::kMin, agg::AggFn::kMax,
+        agg::AggFn::kCount};
+    static constexpr const char* kNames[] = {"avg", "min", "max", "count"};
+    std::vector<backend::BusMessage> msgs(4);
+    char buf[32];
+    for (std::size_t i = 0; i < 4; ++i) {
+      const int len =
+          std::snprintf(buf, sizeof(buf), "%.4f", pa.evaluate(kFns[i]));
+      msgs[i].topic = base + kNames[i];
+      msgs[i].payload.assign(
+          reinterpret_cast<const std::uint8_t*>(buf),
+          reinterpret_cast<const std::uint8_t*>(buf) + len);
+    }
+    bus_.publish_batch(msgs);
+  });
 }
 
 bool System::actuate(MeshNetwork& mesh, NodeId target, std::uint16_t object,

@@ -13,6 +13,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,10 @@
 #include "backend/topic_bus.hpp"
 #include "core/network.hpp"
 #include "interop/gateway.hpp"
+
+namespace iiot::agg {
+class TreeAggregation;
+}  // namespace iiot::agg
 
 namespace iiot::core {
 
@@ -44,7 +49,7 @@ class System {
         rng_(seed),
         cfg_(cfg),
         store_(cfg.retention),
-        rules_(bus_) {
+        rules_(bus_, &store_) {
     if (cfg_.observability || cfg_.tracing) {
       // Must exist before any mesh/backend object registers metrics.
       obs_ = std::make_unique<obs::Context>(sched_, cfg_.trace_capacity);
@@ -60,6 +65,26 @@ class System {
           "backend", "store_appended", obs::kWorldNode,
           [this] { return static_cast<double>(store_.total_appended()); },
           this);
+      // Backend fast-path counters (DESIGN.md §4f), attach_counter style:
+      // the hot paths keep incrementing their own struct fields and the
+      // registry reads through the pointers at snapshot time.
+      const backend::TimeSeriesStats& ts = store_.stats();
+      m.attach_counter("backend", "store_evicted", obs::kWorldNode,
+                       &ts.evicted, this);
+      m.attach_counter("backend", "store_rollup_hits", obs::kWorldNode,
+                       &ts.rollup_hits, this);
+      m.attach_counter("backend", "store_chunk_scans", obs::kWorldNode,
+                       &ts.chunk_scans, this);
+      const backend::BusStats& bs = bus_.stats();
+      m.attach_counter("backend", "bus_exact_hits", obs::kWorldNode,
+                       &bs.exact_hits, this);
+      m.attach_counter("backend", "bus_trie_nodes", obs::kWorldNode,
+                       &bs.trie_nodes_visited, this);
+      m.attach_counter("backend", "bus_deferred_unsubs", obs::kWorldNode,
+                       &bs.deferred_unsubs, this);
+      bus_.set_fanout_histogram(
+          m.histogram("backend", "bus_fanout", obs::kWorldNode,
+                      {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024}));
     }
     // Everything published on measurement topics lands in storage.
     bus_.subscribe("+/+/#", [this](const std::string& topic, BytesView p) {
@@ -106,6 +131,20 @@ class System {
 
   /// Registers an interop gateway (its bus wiring does the rest).
   void attach_gateway(interop::Gateway& gw) { gateways_.push_back(&gw); }
+
+  /// Batched measurement ingest: publishes every value as a payload on
+  /// `topic` through the bus's batched entry point (one subscription
+  /// match for the whole burst), which lands them in storage via the
+  /// measurement subscription exactly like per-sample publishes.
+  void ingest(const std::string& topic, std::span<const double> values);
+
+  /// Bridges an in-network aggregation sink (agg/collection) into the
+  /// backend: each epoch's network-wide aggregate is published as one
+  /// batch on "<site>/<group>/{avg,min,max,count}" — so aggregated
+  /// collection lands in the same store/rules plane as raw readings.
+  void bridge_aggregate_sink(const std::string& site,
+                             const std::string& group,
+                             agg::TreeAggregation& svc);
 
   [[nodiscard]] std::size_t mesh_count() const { return meshes_.size(); }
 
