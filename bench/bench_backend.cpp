@@ -14,8 +14,9 @@
 // The seed implementations (pre-interning store, pre-trie bus) are
 // embedded as naive references and run in the same process on the same
 // workload, so every run reports machine-independent speedup ratios and
-// checks observable equivalence: query/downsample results must be
-// byte-identical and bus deliveries must arrive in the same order.
+// checks observable equivalence: query results must be byte-identical,
+// downsample results identical up to an ulp tolerance on the bucket
+// averages, and bus deliveries must arrive in the same order.
 // Hard floors (the ISSUE's acceptance bar) fail the run outright:
 // query and downsample >= 10x, publish fan-out >= 5x.
 //
@@ -27,9 +28,11 @@
 // --compare gates the speedup ratios against the newest baseline run
 // line (default min-ratio 0.8), mirroring bench_perf_core's perf gate.
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <deque>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -207,6 +210,28 @@ bool same_points(const std::vector<Point>& a, const std::vector<Point>& b) {
   return true;
 }
 
+// Downsample oracle: bucket boundaries/timestamps must match exactly, but
+// averages may differ from the seed in the final ulp because the fast
+// path merges per-chunk rollup sums instead of summing points strictly
+// left-to-right (timeseries.hpp documents this). The current workload is
+// integer-valued, where both summation orders are exact; the tolerance
+// keeps the equivalence gate from going flaky if the workload ever
+// carries non-integer values.
+bool same_points_approx(const std::vector<Point>& a,
+                        const std::vector<Point>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].at != b[i].at) return false;
+    const double x = a[i].value;
+    const double y = b[i].value;
+    if (x == y) continue;
+    const double tol = 4.0 * std::numeric_limits<double>::epsilon() *
+                       std::max(std::fabs(x), std::fabs(y));
+    if (!(std::fabs(x - y) <= tol)) return false;
+  }
+  return true;
+}
+
 // Narrow trailing-window queries (the dashboard/rule-engine shape): the
 // seed scans the full series per query; the fast path binary-searches to
 // the window.
@@ -278,17 +303,19 @@ RangeResult bench_downsample() {
     r.fast_per_sec = kDownsamples / wall;
   }
   {
-    std::uint64_t check = 0;
     const double t0 = now_seconds();
     for (int q = 0; q < kDownsamples; ++q) {
-      check = fold(naive.downsample("s", 0, span, bucket), check);
+      (void)fold(naive.downsample("s", 0, span, bucket), 0);
     }
     const double wall = now_seconds() - t0;
     r.naive_per_sec = kDownsamples / wall;
-    if (check != r.checksum) r.identical = false;
   }
-  r.identical = r.identical && same_points(fast.downsample(id, 0, span, bucket),
-                                           naive.downsample("s", 0, span, bucket));
+  // Cross-implementation check is element-wise with an ulp tolerance on
+  // the averages (see same_points_approx); r.checksum still gates
+  // cross-rep determinism of the fast path exactly.
+  r.identical =
+      r.identical && same_points_approx(fast.downsample(id, 0, span, bucket),
+                                        naive.downsample("s", 0, span, bucket));
   return r;
 }
 
@@ -521,8 +548,8 @@ int main(int argc, char** argv) {
   std::printf("bus_fanout    (%zu subs): %12.0f pub/s   (seed %12.0f, x%.1f)\n",
               kSubscribers, best.fanout.fast_per_sec,
               best.fanout.naive_per_sec, pub_speedup);
-  std::printf("equivalence: %s (query/downsample byte-identical, "
-              "deliveries in identical order)\n",
+  std::printf("equivalence: %s (query byte-identical, downsample within "
+              "ulp tolerance, deliveries in identical order)\n",
               best.identical ? "OK" : "FAILED");
 
   std::ostringstream run;

@@ -133,6 +133,12 @@ class RuleEngine {
     return rules_.size() + window_rules_.size();
   }
   [[nodiscard]] std::uint64_t firings() const { return firings_; }
+  /// Window-rule evaluations skipped because the triggering topic has no
+  /// series in the store (e.g. a < 3-level topic that the System's
+  /// "+/+/#" ingest subscription never captures). A nonzero value under
+  /// core::System usually means a rule filter matches topics outside the
+  /// measurement namespace.
+  [[nodiscard]] std::uint64_t window_skips() const { return window_skips_; }
 
  private:
   struct Rule {
@@ -174,11 +180,21 @@ class RuleEngine {
   }
 
   void evaluate_window(WindowRule& rule, const std::string& topic) {
-    // The store's "+/+/#" ingest subscription predates any rule's (lower
-    // SubId), so by delivery order the triggering sample is already
-    // appended when this runs under core::System.
+    // Ordering invariant (core::System): the store's "+/+/#" ingest
+    // subscription is registered in the System constructor — before any
+    // rule can subscribe — so its SubId is lower and, by the bus's
+    // ascending-SubId delivery order, the triggering sample is already
+    // appended when this runs. Standalone RuleEngine users must likewise
+    // register their ingest subscription before adding window rules.
+    //
+    // Topics the ingest subscription does not capture (e.g. fewer than 3
+    // levels under "+/+/#") have no series; those evaluations are
+    // counted in window_skips() rather than silently dropped.
     const SeriesId sid = store_->find(topic);
-    if (sid == kInvalidSeries) return;
+    if (sid == kInvalidSeries) {
+      ++window_skips_;
+      return;
+    }
     const auto last = store_->latest(sid);
     if (!last) return;
     const sim::Time from =
@@ -209,6 +225,7 @@ class RuleEngine {
   std::map<std::string, std::shared_ptr<Rule>> rules_;
   std::map<std::string, std::shared_ptr<WindowRule>> window_rules_;
   std::uint64_t firings_ = 0;
+  std::uint64_t window_skips_ = 0;
 };
 
 }  // namespace iiot::backend

@@ -73,11 +73,15 @@ TopicBus::SubId TopicBus::subscribe(std::string filter, Handler handler) {
         edge = &trie_[cur].plus;
       }
       if (edge != nullptr) {
-        if (*edge < 0) {
-          *edge = static_cast<std::int32_t>(trie_.size());
+        std::int32_t next = *edge;
+        if (next < 0) {
+          // Write through `edge` BEFORE growing trie_: emplace_back may
+          // reallocate and `edge` points into trie_[cur].
+          next = static_cast<std::int32_t>(trie_.size());
+          *edge = next;
           trie_.emplace_back();
         }
-        cur = static_cast<std::uint32_t>(*edge);
+        cur = static_cast<std::uint32_t>(next);
         if (level == "#") break;  // '#' is terminal (see header)
         continue;
       }
@@ -112,12 +116,14 @@ void TopicBus::unsubscribe(SubId id) {
     auto ex = exact_.find(sub.filter);
     if (ex != exact_.end()) {
       auto& ids = ex->second;
-      ids.erase(std::find(ids.begin(), ids.end(), id));
+      auto pos = std::find(ids.begin(), ids.end(), id);
+      if (pos != ids.end()) ids.erase(pos);
       if (ids.empty()) exact_.erase(ex);
     }
   } else {
     auto& ids = trie_[sub.node].subs;
-    ids.erase(std::find(ids.begin(), ids.end(), id));
+    auto pos = std::find(ids.begin(), ids.end(), id);
+    if (pos != ids.end()) ids.erase(pos);
     --wildcard_subs_;
   }
   // ...but defer destroying the handler while any dispatch is on the

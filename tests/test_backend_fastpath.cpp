@@ -231,6 +231,37 @@ TEST(TopicMatchEdge, BusMatchingAgreesWithPredicateExhaustively) {
   }
 }
 
+// Regression: creating a '+'/'#' trie edge writes the child index through
+// a pointer into trie_[cur]; growing trie_ during that creation used to
+// reallocate the vector first and then read the dangling pointer
+// (use-after-free, ASan-visible). Deep all-wildcard chains force every
+// node creation through that edge path across many reallocations.
+TEST(TopicBusTrieGrowth, WildcardEdgeCreationSurvivesReallocation) {
+  TopicBus bus;
+  std::vector<std::string> filters;
+  std::string plus_chain;
+  for (int depth = 0; depth < 64; ++depth) {
+    plus_chain += depth == 0 ? "+" : "/+";
+    filters.push_back(plus_chain);         // "+", "+/+", ...
+    filters.push_back(plus_chain + "/#");  // "+/#", "+/+/#", ...
+  }
+  std::vector<int> hits(filters.size(), 0);
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    bus.subscribe(filters[i],
+                  [&hits, i](const std::string&, BytesView) { ++hits[i]; });
+  }
+  std::string topic;
+  for (int depth = 0; depth < 70; ++depth) {
+    topic += depth == 0 ? "t" : "/t";
+    std::fill(hits.begin(), hits.end(), 0);
+    bus.publish(topic, std::string("x"));
+    for (std::size_t i = 0; i < filters.size(); ++i) {
+      EXPECT_EQ(hits[i] != 0, topic_matches(filters[i], topic))
+          << "filter '" << filters[i] << "' topic '" << topic << "'";
+    }
+  }
+}
+
 // ---- differential: bus delivery order ---------------------------------
 
 TEST(TopicBusDifferential, DeliveryOrderMatchesSeedBus) {
@@ -775,6 +806,29 @@ TEST(RuleEngineWindow, WindowRuleWithoutStoreIsRejected) {
   EXPECT_EQ(engine.rule_count(), 0u);
   bus.publish("t", std::string("1.0"));  // no crash, nothing to evaluate
   EXPECT_EQ(engine.firings(), 0u);
+}
+
+// A window rule whose filter matches topics the ingest subscription never
+// captures (no series in the store) must not fire silently forever: each
+// skipped evaluation is counted in window_skips().
+TEST(RuleEngineWindow, UnstoredTopicCountsAsSkipNotFiring) {
+  WindowRig rig;  // ingests "plant/#" only
+  int fired = 0;
+  WindowCondition cond;
+  cond.topic_filter = "#";  // also matches non-ingested topics
+  cond.window = 100;
+  cond.threshold = 0.0;  // any ingested sample would fire
+  Action act;
+  act.callback = [&](const RuleFiring&) { ++fired; };
+  rig.engine.add_window_rule("w", cond, act);
+
+  rig.bus.publish("other/1/3303", std::string("5.0"));  // not ingested
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(rig.engine.window_skips(), 1u);
+
+  rig.sample("plant/1/3303", 5.0);  // ingested: evaluates and fires
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(rig.engine.window_skips(), 1u);
 }
 
 // ---- System wiring ----------------------------------------------------
