@@ -2,7 +2,7 @@
 
 namespace iiot::backend {
 
-std::uint64_t ConsistentHashRing::hash(const std::string& s) {
+std::uint64_t ConsistentHashRing::hash(std::string_view s) {
   // FNV-1a 64, then a SplitMix finalizer for avalanche.
   std::uint64_t h = 1469598103934665603ULL;
   for (char c : s) {
@@ -17,27 +17,51 @@ std::uint64_t ConsistentHashRing::hash(const std::string& s) {
   return h;
 }
 
-void ConsistentHashRing::add_node(const std::string& node) {
+std::uint32_t ConsistentHashRing::add_node(const std::string& node) {
+  auto it = node_hashes_.find(node);
+  if (it != node_hashes_.end()) return it->second.first;  // idempotent
+  const auto slot = static_cast<std::uint32_t>(names_.size());
+  names_.push_back(node);
+  std::vector<std::uint64_t> hashes;
+  hashes.reserve(static_cast<std::size_t>(vnodes_));
   for (int v = 0; v < vnodes_; ++v) {
-    ring_[hash(node + "#" + std::to_string(v))] = node;
+    const std::uint64_t h = hash(node + "#" + std::to_string(v));
+    // First writer wins on a vnode collision (astronomically unlikely at
+    // 64-bit); only hashes we actually own are cached for removal.
+    if (ring_.emplace(h, slot).second) hashes.push_back(h);
   }
+  node_hashes_.emplace(node, std::make_pair(slot, std::move(hashes)));
   ++nodes_;
+  return slot;
 }
 
 void ConsistentHashRing::remove_node(const std::string& node) {
-  bool removed = false;
-  for (int v = 0; v < vnodes_; ++v) {
-    removed |= ring_.erase(hash(node + "#" + std::to_string(v))) > 0;
-  }
-  if (removed && nodes_ > 0) --nodes_;
+  auto it = node_hashes_.find(node);
+  if (it == node_hashes_.end()) return;
+  for (const std::uint64_t h : it->second.second) ring_.erase(h);
+  names_[it->second.first].clear();
+  node_hashes_.erase(it);
+  --nodes_;
+}
+
+std::optional<std::uint32_t> ConsistentHashRing::owner_slot(
+    std::uint64_t key_hash) const {
+  if (ring_.empty()) return std::nullopt;
+  auto it = ring_.lower_bound(key_hash);
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
 }
 
 std::optional<std::string> ConsistentHashRing::owner(
-    const std::string& key) const {
-  if (ring_.empty()) return std::nullopt;
-  auto it = ring_.lower_bound(hash(key));
-  if (it == ring_.end()) it = ring_.begin();  // wrap around
-  return it->second;
+    std::string_view key) const {
+  const auto slot = owner_slot(hash(key));
+  if (!slot) return std::nullopt;
+  return names_[*slot];
+}
+
+const std::string& ConsistentHashRing::node_name(std::uint32_t slot) const {
+  static const std::string kEmpty;
+  return slot < names_.size() ? names_[slot] : kEmpty;
 }
 
 Directory::Directory(sim::Scheduler& sched, DirectoryMode mode,
@@ -59,11 +83,11 @@ Directory::Directory(sim::Scheduler& sched, DirectoryMode mode,
 std::size_t Directory::server_for(const std::string& name) const {
   if (mode_ == DirectoryMode::kCentral) return 0;
   // Both partitioned and decentralized place by consistent hashing; the
-  // difference is who pays the lookup hop (see lookup()).
-  const auto owner = ring_.owner(name);
-  if (!owner) return 0;
-  return static_cast<std::size_t>(
-      std::stoi(owner->substr(owner->find('-') + 1)));
+  // difference is who pays the lookup hop (see lookup()). Slots are
+  // assigned in registration order, so the slot IS the server index.
+  const auto slot = ring_.owner_slot(ConsistentHashRing::hash(name));
+  if (!slot) return 0;
+  return *slot;
 }
 
 void Directory::register_service(const std::string& name,

@@ -10,6 +10,8 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -19,22 +21,48 @@ namespace iiot::backend {
 
 /// Consistent-hash ring with virtual nodes: the decentralized placement
 /// primitive (each client computes the owner locally — no directory hop).
+///
+/// Hot-path design (DESIGN.md §4g): every vnode hash is computed once at
+/// add_node() and cached, so remove_node() never re-derives vnode keys,
+/// and owners can be resolved from a pre-computed key hash via
+/// owner_slot() — the sharded backend routes on interned ids and hashes
+/// each key string exactly once. Nodes are also assigned a dense `slot`
+/// in registration order, so placement-by-index callers (the shard map,
+/// the partitioned directory) skip the name round trip entirely.
 class ConsistentHashRing {
  public:
   explicit ConsistentHashRing(int vnodes_per_node = 64)
       : vnodes_(vnodes_per_node) {}
 
-  void add_node(const std::string& node);
+  /// Registers `node` under `vnodes()` virtual points (idempotent: re-
+  /// adding a live node is a no-op). The node's dense slot is returned.
+  std::uint32_t add_node(const std::string& node);
   void remove_node(const std::string& node);
-  [[nodiscard]] std::optional<std::string> owner(const std::string& key) const;
-  [[nodiscard]] std::size_t node_count() const { return nodes_; }
 
-  static std::uint64_t hash(const std::string& s);
+  [[nodiscard]] std::optional<std::string> owner(std::string_view key) const;
+  /// Owner resolution from a pre-computed hash(key): the zero-string-work
+  /// lookup the routing hot paths use. Returns the owner's dense slot.
+  [[nodiscard]] std::optional<std::uint32_t> owner_slot(
+      std::uint64_t key_hash) const;
+  [[nodiscard]] const std::string& node_name(std::uint32_t slot) const;
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_; }
+  [[nodiscard]] int vnodes() const { return vnodes_; }
+
+  static std::uint64_t hash(std::string_view s);
 
  private:
   int vnodes_;
   std::size_t nodes_ = 0;
-  std::map<std::uint64_t, std::string> ring_;
+  // vnode hash -> dense node slot. Slots are assigned in registration
+  // order and never reused; a removed node's slot simply goes dark.
+  std::map<std::uint64_t, std::uint32_t> ring_;
+  std::vector<std::string> names_;  // slot -> name ("" = removed)
+  // name -> (slot, cached vnode hashes): remove_node() erases exactly the
+  // hashes add_node() inserted, with zero re-hashing.
+  std::unordered_map<std::string,
+                     std::pair<std::uint32_t, std::vector<std::uint64_t>>>
+      node_hashes_;
 };
 
 /// Single-queue server with deterministic service time: the contention

@@ -8,6 +8,14 @@
 //     the measurement's series in the TimeSeriesStore. Evaluation rides
 //     the store's rollup-indexed aggregate() fast path, so a firing
 //     decision never rescans (or copies) the raw window.
+//
+// The engine is generic over its bus and store (BasicRuleEngine): the
+// classic single-shard plane instantiates RuleEngine =
+// BasicRuleEngine<TopicBus, TimeSeriesStore>, the sharded backend tier
+// (DESIGN.md §4g) instantiates ShardedRuleEngine over ShardedBus /
+// ShardedStore. A store type only needs find()/latest()/aggregate() plus
+// the SeriesRef/kNoSeries vocabulary; a bus type needs
+// subscribe()/unsubscribe()/publish().
 #pragma once
 
 #include <cstdint>
@@ -77,11 +85,15 @@ struct Action {
   std::function<void(const RuleFiring&)> callback;  // may be empty
 };
 
-class RuleEngine {
+template <typename BusT, typename StoreT>
+class BasicRuleEngine {
  public:
+  using SubId = typename BusT::SubId;
+  using SeriesRef = typename StoreT::SeriesRef;
+
   /// `store` is required only for window rules; point rules never touch
   /// it.
-  explicit RuleEngine(TopicBus& bus, TimeSeriesStore* store = nullptr)
+  explicit BasicRuleEngine(BusT& bus, StoreT* store = nullptr)
       : bus_(bus), store_(store) {}
 
   /// Installs a rule; measurements must be numeric ASCII payloads.
@@ -145,7 +157,7 @@ class RuleEngine {
     std::string id;
     Condition cond;
     Action action;
-    TopicBus::SubId sub = 0;
+    SubId sub{};
     std::map<std::string, int> streak;  // per-topic debounce state
   };
 
@@ -153,7 +165,13 @@ class RuleEngine {
     std::string id;
     WindowCondition cond;
     Action action;
-    TopicBus::SubId sub = 0;
+    SubId sub{};
+    // Topic → series memo: series registrations are permanent, so once a
+    // topic resolved, re-triggering samples skip the string-keyed find()
+    // (the hot-path audit in DESIGN.md §4g). A filter matching several
+    // topics keeps the newest; alternating topics degrade to find().
+    std::string memo_topic;
+    SeriesRef memo_ref = StoreT::kNoSeries;
   };
 
   void fire(const std::string& id, const Action& action,
@@ -184,16 +202,21 @@ class RuleEngine {
     // subscription is registered in the System constructor — before any
     // rule can subscribe — so its SubId is lower and, by the bus's
     // ascending-SubId delivery order, the triggering sample is already
-    // appended when this runs. Standalone RuleEngine users must likewise
+    // appended when this runs. Standalone rule-engine users must likewise
     // register their ingest subscription before adding window rules.
     //
     // Topics the ingest subscription does not capture (e.g. fewer than 3
     // levels under "+/+/#") have no series; those evaluations are
     // counted in window_skips() rather than silently dropped.
-    const SeriesId sid = store_->find(topic);
-    if (sid == kInvalidSeries) {
-      ++window_skips_;
-      return;
+    SeriesRef sid = rule.memo_ref;
+    if (sid == StoreT::kNoSeries || topic != rule.memo_topic) {
+      sid = store_->find(topic);
+      if (sid == StoreT::kNoSeries) {
+        ++window_skips_;
+        return;
+      }
+      rule.memo_topic = topic;
+      rule.memo_ref = sid;
     }
     const auto last = store_->latest(sid);
     if (!last) return;
@@ -220,12 +243,15 @@ class RuleEngine {
     return v;
   }
 
-  TopicBus& bus_;
-  TimeSeriesStore* store_ = nullptr;
+  BusT& bus_;
+  StoreT* store_ = nullptr;
   std::map<std::string, std::shared_ptr<Rule>> rules_;
   std::map<std::string, std::shared_ptr<WindowRule>> window_rules_;
   std::uint64_t firings_ = 0;
   std::uint64_t window_skips_ = 0;
 };
+
+/// The classic single-shard application-logic plane.
+using RuleEngine = BasicRuleEngine<TopicBus, TimeSeriesStore>;
 
 }  // namespace iiot::backend

@@ -1,0 +1,63 @@
+// Shard routing for the sharded backend tier (DESIGN.md §4g).
+//
+// Series and topic space are partitioned by the topic's FIRST level (the
+// site/tenant prefix "site1" of "site1/3/3303"): every series and every
+// literal-rooted subscription of one site lands on the same shard, so a
+// message, its storage append, and its matching subscriptions are always
+// shard-local — one worker can own a shard's bus + store pair end to end
+// with no cross-shard traffic. Placement is consistent hashing with
+// virtual nodes (ConsistentHashRing), so a future elastic tier can grow
+// or shrink the shard set with minimal key movement.
+//
+// Hot path: the first level is hashed once and resolved through the
+// ring's pre-hashed owner_slot(); callers that see repeated topics layer
+// a memo on top (ShardedBus) or resolve at intern time (ShardedStore),
+// so steady-state routing is integer work only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "backend/registry.hpp"
+
+namespace iiot::backend {
+
+class ShardMap {
+ public:
+  /// A map over `shards` shards (>= 1). Shard i is registered on the ring
+  /// as "shard-i"; registration order makes the ring slot == the index.
+  explicit ShardMap(std::uint32_t shards, int vnodes = 64)
+      : shards_(shards == 0 ? 1 : shards), ring_(vnodes) {
+    for (std::uint32_t i = 0; i < shards_; ++i) {
+      ring_.add_node("shard-" + std::to_string(i));
+    }
+  }
+
+  [[nodiscard]] std::uint32_t shards() const { return shards_; }
+
+  /// First topic level: "site1/3/3303" -> "site1", "flat" -> "flat".
+  [[nodiscard]] static std::string_view first_level(std::string_view topic) {
+    return topic.substr(0, std::min(topic.find('/'), topic.size()));
+  }
+
+  /// Shard owning a raw partition key (already stripped to the level).
+  [[nodiscard]] std::uint32_t shard_of_key(std::string_view key) const {
+    if (shards_ == 1) return 0;
+    const auto slot = ring_.owner_slot(ConsistentHashRing::hash(key));
+    return slot ? *slot : 0;
+  }
+
+  /// Shard owning a full topic / series name (routes on its first level).
+  [[nodiscard]] std::uint32_t shard_of_topic(std::string_view topic) const {
+    return shard_of_key(first_level(topic));
+  }
+
+  [[nodiscard]] const ConsistentHashRing& ring() const { return ring_; }
+
+ private:
+  std::uint32_t shards_;
+  ConsistentHashRing ring_;
+};
+
+}  // namespace iiot::backend

@@ -10,7 +10,143 @@ namespace iiot::core {
 namespace {
 constexpr std::uint8_t kTagSensor = 'S';
 constexpr std::uint8_t kTagCommand = 'C';
+
+/// Measurement handler over any store type: parses the numeric payload
+/// and appends via the interned-handle hot path. The (topic, ref) memo
+/// keeps the string-keyed shim cold across a burst on one topic — the
+/// hot-path audit of DESIGN.md §4g; TimeSeriesStats::string_appends
+/// stays 0 across System ingest.
+template <typename StoreT>
+auto make_measurement_handler(StoreT& store, sim::Scheduler& sched) {
+  return [&store, &sched, memo_topic = std::string(),
+          memo_ref = StoreT::kNoSeries](const std::string& topic,
+                                        BytesView p) mutable {
+    const std::string s = iiot::to_string(p);
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str()) return;
+    if (memo_ref == StoreT::kNoSeries || topic != memo_topic) {
+      memo_ref = store.intern(topic);
+      memo_topic = topic;
+    }
+    store.append(memo_ref, sched.now(), v);
+  };
+}
 }  // namespace
+
+System::System(sim::Scheduler& sched, std::uint64_t seed, SystemConfig cfg)
+    : sched_(sched),
+      rng_(seed),
+      cfg_(cfg),
+      store_(cfg.retention),
+      rules_(bus_, &store_) {
+  if (cfg_.observability || cfg_.tracing) {
+    // Must exist before any mesh/backend object registers metrics.
+    obs_ = std::make_unique<obs::Context>(sched_, cfg_.trace_capacity);
+    obs_->tracer().set_enabled(cfg_.tracing);
+    obs::MetricsRegistry& m = obs_->metrics();
+    m.attach_gauge_fn(
+        "backend", "bus_published", obs::kWorldNode,
+        [this] { return static_cast<double>(bus_.published()); }, this);
+    m.attach_gauge_fn(
+        "backend", "bus_delivered", obs::kWorldNode,
+        [this] { return static_cast<double>(bus_.delivered()); }, this);
+    m.attach_gauge_fn(
+        "backend", "store_appended", obs::kWorldNode,
+        [this] { return static_cast<double>(store_.total_appended()); },
+        this);
+    // Backend fast-path counters (DESIGN.md §4f), attach_counter style:
+    // the hot paths keep incrementing their own struct fields and the
+    // registry reads through the pointers at snapshot time.
+    const backend::TimeSeriesStats& ts = store_.stats();
+    m.attach_counter("backend", "store_evicted", obs::kWorldNode,
+                     &ts.evicted, this);
+    m.attach_counter("backend", "store_rollup_hits", obs::kWorldNode,
+                     &ts.rollup_hits, this);
+    m.attach_counter("backend", "store_chunk_scans", obs::kWorldNode,
+                     &ts.chunk_scans, this);
+    m.attach_counter("backend", "store_string_appends", obs::kWorldNode,
+                     &ts.string_appends, this);
+    const backend::BusStats& bs = bus_.stats();
+    m.attach_counter("backend", "bus_exact_hits", obs::kWorldNode,
+                     &bs.exact_hits, this);
+    m.attach_counter("backend", "bus_trie_nodes", obs::kWorldNode,
+                     &bs.trie_nodes_visited, this);
+    m.attach_counter("backend", "bus_deferred_unsubs", obs::kWorldNode,
+                     &bs.deferred_unsubs, this);
+    bus_.set_fanout_histogram(
+        m.histogram("backend", "bus_fanout", obs::kWorldNode,
+                    {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024}));
+  }
+  if (cfg_.backend_shards > 1) {
+    // Sharded backend tier (DESIGN.md §4g). The measurement subscription
+    // moves to the sharded bus, so measurements land in the sharded
+    // store; everything still published on the legacy bus (gateways,
+    // direct bus() users) is relayed into the sharded plane.
+    shard_pool_ = std::make_unique<runner::Engine>(cfg_.backend_workers);
+    sharded_store_ = std::make_unique<backend::ShardedStore>(
+        cfg_.backend_shards, cfg_.retention, shard_pool_.get());
+    sharded_bus_ = std::make_unique<backend::ShardedBus>(cfg_.backend_shards,
+                                                         shard_pool_.get());
+    // Subscribed before any rule can be added: lower SubId on every
+    // shard, so samples are stored before window rules evaluate (the
+    // rule engine's ordering invariant).
+    sharded_bus_->subscribe(
+        "+/+/#", make_measurement_handler(*sharded_store_, sched_));
+    sharded_rules_ = std::make_unique<backend::ShardedRuleEngine>(
+        *sharded_bus_, sharded_store_.get());
+    bus_.subscribe("#", [this](const std::string& topic, BytesView p) {
+      sharded_bus_->publish(topic, p);
+    });
+    if (obs_) {
+      obs::MetricsRegistry& m = obs_->metrics();
+      m.attach_gauge_fn(
+          "sharded", "bus_published", obs::kWorldNode,
+          [this] { return static_cast<double>(sharded_bus_->published()); },
+          this);
+      m.attach_gauge_fn(
+          "sharded", "bus_delivered", obs::kWorldNode,
+          [this] { return static_cast<double>(sharded_bus_->delivered()); },
+          this);
+      m.attach_gauge_fn(
+          "sharded", "store_appended", obs::kWorldNode,
+          [this] {
+            return static_cast<double>(sharded_store_->total_appended());
+          },
+          this);
+      const backend::ShardedStoreStats& ss = sharded_store_->stats();
+      m.attach_counter("sharded", "store_bulk_points", obs::kWorldNode,
+                       &ss.bulk_points, this);
+      m.attach_counter("sharded", "store_merged_partials", obs::kWorldNode,
+                       &ss.merged_partials, this);
+      m.attach_counter("sharded", "store_string_appends", obs::kWorldNode,
+                       &ss.string_appends, this);
+      const backend::ShardedBusStats& sb = sharded_bus_->stats();
+      m.attach_counter("sharded", "bus_parallel_batches", obs::kWorldNode,
+                       &sb.parallel_batches, this);
+      m.attach_counter("sharded", "bus_route_memo_hits", obs::kWorldNode,
+                       &sb.route_memo_hits, this);
+      // Skew/latency signals for the parallel entry points: per-shard
+      // batch sizes (points), per-shard queue depth (messages), and the
+      // merge tier's serial-fold latency in microseconds.
+      sharded_store_->set_batch_histogram(m.histogram(
+          "sharded", "shard_batch_points", obs::kWorldNode,
+          {0, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}));
+      sharded_store_->set_merge_histogram(
+          m.histogram("sharded", "merge_latency_us", obs::kWorldNode,
+                      {1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096}));
+      sharded_bus_->set_queue_histogram(
+          m.histogram("sharded", "shard_queue_depth", obs::kWorldNode,
+                      {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096}));
+      sharded_bus_->set_fanout_histogram(
+          m.histogram("sharded", "bus_fanout", obs::kWorldNode,
+                      {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024}));
+    }
+  } else {
+    // Everything published on measurement topics lands in storage.
+    bus_.subscribe("+/+/#", make_measurement_handler(store_, sched_));
+  }
+}
 
 MeshNetwork& System::add_mesh(const std::string& site, NodeConfig node_cfg) {
   (void)site;
@@ -38,9 +174,9 @@ void System::bridge(const std::string& site, MeshNetwork& mesh) {
         }
         char buf[32];
         std::snprintf(buf, sizeof(buf), "%.4f", *value);
-        bus_.publish(site + "/" + std::to_string(origin) + "/" +
-                         std::to_string(*object),
-                     std::string(buf));
+        publish_measurement(site + "/" + std::to_string(origin) + "/" +
+                                std::to_string(*object),
+                            std::string(buf));
       });
 }
 
@@ -110,7 +246,23 @@ void System::ingest(const std::string& topic,
                       reinterpret_cast<const std::uint8_t*>(buf) + len);
     views.emplace_back(bufs.back().data(), bufs.back().size());
   }
-  bus_.publish_batch(topic, views);
+  if (sharded_bus_) {
+    sharded_bus_->publish_batch(topic, views);
+  } else {
+    bus_.publish_batch(topic, views);
+  }
+}
+
+void System::publish_measurement(const std::string& topic,
+                                 const std::string& payload) {
+  // Measurement traffic targets the authoritative plane directly: with
+  // sharding on that is the sharded bus (one route + one shard-local
+  // match), otherwise the legacy bus.
+  if (sharded_bus_) {
+    sharded_bus_->publish(topic, payload);
+  } else {
+    bus_.publish(topic, payload);
+  }
 }
 
 void System::bridge_aggregate_sink(const std::string& site,
@@ -135,7 +287,11 @@ void System::bridge_aggregate_sink(const std::string& site,
           reinterpret_cast<const std::uint8_t*>(buf),
           reinterpret_cast<const std::uint8_t*>(buf) + len);
     }
-    bus_.publish_batch(msgs);
+    if (sharded_bus_) {
+      sharded_bus_->publish_batch(msgs);
+    } else {
+      bus_.publish_batch(msgs);
+    }
   });
 }
 

@@ -18,10 +18,12 @@
 #include <vector>
 
 #include "backend/rules.hpp"
+#include "backend/sharded.hpp"
 #include "backend/timeseries.hpp"
 #include "backend/topic_bus.hpp"
 #include "core/network.hpp"
 #include "interop/gateway.hpp"
+#include "runner/engine.hpp"
 
 namespace iiot::agg {
 class TreeAggregation;
@@ -40,60 +42,22 @@ struct SystemConfig {
   bool tracing = false;
   /// Tracer memory bound (records); drops deterministically past it.
   std::size_t trace_capacity = 1u << 20;
+  /// Backend shard count (DESIGN.md §4g). 1 (default) keeps the classic
+  /// single-shard plane, byte-identical to earlier revisions. > 1 builds
+  /// the sharded tier: ingest()/bridge()/bridge_aggregate_sink() publish
+  /// through a ShardedBus, measurements land in a ShardedStore, and a
+  /// catch-all relay forwards anything published on the legacy bus()
+  /// (e.g. by interop gateways) into the sharded plane. Results are
+  /// byte-identical at any shard count; only throughput changes.
+  std::uint32_t backend_shards = 1;
+  /// Worker threads for the sharded tier's parallel entry points
+  /// (0 = hardware concurrency). Ignored when backend_shards == 1.
+  unsigned backend_workers = 0;
 };
 
 class System {
  public:
-  System(sim::Scheduler& sched, std::uint64_t seed, SystemConfig cfg = {})
-      : sched_(sched),
-        rng_(seed),
-        cfg_(cfg),
-        store_(cfg.retention),
-        rules_(bus_, &store_) {
-    if (cfg_.observability || cfg_.tracing) {
-      // Must exist before any mesh/backend object registers metrics.
-      obs_ = std::make_unique<obs::Context>(sched_, cfg_.trace_capacity);
-      obs_->tracer().set_enabled(cfg_.tracing);
-      obs::MetricsRegistry& m = obs_->metrics();
-      m.attach_gauge_fn(
-          "backend", "bus_published", obs::kWorldNode,
-          [this] { return static_cast<double>(bus_.published()); }, this);
-      m.attach_gauge_fn(
-          "backend", "bus_delivered", obs::kWorldNode,
-          [this] { return static_cast<double>(bus_.delivered()); }, this);
-      m.attach_gauge_fn(
-          "backend", "store_appended", obs::kWorldNode,
-          [this] { return static_cast<double>(store_.total_appended()); },
-          this);
-      // Backend fast-path counters (DESIGN.md §4f), attach_counter style:
-      // the hot paths keep incrementing their own struct fields and the
-      // registry reads through the pointers at snapshot time.
-      const backend::TimeSeriesStats& ts = store_.stats();
-      m.attach_counter("backend", "store_evicted", obs::kWorldNode,
-                       &ts.evicted, this);
-      m.attach_counter("backend", "store_rollup_hits", obs::kWorldNode,
-                       &ts.rollup_hits, this);
-      m.attach_counter("backend", "store_chunk_scans", obs::kWorldNode,
-                       &ts.chunk_scans, this);
-      const backend::BusStats& bs = bus_.stats();
-      m.attach_counter("backend", "bus_exact_hits", obs::kWorldNode,
-                       &bs.exact_hits, this);
-      m.attach_counter("backend", "bus_trie_nodes", obs::kWorldNode,
-                       &bs.trie_nodes_visited, this);
-      m.attach_counter("backend", "bus_deferred_unsubs", obs::kWorldNode,
-                       &bs.deferred_unsubs, this);
-      bus_.set_fanout_histogram(
-          m.histogram("backend", "bus_fanout", obs::kWorldNode,
-                      {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024}));
-    }
-    // Everything published on measurement topics lands in storage.
-    bus_.subscribe("+/+/#", [this](const std::string& topic, BytesView p) {
-      const std::string s = iiot::to_string(p);
-      char* end = nullptr;
-      const double v = std::strtod(s.c_str(), &end);
-      if (end != s.c_str()) store_.append(topic, sched_.now(), v);
-    });
-  }
+  System(sim::Scheduler& sched, std::uint64_t seed, SystemConfig cfg = {});
 
   ~System() {
     if (obs_) obs_->metrics().detach(this);
@@ -102,6 +66,20 @@ class System {
   [[nodiscard]] backend::TopicBus& bus() { return bus_; }
   [[nodiscard]] backend::TimeSeriesStore& store() { return store_; }
   [[nodiscard]] backend::RuleEngine& rules() { return rules_; }
+  /// Sharded-plane accessors — null unless cfg.backend_shards > 1. When
+  /// sharding is on, measurements live in sharded_store() (the legacy
+  /// store() stays empty) and rules that should see ingested data must be
+  /// added through sharded_rules(); commands those rules publish stay on
+  /// the sharded bus.
+  [[nodiscard]] backend::ShardedStore* sharded_store() {
+    return sharded_store_.get();
+  }
+  [[nodiscard]] backend::ShardedBus* sharded_bus() {
+    return sharded_bus_.get();
+  }
+  [[nodiscard]] backend::ShardedRuleEngine* sharded_rules() {
+    return sharded_rules_.get();
+  }
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
   /// The world's observability context (null unless enabled in config).
   [[nodiscard]] obs::Context* observability() { return obs_.get(); }
@@ -156,6 +134,10 @@ class System {
   };
 
   void install_node_dispatch(MeshNode& node);
+  /// Publishes one measurement on the authoritative plane (sharded bus
+  /// when enabled, legacy bus otherwise).
+  void publish_measurement(const std::string& topic,
+                           const std::string& payload);
 
   sim::Scheduler& sched_;
   Rng rng_;
@@ -167,6 +149,14 @@ class System {
   backend::TopicBus bus_;
   backend::TimeSeriesStore store_;
   backend::RuleEngine rules_;
+  // Sharded backend tier (null when backend_shards == 1). Declaration
+  // order doubles as the dependency order: the rule engine references the
+  // sharded bus/store, which borrow the worker pool — reverse destruction
+  // unwinds references before their targets.
+  std::unique_ptr<runner::Engine> shard_pool_;
+  std::unique_ptr<backend::ShardedStore> sharded_store_;
+  std::unique_ptr<backend::ShardedBus> sharded_bus_;
+  std::unique_ptr<backend::ShardedRuleEngine> sharded_rules_;
   std::vector<std::unique_ptr<radio::Medium>> mediums_;
   std::vector<std::unique_ptr<MeshNetwork>> meshes_;
   std::vector<interop::Gateway*> gateways_;
