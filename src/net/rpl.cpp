@@ -6,6 +6,17 @@
 
 namespace iiot::net {
 
+namespace {
+
+// Data-path loop escalation (handle_data): this many detections from the
+// same parent, each within the decay window of the last, trigger a local
+// repair. Sized so a real cycle carrying periodic traffic escalates in
+// seconds while isolated stale in-flight frames never accumulate.
+constexpr int kLoopRepairThreshold = 8;
+constexpr sim::Duration kLoopHitWindow = 10'000'000;
+
+}  // namespace
+
 RplRouting::RplRouting(mac::Mac& mac, sim::Scheduler& sched, Rng rng,
                        RplConfig cfg)
     : mac_(mac),
@@ -174,8 +185,13 @@ void RplRouting::handle_dio(NodeId src, const DioMsg& dio) {
       trickle_.reset();
       return;
     }
-    // Otherwise the root only checks consistency of what it hears.
-    if (dio.version == version_) {
+    // Otherwise the root only checks consistency of what it hears. A
+    // heard DIO is only redundant with ours if it advertises a rank at
+    // least as good (RFC 6206 suppression presumes the transmissions
+    // carry the same information) — for the root that is never true, so
+    // the rank anchor of the whole DODAG cannot be suppressed into
+    // silence by its neighbors' chatter.
+    if (dio.version == version_ && dio.rank <= rank_) {
       trickle_.consistent();
     }
     return;
@@ -211,7 +227,13 @@ void RplRouting::handle_dio(NodeId src, const DioMsg& dio) {
   // broadcast occupies a full wake interval).
   const NodeId parent_before = parent_;
   select_parent();
-  if (parent_ == parent_before) trickle_.consistent();
+  // Redundancy suppression counts only DIOs whose advertised rank is at
+  // least as good as ours: a worse-ranked neighbor's DIO does not carry
+  // the information we would send (we are a candidate parent for it, not
+  // the reverse), and letting such chatter suppress the better-ranked
+  // nodes silences exactly the advertisements the rank gradient — and
+  // loop repair — depend on.
+  if (parent_ == parent_before && dio.rank <= rank_) trickle_.consistent();
 }
 
 void RplRouting::handle_dao(NodeId src, const DaoMsg& dao) {
@@ -297,15 +319,32 @@ void RplRouting::handle_data(NodeId src, DataMsg&& msg) {
     // our own preferred parent means each of us believes the other is
     // closer to the root — a cycle built on mutually stale ranks. The
     // sighting may also be a stale in-flight frame from an instant ago,
-    // so don't tear state down; advertise promptly (both ends of a real
-    // cycle keep tripping this, so their DIO exchange stays at Imin and
-    // the stale ranks correct in seconds) and DROP the packet. Forwarding
-    // it back would let one trapped packet ping-pong its whole TTL away
-    // — on a duty-cycled MAC that is seconds of airtime per packet, which
-    // starves the very DIO exchange the repair depends on.
+    // so nothing is torn down on first sight; DROP the packet (forwarding
+    // it back would let one trapped packet ping-pong its whole TTL away,
+    // which on a duty-cycled MAC starves the very DIO exchange repair
+    // depends on) and reset trickle to re-advertise promptly. If the
+    // looping persists, escalate in two stages: first a DIO exempt from
+    // trickle's redundancy suppression (in a dense neighborhood everyone
+    // else's chatter suppresses exactly the one DIO that corrects the
+    // stale view of us), then a local repair (§11.2.2.3): detach,
+    // poison, and solicit fresh state.
     if (src == parent_ && parent_ != kInvalidNode) {
       trickle_.inconsistent();
       ++stats_.drops_loop;
+      const sim::Time now = sched_.now();
+      loop_hits_ = now < last_loop_hit_ + kLoopHitWindow ? loop_hits_ + 1 : 1;
+      last_loop_hit_ = now;
+      if (loop_hits_ == kLoopRepairThreshold) {
+        send_dio();
+      } else if (loop_hits_ >= 2 * kLoopRepairThreshold) {
+        loop_hits_ = 0;
+        // Drop the parent's cached entry before detaching, or the next
+        // DIO from anyone re-selects it through the very stale rank
+        // that built the cycle and reinstates it wholesale.
+        neighbors_.erase(parent_);
+        links_.forget(parent_);
+        become_orphan();
+      }
       return;
     }
     ++stats_.data_forwarded;
@@ -475,6 +514,7 @@ void RplRouting::select_parent() {
       ++stats_.parent_changes;
       const NodeId old = parent_;
       parent_ = best;
+      loop_hits_ = 0;  // loop evidence was against the old parent
       if (obs::Tracer* t = obs::tracer(sched_)) {
         const obs::SpanRef s =
             t->instant(0, mac_.id(), obs::Layer::kNet, "parent_switch");

@@ -180,6 +180,8 @@ class RplRouting {
   Rank rank_ = kInfiniteRank;
   Rank advertised_rank_ = kInfiniteRank;  // rank at last trickle reset
   Rank lowest_rank_ = kInfiniteRank;      // per DODAG version (see config)
+  int loop_hits_ = 0;           // recent data-path loop detections
+  sim::Time last_loop_hit_ = 0;  // for the loop-hit decay window
   std::uint8_t depth_ = 0xFF;
   NodeId parent_ = kInvalidNode;
   std::uint8_t version_ = 0;

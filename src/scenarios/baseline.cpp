@@ -1,0 +1,87 @@
+#include "scenarios/baseline.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace iiot::scenarios {
+
+namespace {
+
+/// Finds the baseline's "runs" line for (scenario, tier, seed), or npos.
+/// Lines are the artifact's own output, so exact substring matching on
+/// the fixed key order is reliable without a general JSON parser.
+std::string_view find_run_line(std::string_view content,
+                               const KpiReport& rep) {
+  const std::string key = "{\"scenario\":\"" + rep.scenario +
+                          "\",\"tier\":\"" + to_string(rep.tier) +
+                          "\",\"seed\":" + std::to_string(rep.seed) + ",";
+  const std::size_t at = content.find(key);
+  if (at == std::string_view::npos) return {};
+  const std::size_t end = content.find('\n', at);
+  return content.substr(at, end == std::string_view::npos ? content.size() - at
+                                                          : end - at);
+}
+
+/// Extracts `"name":<number>` from the line's kpis object.
+bool extract_kpi(std::string_view line, const std::string& name,
+                 double& out) {
+  const std::size_t kpis = line.find("\"kpis\":{");
+  if (kpis == std::string_view::npos) return false;
+  const std::string key = "\"" + name + "\":";
+  const std::size_t at = line.find(key, kpis);
+  if (at == std::string_view::npos) return false;
+  const std::size_t num = at + key.size();
+  // The artifact's %.6f numbers are short; bound the strtod buffer.
+  char buf[40];
+  std::size_t len = 0;
+  while (num + len < line.size() && len + 1 < sizeof buf) {
+    const char c = line[num + len];
+    if ((c < '0' || c > '9') && c != '.' && c != '-' && c != '+' &&
+        c != 'e' && c != 'E') {
+      break;
+    }
+    buf[len++] = c;
+  }
+  if (len == 0) return false;
+  buf[len] = '\0';
+  char* end = nullptr;
+  out = std::strtod(buf, &end);
+  return end != buf;
+}
+
+}  // namespace
+
+std::string check_against_baseline(const SuiteResult& suite,
+                                   std::string_view baseline_content) {
+  for (const KpiReport& rep : suite.reports) {
+    const std::string_view line = find_run_line(baseline_content, rep);
+    if (line.empty()) {
+      return rep.scenario + " seed=" + std::to_string(rep.seed) + " tier=" +
+             to_string(rep.tier) +
+             " has no baseline entry (regenerate SCENARIO_baselines.json)";
+    }
+    for (const Kpi& k : rep.kpis) {
+      double base = 0.0;
+      if (!extract_kpi(line, k.name, base)) {
+        return rep.scenario + " seed=" + std::to_string(rep.seed) +
+               ": baseline entry lacks KPI " + k.name +
+               " (regenerate SCENARIO_baselines.json)";
+      }
+      const double allowed = k.abs_tol + k.rel_tol * std::fabs(base);
+      if (std::fabs(k.value - base) > allowed) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "%s seed=%llu: KPI %s=%.6f drifted from baseline "
+                      "%.6f (tolerance %.6f)",
+                      rep.scenario.c_str(),
+                      static_cast<unsigned long long>(rep.seed),
+                      k.name.c_str(), k.value, base, allowed);
+        return buf;
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace iiot::scenarios

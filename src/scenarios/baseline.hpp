@@ -1,0 +1,24 @@
+// Committed-baseline comparison for scenario KPIs. The baseline file is
+// a byte-for-byte copy of a KPI artifact (scenario_ci --out writes the
+// same format), so regenerating it is just re-running the suite. The
+// comparison is per-KPI with the tolerance each KPI declares:
+// |value - baseline| <= abs_tol + rel_tol * |baseline| — tight enough to
+// catch behavioral drift, loose enough to absorb last-ulp libm
+// differences across machines.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "scenarios/scenario_lib.hpp"
+
+namespace iiot::scenarios {
+
+/// Checks every report in `suite` against `baseline_content` (the text
+/// of SCENARIO_baselines.json). Returns "" when every KPI of every run
+/// matches within tolerance and every (scenario, tier, seed) run has a
+/// baseline entry; else a description of the first divergence.
+[[nodiscard]] std::string check_against_baseline(
+    const SuiteResult& suite, std::string_view baseline_content);
+
+}  // namespace iiot::scenarios

@@ -1,0 +1,302 @@
+#include "scenarios/scenario_lib.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "runner/engine.hpp"
+#include "scenarios/specs.hpp"
+
+namespace iiot::scenarios {
+
+namespace {
+
+/// Nearest-rank percentile over a pre-sorted vector.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank > 0 ? rank - 1 : 0)];
+}
+
+void append_number(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  out += buf;
+}
+
+/// Merges shard slots (in shard order) into the instance's KPI report
+/// and applies the compiled-in sanity bounds.
+KpiReport finalize(const ScenarioSpec& spec, const RunParams& p,
+                   std::vector<ShardResult>&& shards) {
+  KpiReport rep;
+  rep.scenario = spec.name;
+  rep.tier = p.tier;
+  rep.seed = p.seed;
+  rep.shards = shards.size();
+
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::size_t nodes = 0;
+  double duty_sum = 0.0;
+  std::size_t duty_nodes = 0;
+  std::vector<double> latencies;
+  const std::vector<ExtraKpi> extra_specs = spec.extras();
+  std::vector<double> extra_acc(extra_specs.size(), 0.0);
+  for (std::size_t si = 0; si < shards.size(); ++si) {
+    const ShardResult& s = shards[si];
+    if (!s.failure.empty() && rep.failure.empty()) {
+      rep.ok = false;
+      rep.failure = "shard " + std::to_string(si) + ": " + s.failure;
+    }
+    nodes += s.nodes;
+    sent += s.sent;
+    delivered += s.delivered;
+    duty_sum += s.duty_sum;
+    duty_nodes += s.duty_nodes;
+    latencies.insert(latencies.end(), s.latencies_us.begin(),
+                     s.latencies_us.end());
+    for (std::size_t k = 0;
+         k < extra_specs.size() && k < s.extras.size(); ++k) {
+      switch (extra_specs[k].merge) {
+        case Merge::kSum:
+        case Merge::kAvg: extra_acc[k] += s.extras[k]; break;
+        case Merge::kMax:
+          extra_acc[k] = std::max(extra_acc[k], s.extras[k]);
+          break;
+      }
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  rep.kpis.push_back({"nodes", static_cast<double>(nodes), 0.0, 0.0});
+  rep.kpis.push_back({"sent", static_cast<double>(sent), 0.03, 4.0});
+  rep.kpis.push_back(
+      {"delivered", static_cast<double>(delivered), 0.03, 4.0});
+  rep.kpis.push_back({"delivery_ratio",
+                      sent > 0 ? static_cast<double>(delivered) /
+                                     static_cast<double>(sent)
+                               : 0.0,
+                      0.0, 0.03});
+  rep.kpis.push_back(
+      {"latency_p50_us", percentile(latencies, 0.50), 0.15, 20'000.0});
+  rep.kpis.push_back(
+      {"latency_p99_us", percentile(latencies, 0.99), 0.20, 50'000.0});
+  rep.kpis.push_back({"duty_cycle",
+                      duty_nodes > 0
+                          ? duty_sum / static_cast<double>(duty_nodes)
+                          : 0.0,
+                      0.10, 0.003});
+  for (std::size_t k = 0; k < extra_specs.size(); ++k) {
+    double v = extra_acc[k];
+    if (extra_specs[k].merge == Merge::kAvg && !shards.empty()) {
+      v /= static_cast<double>(shards.size());
+    }
+    rep.kpis.push_back({extra_specs[k].name, v, extra_specs[k].rel_tol,
+                        extra_specs[k].abs_tol});
+  }
+
+  if (rep.ok) {
+    for (const KpiBound& b : spec.bounds_for(p.tier)) {
+      const Kpi* k = rep.find(b.kpi);
+      if (k == nullptr) continue;
+      if (k->value < b.min || k->value > b.max) {
+        rep.ok = false;
+        rep.failure = std::string(spec.name) + ": KPI " + b.kpi + "=" +
+                      std::to_string(k->value) + " outside sanity bounds [" +
+                      std::to_string(b.min) + ", " + std::to_string(b.max) +
+                      "]";
+        break;
+      }
+    }
+  }
+  return rep;
+}
+
+struct Instance {
+  const ScenarioSpec* spec;
+  RunParams params;
+  std::size_t first_task;  // index of shard 0 in the flat task space
+};
+
+std::vector<Instance> plan(const SuiteOptions& opt) {
+  std::vector<Instance> instances;
+  std::size_t task = 0;
+  for (const ScenarioSpec& spec : library()) {
+    if (!opt.only.empty() &&
+        std::find(opt.only.begin(), opt.only.end(), spec.name) ==
+            opt.only.end()) {
+      continue;
+    }
+    for (std::uint64_t s = 0; s < opt.seeds; ++s) {
+      Instance inst{&spec, spec.params_for(opt.tier, opt.seed_base + s),
+                    task};
+      task += inst.params.shards;
+      instances.push_back(inst);
+    }
+  }
+  return instances;
+}
+
+}  // namespace
+
+const char* to_string(Tier t) {
+  switch (t) {
+    case Tier::kSmoke: return "smoke";
+    case Tier::kSoak: return "soak";
+    case Tier::kCity: return "city";
+  }
+  return "?";
+}
+
+bool parse_tier(std::string_view s, Tier& out) {
+  if (s == "smoke") {
+    out = Tier::kSmoke;
+  } else if (s == "soak") {
+    out = Tier::kSoak;
+  } else if (s == "city") {
+    out = Tier::kCity;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const std::vector<ScenarioSpec>& library() {
+  static const std::vector<ScenarioSpec> specs = {
+      detail::factory_line_spec(), detail::hvac_fleet_spec(),
+      detail::mine_tunnel_spec(), detail::mobile_yard_spec()};
+  return specs;
+}
+
+const ScenarioSpec* find_scenario(std::string_view name) {
+  for (const ScenarioSpec& s : library()) {
+    if (name == s.name) return &s;
+  }
+  return nullptr;
+}
+
+const Kpi* KpiReport::find(std::string_view name) const {
+  for (const Kpi& k : kpis) {
+    if (name == k.name) return &k;
+  }
+  return nullptr;
+}
+
+std::string KpiReport::json_line() const {
+  std::string out = "{\"scenario\":\"";
+  out += scenario;
+  out += "\",\"tier\":\"";
+  out += to_string(tier);
+  out += "\",\"seed\":" + std::to_string(seed);
+  out += ",\"shards\":" + std::to_string(shards);
+  out += ",\"ok\":";
+  out += ok ? "true" : "false";
+  out += ",\"kpis\":{";
+  for (std::size_t i = 0; i < kpis.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += kpis[i].name;
+    out += "\":";
+    append_number(out, kpis[i].value);
+  }
+  out += "}}";
+  return out;
+}
+
+KpiReport run_one(const ScenarioSpec& spec, Tier tier, std::uint64_t seed,
+                  runner::Engine& eng) {
+  const RunParams params = spec.params_for(tier, seed);
+  std::vector<ShardResult> shards(params.shards);
+  eng.run(params.shards, [&](std::size_t i) {
+    shards[i] = spec.run_shard(params, i);
+  });
+  return finalize(spec, params, std::move(shards));
+}
+
+bool SuiteResult::ok() const {
+  for (const KpiReport& r : reports) {
+    if (!r.ok) return false;
+  }
+  return true;
+}
+
+std::string SuiteResult::failures() const {
+  std::string out;
+  for (const KpiReport& r : reports) {
+    if (r.ok) continue;
+    out += "FAIL " + r.scenario + " seed=" + std::to_string(r.seed) + ": " +
+           r.failure + "\n";
+  }
+  return out;
+}
+
+SuiteResult run_suite(const SuiteOptions& opt, runner::Engine& eng) {
+  const std::vector<Instance> instances = plan(opt);
+  std::size_t total = 0;
+  for (const Instance& inst : instances) total += inst.params.shards;
+
+  // Flat (instance, shard) task space: every shard of every instance
+  // runs concurrently; each task writes its own pre-sized slot.
+  std::vector<std::vector<ShardResult>> slots;
+  slots.reserve(instances.size());
+  for (const Instance& inst : instances) {
+    slots.emplace_back(inst.params.shards);
+  }
+  eng.run(total, [&](std::size_t task) {
+    // Locate the owning instance (instances are few; linear scan).
+    for (std::size_t k = 0; k < instances.size(); ++k) {
+      const Instance& inst = instances[k];
+      if (task >= inst.first_task &&
+          task < inst.first_task + inst.params.shards) {
+        slots[k][task - inst.first_task] =
+            inst.spec->run_shard(inst.params, task - inst.first_task);
+        return;
+      }
+    }
+  });
+
+  SuiteResult res;
+  res.artifact = "{\n\"artifact\":\"scenario_kpis\",\n\"tier\":\"";
+  res.artifact += to_string(opt.tier);
+  res.artifact += "\",\n\"seed_base\":" + std::to_string(opt.seed_base);
+  res.artifact += ",\n\"seeds\":" + std::to_string(opt.seeds);
+  res.artifact += ",\n\"runs\":[\n";
+  for (std::size_t k = 0; k < instances.size(); ++k) {
+    res.reports.push_back(finalize(*instances[k].spec, instances[k].params,
+                                   std::move(slots[k])));
+    res.artifact += res.reports.back().json_line();
+    res.artifact += k + 1 < instances.size() ? ",\n" : "\n";
+  }
+  res.artifact += "]\n}\n";
+  return res;
+}
+
+std::string check_suite_determinism(const SuiteOptions& opt,
+                                    runner::Engine& eng) {
+  runner::Engine serial(1);
+  const SuiteResult a = run_suite(opt, serial);
+  const SuiteResult b = run_suite(opt, eng);
+  if (a.artifact != b.artifact) {
+    // Pinpoint the first differing line for the report.
+    std::size_t pos = 0;
+    std::size_t line = 1;
+    const std::size_t len = std::min(a.artifact.size(), b.artifact.size());
+    while (pos < len && a.artifact[pos] == b.artifact[pos]) {
+      if (a.artifact[pos] == '\n') ++line;
+      ++pos;
+    }
+    return "KPI artifact diverges between jobs=1 and jobs=" +
+           std::to_string(eng.jobs()) + " at line " + std::to_string(line);
+  }
+  for (std::size_t i = 0; i < a.reports.size(); ++i) {
+    if (a.reports[i].failure != b.reports[i].failure) {
+      return "failure text diverges for " + a.reports[i].scenario +
+             " seed=" + std::to_string(a.reports[i].seed);
+    }
+  }
+  return {};
+}
+
+}  // namespace iiot::scenarios

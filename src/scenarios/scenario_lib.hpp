@@ -1,0 +1,178 @@
+// Curated scenario library + staged continuous-testing pipeline
+// (DESIGN.md §4h).
+//
+// Where the fuzzer (src/testing/) explores *random* worlds, this library
+// pins down four *named* IIoT deployments — the paper's recurring
+// examples — and re-runs them continuously as the codebase grows:
+//
+//   factory_line  linear conveyor, TDMA-synced collection, a window-rule
+//                 interlock that halts the line on sustained overheat;
+//   hvac_fleet    a fleet of buildings, LPL duty-cycled zone sensing,
+//                 backend rollup queries per building;
+//   mine_tunnel   long linear multi-hop chains, RNFD root-crash
+//                 detection, a partition/repair schedule;
+//   mobile_yard   churning random-field topology, CRDT asset registry,
+//                 legacy-protocol gateway adapters.
+//
+// Each scenario declares its world builder, its invariants (reusing
+// src/testing/invariants.*) and a KPI vector (delivery ratio, p50/p99
+// end-to-end latency, duty cycle, backend query results, plus
+// scenario-specific extras). KPIs are checked two ways: coarse sanity
+// bounds compiled into the scenario, and a committed SCENARIO_baselines
+// .json compared with per-KPI tolerances (scenarios/baseline.hpp).
+//
+// Scaling tiers stage the pipeline: kSmoke runs in seconds on every
+// push, kSoak is the sanitized nightly sweep, kCity pushes the mine and
+// yard scenarios to 5–10k nodes weekly. A scenario is *one* function of
+// (tier, seed, shard): shards are independent worlds (buildings, tunnel
+// segments, yard cells) executed on runner::Engine and merged from
+// pre-sized slots in shard order, so every artifact is byte-identical at
+// any --jobs — the same determinism contract as testing/batch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "testing/scenario.hpp"
+
+namespace iiot::runner {
+class Engine;
+}
+
+namespace iiot::scenarios {
+
+enum class Tier { kSmoke, kSoak, kCity };
+
+[[nodiscard]] const char* to_string(Tier t);
+/// Parses "smoke"/"soak"/"city"; returns false on anything else.
+bool parse_tier(std::string_view s, Tier& out);
+
+/// One KPI with the tolerance the baseline comparison allows it:
+/// |value - baseline| <= abs_tol + rel_tol * |baseline|.
+struct Kpi {
+  std::string name;
+  double value = 0.0;
+  double rel_tol = 0.0;
+  double abs_tol = 0.0;
+};
+
+/// How a scenario-specific KPI merges across shards (the standard KPIs
+/// — delivery, latency percentiles, duty cycle — have fixed merges).
+enum class Merge { kSum, kAvg, kMax };
+
+/// Declaration of one scenario-specific KPI.
+struct ExtraKpi {
+  const char* name;
+  Merge merge = Merge::kSum;
+  double rel_tol = 0.05;
+  double abs_tol = 0.0;
+};
+
+/// Compiled-in sanity range for a merged KPI (inclusive). The baseline
+/// file pins exact values; these bounds catch a scenario that is broken
+/// *and* freshly re-baselined.
+struct KpiBound {
+  const char* kpi;
+  double min;
+  double max;
+};
+
+/// Concrete world size for (tier, seed) — one scenario instance is
+/// `shards` independent worlds of `nodes_per_shard` nodes each.
+struct RunParams {
+  Tier tier = Tier::kSmoke;
+  std::uint64_t seed = 1;
+  std::size_t shards = 1;
+  std::size_t nodes_per_shard = 8;
+  /// Simulated duration of the measurement phase (after formation).
+  sim::Duration measure_time = 60'000'000;
+  /// Trace auditing rides along below city scale (bounded ring buffers
+  /// would only drop records on 5k-node worlds).
+  bool tracing = true;
+};
+
+/// What one shard's world produced. Merged strictly in shard order.
+struct ShardResult {
+  std::string failure;  // empty = every invariant + assertion held
+  std::size_t nodes = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  /// End-to-end latencies (µs) of delivered samples, in delivery order.
+  std::vector<double> latencies_us;
+  /// Sum of per-node duty cycles and the node count behind it.
+  double duty_sum = 0.0;
+  std::size_t duty_nodes = 0;
+  /// Scenario-specific KPI values, in the scenario's extras() order.
+  std::vector<double> extras;
+};
+
+/// A named scenario: pure functions only, so (tier, seed) expands to the
+/// same worlds on every machine and every job count.
+struct ScenarioSpec {
+  const char* name;
+  const char* summary;
+  RunParams (*params_for)(Tier, std::uint64_t seed);
+  ShardResult (*run_shard)(const RunParams&, std::size_t shard);
+  std::vector<ExtraKpi> (*extras)();
+  std::vector<KpiBound> (*bounds_for)(Tier);
+  /// Generator constraints handed to the fuzzer (iiot_fuzz --scenario=).
+  testing::FuzzProfile (*fuzz_profile)();
+};
+
+/// The four scenarios, in registry (= artifact) order.
+[[nodiscard]] const std::vector<ScenarioSpec>& library();
+[[nodiscard]] const ScenarioSpec* find_scenario(std::string_view name);
+
+/// Merged KPI record of one (scenario, tier, seed) instance.
+struct KpiReport {
+  std::string scenario;
+  Tier tier = Tier::kSmoke;
+  std::uint64_t seed = 0;
+  std::size_t shards = 0;
+  bool ok = true;
+  std::string failure;  // empty iff ok
+  std::vector<Kpi> kpis;
+
+  [[nodiscard]] const Kpi* find(std::string_view name) const;
+  /// One deterministic JSON line (fixed key order, %.6f numbers).
+  [[nodiscard]] std::string json_line() const;
+};
+
+/// Runs one scenario instance, sharded across `eng`. Shard results are
+/// written to pre-sized slots and merged in shard order (jobs-invariant).
+[[nodiscard]] KpiReport run_one(const ScenarioSpec& spec, Tier tier,
+                                std::uint64_t seed, runner::Engine& eng);
+
+struct SuiteOptions {
+  Tier tier = Tier::kSmoke;
+  std::uint64_t seed_base = 1;
+  std::uint64_t seeds = 1;
+  /// Restrict to these scenario names (empty = whole library).
+  std::vector<std::string> only;
+};
+
+struct SuiteResult {
+  /// Reports in (registry, seed) order — never completion order.
+  std::vector<KpiReport> reports;
+  /// The aggregated KPI artifact (the file scenario_ci --out writes and
+  /// SCENARIO_baselines.json is a copy of). Byte-identical at any jobs.
+  std::string artifact;
+
+  [[nodiscard]] bool ok() const;
+  [[nodiscard]] std::string failures() const;
+};
+
+/// Flattens (scenario, seed, shard) into one engine batch: every shard
+/// of every instance runs concurrently, results merge from slots.
+[[nodiscard]] SuiteResult run_suite(const SuiteOptions& opt,
+                                    runner::Engine& eng);
+
+/// Determinism self-check: the suite serially vs. on `eng`, diffing the
+/// artifact and every report. Returns "" when byte-identical.
+[[nodiscard]] std::string check_suite_determinism(const SuiteOptions& opt,
+                                                  runner::Engine& eng);
+
+}  // namespace iiot::scenarios

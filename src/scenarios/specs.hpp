@@ -1,0 +1,25 @@
+// Internal: per-scenario spec constructors, one per translation unit,
+// assembled into the registry by scenario_lib.cpp.
+#pragma once
+
+#include "scenarios/scenario_lib.hpp"
+
+namespace iiot::scenarios::detail {
+
+[[nodiscard]] ScenarioSpec factory_line_spec();
+[[nodiscard]] ScenarioSpec hvac_fleet_spec();
+[[nodiscard]] ScenarioSpec mine_tunnel_spec();
+[[nodiscard]] ScenarioSpec mobile_yard_spec();
+
+/// Per-shard world seed: decorrelates shards of one instance without
+/// touching the instance seed's meaning.
+[[nodiscard]] inline std::uint64_t shard_seed(std::uint64_t seed,
+                                              std::size_t shard,
+                                              std::uint64_t salt) {
+  std::uint64_t x = seed * 0x9e3779b97f4a7c15ULL + salt;
+  x ^= static_cast<std::uint64_t>(shard) * 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 29;
+  return x | 1;  // never zero
+}
+
+}  // namespace iiot::scenarios::detail

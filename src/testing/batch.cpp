@@ -12,18 +12,23 @@ namespace {
 /// One failure's report block, formatted exactly like the historical
 /// serial fuzz driver so reproducer lines stay grep-stable.
 std::string format_failure(const ScenarioConfig& cfg, const ScenarioResult& r,
-                           bool shrink, int shrink_budget,
+                           const FuzzBatchOptions& opt,
                            runner::Engine& eng) {
   std::string out;
   char buf[160];
   out += "FAIL  " + cfg.summary() + "\n";
   out += "      " + r.failure + "\n";
-  std::snprintf(buf, sizeof buf, "      reproduce: iiot_fuzz --replay_seed=%llu%s\n",
-                static_cast<unsigned long long>(cfg.seed),
-                cfg.canary_skip_detach_cleanup ? " --canary" : "");
+  // Profiled batches must replay under the same generator constraints,
+  // so the reproducer line carries the scenario-family name along.
+  std::string extra;
+  if (!opt.profile_name.empty()) extra += " --scenario=" + opt.profile_name;
+  if (cfg.canary_skip_detach_cleanup) extra += " --canary";
+  std::snprintf(buf, sizeof buf,
+                "      reproduce: iiot_fuzz --replay_seed=%llu%s\n",
+                static_cast<unsigned long long>(cfg.seed), extra.c_str());
   out += buf;
-  if (shrink) {
-    const ShrinkResult shrunk = shrink_scenario(cfg, shrink_budget, &eng);
+  if (opt.shrink) {
+    const ShrinkResult shrunk = shrink_scenario(cfg, opt.shrink_budget, &eng);
     std::snprintf(buf, sizeof buf, "      shrunk (%d reruns): ",
                   shrunk.attempts);
     out += buf;
@@ -45,7 +50,7 @@ FuzzBatchResult run_fuzz_batch(const FuzzBatchOptions& opt,
   // up front regardless of how much of it executes.
   std::vector<ScenarioConfig> cfgs(n);
   for (std::size_t i = 0; i < n; ++i) {
-    cfgs[i] = generate_scenario(opt.seed_base + i);
+    cfgs[i] = generate_scenario(opt.seed_base + i, opt.profile);
     if (opt.canary) cfgs[i].canary_skip_detach_cleanup = true;
     ++out.by_mac[static_cast<int>(cfgs[i].mac)];
   }
@@ -80,8 +85,7 @@ FuzzBatchResult run_fuzz_batch(const FuzzBatchOptions& opt,
   std::size_t reported = 0;
   for (std::size_t i = 0; i < limit && reported < opt.max_reported; ++i) {
     if (results[i].ok) continue;
-    out.report += format_failure(cfgs[i], results[i], opt.shrink,
-                                 opt.shrink_budget, eng);
+    out.report += format_failure(cfgs[i], results[i], opt, eng);
     ++reported;
   }
   return out;

@@ -31,6 +31,11 @@ struct FuzzBatchOptions {
   /// cheap determinism diffs).
   bool shrink = true;
   int shrink_budget = 48;
+  /// Curated-scenario-family constraints on the generator (`iiot_fuzz
+  /// --scenario=NAME`); the default profile is unconstrained. The name
+  /// only labels reproducer lines.
+  FuzzProfile profile;
+  std::string profile_name;
 };
 
 struct FuzzBatchResult {

@@ -747,21 +747,39 @@ ScenarioResult run_tdma(const ScenarioConfig& cfg) {
 }  // namespace
 
 ScenarioConfig generate_scenario(std::uint64_t seed) {
+  return generate_scenario(seed, FuzzProfile{});
+}
+
+ScenarioConfig generate_scenario(std::uint64_t seed,
+                                 const FuzzProfile& profile) {
   Rng g(seed, 42);
   ScenarioConfig cfg;
   cfg.seed = seed;
-  cfg.mac = static_cast<ScenarioMac>(g.below(4));
+  cfg.mac = profile.mac ? *profile.mac : static_cast<ScenarioMac>(g.below(4));
   const bool duty =
       cfg.mac == ScenarioMac::kLpl || cfg.mac == ScenarioMac::kRiMac;
 
+  // Profiled node counts replace the per-MAC default ranges; the draw
+  // still happens so downstream draws keep their positions either way.
+  const auto pick_nodes = [&](std::size_t lo, std::size_t span) {
+    const std::uint32_t raw = g.below(static_cast<std::uint32_t>(span));
+    if (profile.min_nodes == 0) return lo + raw;
+    const std::size_t width = profile.max_nodes >= profile.min_nodes
+                                  ? profile.max_nodes - profile.min_nodes + 1
+                                  : 1;
+    return profile.min_nodes + raw % width;
+  };
+
   if (cfg.mac == ScenarioMac::kTdma) {
-    cfg.topology = ScenarioTopology::kLine;
-    cfg.nodes = 3 + g.below(6);
+    cfg.topology = ScenarioTopology::kLine;  // TDMA is collection-only
+    cfg.nodes = pick_nodes(3, 6);
     cfg.spacing = g.uniform(14.0, 22.0);
   } else {
-    cfg.topology = static_cast<ScenarioTopology>(g.below(3));
-    cfg.nodes = cfg.mac == ScenarioMac::kCsma ? 5 + g.below(14)
-                                              : 4 + g.below(5);
+    cfg.topology = profile.topology
+                       ? *profile.topology
+                       : static_cast<ScenarioTopology>(g.below(3));
+    cfg.nodes = cfg.mac == ScenarioMac::kCsma ? pick_nodes(5, 14)
+                                              : pick_nodes(4, 5);
     switch (cfg.topology) {
       case ScenarioTopology::kLine: cfg.spacing = g.uniform(14.0, 22.0); break;
       case ScenarioTopology::kGrid: cfg.spacing = g.uniform(12.0, 18.0); break;
@@ -803,18 +821,20 @@ ScenarioConfig generate_scenario(std::uint64_t seed) {
     if (g.chance(0.4)) cfg.frame_faults.duplicate_p = g.uniform(0.0, 0.10);
     if (g.chance(0.4)) cfg.frame_faults.delay_p = g.uniform(0.0, 0.10);
   }
-  cfg.churn_slots = static_cast<int>(g.below(3));
+  cfg.churn_slots = std::max(static_cast<int>(g.below(3)),
+                             profile.min_churn_slots);
 
   cfg.run_sched_check = g.chance(0.5);
   cfg.run_frag = g.chance(0.5);
-  cfg.run_crdt = g.chance(0.35);
+  cfg.run_crdt = g.chance(0.35) || profile.force_crdt;
   cfg.run_cp = g.chance(0.35);
   const bool clean = cfg.crashes.empty() &&
                      cfg.frame_faults.drop_p == 0.0 &&
                      cfg.frame_faults.corrupt_p == 0.0 &&
                      cfg.frame_faults.duplicate_p == 0.0 &&
                      cfg.frame_faults.delay_p == 0.0;
-  cfg.run_rnfd = cfg.mac != ScenarioMac::kTdma && clean && g.chance(0.6);
+  cfg.run_rnfd = cfg.mac != ScenarioMac::kTdma && clean &&
+                 (g.chance(0.6) || profile.force_rnfd_when_clean);
   cfg.kv_replicas = 3 + static_cast<int>(g.below(3));
   cfg.kv_ops = 20 + static_cast<int>(g.below(31));
   return cfg;

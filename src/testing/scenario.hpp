@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -111,8 +112,31 @@ struct ScenarioResult {
   Fingerprint fingerprint;
 };
 
+/// Constraints a curated scenario family (src/scenarios/) imposes on the
+/// generator — the library's bridge back into the fuzzer
+/// (`iiot_fuzz --scenario=NAME`). Unset fields keep the generator's own
+/// distribution; draws happen in the same order either way, so an empty
+/// profile reproduces generate_scenario(seed) exactly.
+struct FuzzProfile {
+  std::optional<ScenarioMac> mac;
+  std::optional<ScenarioTopology> topology;
+  /// Node-count range (inclusive); 0 = generator default for the MAC.
+  std::size_t min_nodes = 0;
+  std::size_t max_nodes = 0;
+  /// Floor on membership-churn episodes during the fault window.
+  int min_churn_slots = 0;
+  /// Always fold in the CRDT convergence check (yard worlds).
+  bool force_crdt = false;
+  /// Run the RNFD false-positive watch whenever the generated scenario
+  /// is clean (mine worlds; still skipped for TDMA, which has no RPL).
+  bool force_rnfd_when_clean = false;
+};
+
 /// Expands a seed into a scenario. Pure function of the seed.
 [[nodiscard]] ScenarioConfig generate_scenario(std::uint64_t seed);
+/// Same, under a scenario family's constraints. Pure in (seed, profile).
+[[nodiscard]] ScenarioConfig generate_scenario(std::uint64_t seed,
+                                               const FuzzProfile& profile);
 
 /// Runs a scenario to completion (or first invariant violation).
 /// Deterministic: same config → same result and fingerprint.

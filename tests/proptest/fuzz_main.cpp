@@ -1,8 +1,8 @@
 // Property-based scenario fuzzer CLI (DESIGN.md §4c, §4e).
 //
 //   iiot_fuzz [--runs=N] [--seed=BASE] [--jobs=N] [--replay_seed=N]
-//             [--canary] [--trace] [--fail-file=PATH] [--selfcheck]
-//             [--quiet]
+//             [--scenario=NAME] [--canary] [--trace] [--fail-file=PATH]
+//             [--selfcheck] [--quiet]
 //
 // Default mode: expands and runs `--runs` consecutive seeds, sharded
 // across `--jobs` worker threads (each scenario owns an isolated world);
@@ -12,7 +12,11 @@
 // byte-identical at any --jobs value. `--jobs=0` means all cores.
 //
 // `--replay_seed=N` re-runs exactly one scenario and prints its
-// fingerprint. `--canary` enables the planted detach-cleanup bug and
+// fingerprint. `--scenario=NAME` constrains the generator to a curated
+// scenario family's regime (topology, MAC, churn/protocol knobs) so the
+// fuzzer concentrates on the neighborhood of a named scenario; it
+// composes with both batch and replay modes, and reproducer lines carry
+// it along. `--canary` enables the planted detach-cleanup bug and
 // inverts the exit code: the run succeeds only if the harness catches the
 // bug. `--selfcheck` runs the batch twice — serially and at --jobs — and
 // fails on any divergence in the jobs-invariant artifacts (the
@@ -26,6 +30,7 @@
 #include <vector>
 
 #include "runner/engine.hpp"
+#include "scenarios/scenario_lib.hpp"
 #include "testing/batch.hpp"
 #include "testing/scenario.hpp"
 
@@ -51,6 +56,7 @@ struct Options {
   bool quiet = false;
   bool selfcheck = false;
   std::string fail_file;
+  std::string scenario;  // curated-family constraint (empty = unconstrained)
 };
 
 bool parse_u64(const char* s, std::uint64_t& out) {
@@ -84,6 +90,17 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.selfcheck = true;
     } else if (key == "--fail-file") {
       opt.fail_file = val;
+    } else if (key == "--scenario") {
+      if (iiot::scenarios::find_scenario(val) == nullptr) {
+        std::fprintf(stderr, "unknown scenario: %s\navailable:",
+                     val.c_str());
+        for (const auto& s : iiot::scenarios::library()) {
+          std::fprintf(stderr, " %s", s.name);
+        }
+        std::fprintf(stderr, "\n");
+        return false;
+      }
+      opt.scenario = val;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
       return false;
@@ -98,8 +115,13 @@ int main(int argc, char** argv) {
   Options opt;
   if (!parse_args(argc, argv, opt)) return 2;
 
+  iiot::testing::FuzzProfile profile;
+  if (!opt.scenario.empty()) {
+    profile = iiot::scenarios::find_scenario(opt.scenario)->fuzz_profile();
+  }
+
   if (opt.replay) {
-    ScenarioConfig cfg = generate_scenario(opt.replay_seed);
+    ScenarioConfig cfg = generate_scenario(opt.replay_seed, profile);
     if (opt.canary) cfg.canary_skip_detach_cleanup = true;
     cfg.trace = opt.trace;  // replay-only: does not alter the scenario
     std::printf("replaying: %s\n", cfg.summary().c_str());
@@ -119,6 +141,8 @@ int main(int argc, char** argv) {
   bopt.runs = opt.runs;
   bopt.seed_base = opt.seed_base;
   bopt.canary = opt.canary;
+  bopt.profile = profile;
+  bopt.profile_name = opt.scenario;
 
   if (opt.selfcheck) {
     const auto wall_start = std::chrono::steady_clock::now();

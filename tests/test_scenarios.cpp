@@ -1,0 +1,170 @@
+// Tier-1 coverage of the curated scenario library (DESIGN.md §4h): the
+// registry, the smoke tier of every scenario, the committed-baseline
+// gate, the jobs-invariance determinism contract, and the fuzz-profile
+// bridge. These run on every push, so everything here sticks to the
+// smoke tier (the full suite is ~100 ms serial); soak and city belong
+// to the nightly and weekly pipelines.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "runner/engine.hpp"
+#include "scenarios/baseline.hpp"
+#include "scenarios/scenario_lib.hpp"
+#include "testing/scenario.hpp"
+
+namespace {
+
+using iiot::scenarios::check_against_baseline;
+using iiot::scenarios::check_suite_determinism;
+using iiot::scenarios::find_scenario;
+using iiot::scenarios::KpiReport;
+using iiot::scenarios::library;
+using iiot::scenarios::run_one;
+using iiot::scenarios::run_suite;
+using iiot::scenarios::RunParams;
+using iiot::scenarios::SuiteOptions;
+using iiot::scenarios::SuiteResult;
+using iiot::scenarios::Tier;
+
+std::string read_committed_baseline() {
+  std::ifstream in(std::string(IIOT_SOURCE_DIR) +
+                   "/SCENARIO_baselines.json");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(ScenarioLibrary, RegistryHasTheFourScenariosInArtifactOrder) {
+  const auto& lib = library();
+  ASSERT_EQ(lib.size(), 4u);
+  EXPECT_STREQ(lib[0].name, "factory_line");
+  EXPECT_STREQ(lib[1].name, "hvac_fleet");
+  EXPECT_STREQ(lib[2].name, "mine_tunnel");
+  EXPECT_STREQ(lib[3].name, "mobile_yard");
+  for (const auto& spec : lib) {
+    EXPECT_EQ(find_scenario(spec.name), &spec);
+  }
+  EXPECT_EQ(find_scenario("no_such_scenario"), nullptr);
+}
+
+TEST(ScenarioLibrary, CityTierReachesFiveThousandNodesOnMineAndYard) {
+  for (const char* name : {"mine_tunnel", "mobile_yard"}) {
+    const auto* spec = find_scenario(name);
+    ASSERT_NE(spec, nullptr);
+    const RunParams p = spec->params_for(Tier::kCity, 1);
+    EXPECT_GE(p.shards * p.nodes_per_shard, 5000u) << name;
+  }
+}
+
+TEST(ScenarioLibrary, TierNamesRoundTrip) {
+  for (Tier t : {Tier::kSmoke, Tier::kSoak, Tier::kCity}) {
+    Tier parsed{};
+    ASSERT_TRUE(iiot::scenarios::parse_tier(to_string(t), parsed));
+    EXPECT_EQ(parsed, t);
+  }
+  Tier parsed{};
+  EXPECT_FALSE(iiot::scenarios::parse_tier("weekly", parsed));
+}
+
+TEST(ScenarioLibrary, EveryScenarioPassesItsSmokeTier) {
+  iiot::runner::Engine eng(1);
+  for (const auto& spec : library()) {
+    const KpiReport rep = run_one(spec, Tier::kSmoke, 1, eng);
+    EXPECT_TRUE(rep.ok) << spec.name << ": " << rep.failure;
+    ASSERT_NE(rep.find("delivery_ratio"), nullptr);
+    EXPECT_GT(rep.find("delivery_ratio")->value, 0.0) << spec.name;
+  }
+}
+
+TEST(ScenarioLibrary, SmokeSuiteMatchesTheCommittedBaseline) {
+  const std::string baseline = read_committed_baseline();
+  ASSERT_FALSE(baseline.empty())
+      << "SCENARIO_baselines.json missing from the source tree; "
+         "regenerate with: scenario_ci --tier=smoke "
+         "--out=SCENARIO_baselines.json";
+  iiot::runner::Engine eng(1);
+  const SuiteResult suite = run_suite(SuiteOptions{}, eng);
+  ASSERT_TRUE(suite.ok()) << suite.failures();
+  EXPECT_EQ(check_against_baseline(suite, baseline), "");
+}
+
+TEST(ScenarioLibrary, ArtifactIsIdenticalAcrossRepeatRuns) {
+  iiot::runner::Engine eng(1);
+  const SuiteResult a = run_suite(SuiteOptions{}, eng);
+  const SuiteResult b = run_suite(SuiteOptions{}, eng);
+  EXPECT_EQ(a.artifact, b.artifact);
+}
+
+TEST(ScenarioLibrary, ArtifactIsIdenticalAtAnyJobCount) {
+  iiot::runner::Engine four(4);
+  EXPECT_EQ(check_suite_determinism(SuiteOptions{}, four), "");
+}
+
+TEST(ScenarioBaseline, TamperedKpiValueIsCaught) {
+  iiot::runner::Engine eng(1);
+  const SuiteResult suite = run_suite(SuiteOptions{}, eng);
+  std::string tampered = suite.artifact;
+  const auto pos = tampered.find("\"delivery_ratio\":");
+  ASSERT_NE(pos, std::string::npos);
+  // Flip the first digit of the value: a drift far beyond any tolerance.
+  const auto digit = pos + std::string("\"delivery_ratio\":").size();
+  tampered[digit] = tampered[digit] == '9' ? '8' : '9';
+  EXPECT_NE(check_against_baseline(suite, tampered), "");
+}
+
+TEST(ScenarioBaseline, MissingRunEntryIsCaught) {
+  iiot::runner::Engine eng(1);
+  const SuiteResult suite = run_suite(SuiteOptions{}, eng);
+  std::string pruned = suite.artifact;
+  const auto pos = pruned.find("{\"scenario\":\"mine_tunnel\"");
+  ASSERT_NE(pos, std::string::npos);
+  const auto end = pruned.find('\n', pos);
+  pruned.erase(pos, end - pos + 1);
+  EXPECT_NE(check_against_baseline(suite, pruned), "");
+}
+
+TEST(ScenarioBaseline, EmptyBaselineIsCaught) {
+  iiot::runner::Engine eng(1);
+  const SuiteResult suite = run_suite(SuiteOptions{}, eng);
+  EXPECT_NE(check_against_baseline(suite, ""), "");
+}
+
+// The --scenario bridge: each library entry hands the fuzzer a profile
+// that pins generation to the scenario's regime. Pin the regime per
+// scenario and check the generator actually honors it.
+TEST(ScenarioFuzzProfiles, ProfilesPinTheScenarioRegime) {
+  using iiot::testing::ScenarioMac;
+  using iiot::testing::ScenarioTopology;
+  const struct {
+    const char* name;
+    ScenarioMac mac;
+    ScenarioTopology topology;
+  } expected[] = {
+      {"factory_line", ScenarioMac::kTdma, ScenarioTopology::kLine},
+      {"hvac_fleet", ScenarioMac::kLpl, ScenarioTopology::kGrid},
+      {"mine_tunnel", ScenarioMac::kCsma, ScenarioTopology::kLine},
+      {"mobile_yard", ScenarioMac::kCsma, ScenarioTopology::kRandomField},
+  };
+  for (const auto& e : expected) {
+    const auto* spec = find_scenario(e.name);
+    ASSERT_NE(spec, nullptr);
+    const iiot::testing::FuzzProfile fp = spec->fuzz_profile();
+    ASSERT_TRUE(fp.mac.has_value()) << e.name;
+    ASSERT_TRUE(fp.topology.has_value()) << e.name;
+    EXPECT_EQ(*fp.mac, e.mac) << e.name;
+    EXPECT_EQ(*fp.topology, e.topology) << e.name;
+    ASSERT_GT(fp.max_nodes, 0u) << e.name;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      const auto cfg = iiot::testing::generate_scenario(seed, fp);
+      EXPECT_EQ(cfg.mac, e.mac) << e.name << " seed " << seed;
+      EXPECT_EQ(cfg.topology, e.topology) << e.name << " seed " << seed;
+      EXPECT_GE(cfg.nodes, fp.min_nodes) << e.name << " seed " << seed;
+      EXPECT_LE(cfg.nodes, fp.max_nodes) << e.name << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,213 @@
+// Staged continuous-testing driver over the curated scenario library
+// (DESIGN.md §4h).
+//
+//   scenario_ci [--tier=smoke|soak|city] [--scenario=NAME[,NAME...]]
+//               [--seed=BASE] [--seeds=N] [--jobs=N] [--out=PATH]
+//               [--baseline=PATH] [--selfcheck] [--list]
+//
+// Runs every selected scenario at the tier's scale, sharded across
+// --jobs workers (0 = all cores), prints one KPI line per run and exits
+// nonzero on any invariant violation, sanity-bound breach, or — with
+// --baseline — KPI drift beyond the committed tolerances. --out writes
+// the aggregated KPI artifact, which is byte-identical at any --jobs
+// (and is the exact format of SCENARIO_baselines.json: regenerate the
+// baseline by pointing --out at it). --selfcheck runs the suite twice,
+// serially and at --jobs, and diffs the artifacts in-process.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/engine.hpp"
+#include "scenarios/baseline.hpp"
+#include "scenarios/scenario_lib.hpp"
+
+namespace {
+
+using iiot::scenarios::find_scenario;
+using iiot::scenarios::library;
+using iiot::scenarios::SuiteOptions;
+using iiot::scenarios::SuiteResult;
+using iiot::scenarios::Tier;
+
+struct Options {
+  Tier tier = Tier::kSmoke;
+  std::uint64_t seed_base = 1;
+  std::uint64_t seeds = 1;
+  std::uint64_t jobs = 1;  // 0 → all cores
+  std::vector<std::string> only;
+  std::string out;
+  std::string baseline;
+  bool selfcheck = false;
+  bool list = false;
+};
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto eq = a.find('=');
+    const std::string key = a.substr(0, eq);
+    const std::string val = eq == std::string::npos ? "" : a.substr(eq + 1);
+    if (key == "--tier") {
+      if (!iiot::scenarios::parse_tier(val, opt.tier)) {
+        std::fprintf(stderr, "unknown tier: %s (smoke|soak|city)\n",
+                     val.c_str());
+        return false;
+      }
+    } else if (key == "--scenario") {
+      std::size_t from = 0;
+      while (from <= val.size()) {
+        const std::size_t comma = val.find(',', from);
+        const std::string name =
+            val.substr(from, comma == std::string::npos ? std::string::npos
+                                                        : comma - from);
+        if (!name.empty()) {
+          if (find_scenario(name) == nullptr) {
+            std::fprintf(stderr, "unknown scenario: %s\n", name.c_str());
+            std::fprintf(stderr, "available:");
+            for (const auto& s : library()) {
+              std::fprintf(stderr, " %s", s.name);
+            }
+            std::fprintf(stderr, "\n");
+            return false;
+          }
+          opt.only.push_back(name);
+        }
+        if (comma == std::string::npos) break;
+        from = comma + 1;
+      }
+    } else if (key == "--seed") {
+      if (!parse_u64(val.c_str(), opt.seed_base)) return false;
+    } else if (key == "--seeds") {
+      if (!parse_u64(val.c_str(), opt.seeds)) return false;
+    } else if (key == "--jobs") {
+      if (!parse_u64(val.c_str(), opt.jobs)) return false;
+    } else if (key == "--out") {
+      opt.out = val;
+    } else if (key == "--baseline") {
+      opt.baseline = val;
+    } else if (key == "--selfcheck") {
+      opt.selfcheck = true;
+    } else if (key == "--list") {
+      opt.list = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
+
+  if (opt.list) {
+    for (const auto& spec : library()) {
+      const auto p = spec.params_for(opt.tier, opt.seed_base);
+      std::printf("%-14s %4zu shards x %4zu nodes  %s\n", spec.name,
+                  p.shards, p.nodes_per_shard, spec.summary);
+    }
+    return 0;
+  }
+
+  iiot::runner::Engine eng(static_cast<unsigned>(opt.jobs));
+  SuiteOptions sopt;
+  sopt.tier = opt.tier;
+  sopt.seed_base = opt.seed_base;
+  sopt.seeds = opt.seeds;
+  sopt.only = opt.only;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  if (opt.selfcheck) {
+    const std::string diff =
+        iiot::scenarios::check_suite_determinism(sopt, eng);
+    const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count();
+    if (!diff.empty()) {
+      std::printf("SELFCHECK FAIL (jobs=1 vs jobs=%u): %s\n", eng.jobs(),
+                  diff.c_str());
+      return 1;
+    }
+    std::printf(
+        "selfcheck OK: %s-tier suite byte-identical at jobs=1 and jobs=%u "
+        "(%lld ms)\n",
+        iiot::scenarios::to_string(opt.tier), eng.jobs(),
+        static_cast<long long>(wall_ms));
+    return 0;
+  }
+
+  const SuiteResult res = iiot::scenarios::run_suite(sopt, eng);
+  const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - wall_start)
+                           .count();
+
+  std::size_t total_nodes = 0;
+  for (const auto& rep : res.reports) {
+    const auto* nodes = rep.find("nodes");
+    const auto* ratio = rep.find("delivery_ratio");
+    const auto* p50 = rep.find("latency_p50_us");
+    const auto* p99 = rep.find("latency_p99_us");
+    const auto* duty = rep.find("duty_cycle");
+    total_nodes += nodes != nullptr ? static_cast<std::size_t>(nodes->value)
+                                    : 0;
+    std::printf(
+        "%-14s seed=%llu %5.0f nodes  delivery=%.3f  p50=%.0fus "
+        "p99=%.0fus  duty=%.4f  %s\n",
+        rep.scenario.c_str(), static_cast<unsigned long long>(rep.seed),
+        nodes != nullptr ? nodes->value : 0.0,
+        ratio != nullptr ? ratio->value : 0.0,
+        p50 != nullptr ? p50->value : 0.0, p99 != nullptr ? p99->value : 0.0,
+        duty != nullptr ? duty->value : 0.0, rep.ok ? "ok" : "FAIL");
+  }
+  if (!res.ok()) std::fputs(res.failures().c_str(), stdout);
+
+  if (!opt.out.empty()) {
+    std::ofstream f(opt.out, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", opt.out.c_str());
+      return 2;
+    }
+    f << res.artifact;
+  }
+
+  int rc = res.ok() ? 0 : 1;
+  if (!opt.baseline.empty()) {
+    std::ifstream f(opt.baseline, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "cannot read baseline %s\n",
+                   opt.baseline.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    const std::string drift =
+        iiot::scenarios::check_against_baseline(res, ss.str());
+    if (!drift.empty()) {
+      std::printf("BASELINE DRIFT: %s\n", drift.c_str());
+      rc = 1;
+    } else {
+      std::printf("baseline OK: every KPI within tolerance of %s\n",
+                  opt.baseline.c_str());
+    }
+  }
+
+  std::printf("%s tier: %zu runs, %zu nodes total, jobs=%u, %lld ms\n",
+              iiot::scenarios::to_string(opt.tier), res.reports.size(),
+              total_nodes, eng.jobs(), static_cast<long long>(wall_ms));
+  return rc;
+}
