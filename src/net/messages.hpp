@@ -23,6 +23,7 @@ enum class MsgType : std::uint8_t {
   kDao = 3,   // Destination Advertisement Object (unicast to parent)
   kData = 4,  // application payload, routed hop-by-hop
   kRnfd = 5,  // RNFD CFRC gossip (broadcast)
+  kDistress = 6,  // sustained-inconsistency report, relayed up to the root
 };
 
 struct DioMsg {
@@ -102,10 +103,32 @@ struct DataMsg {
   }
 };
 
+/// A node stuck in repeated DAGMaxRankIncrease detachments asks the root
+/// for a global repair. Originated by a *joined* neighbor on behalf of the
+/// distressed orphan (who by definition has no route), then relayed
+/// parent-by-parent; the root rate-limits the resulting version bumps.
+struct DistressMsg {
+  NodeId origin = kInvalidNode;  // the distressed node itself
+  std::uint8_t hops = 0;         // relay hops travelled (TTL guard)
+
+  void encode(Buffer& out) const {
+    BufWriter w(out);
+    w.u8(static_cast<std::uint8_t>(MsgType::kDistress));
+    w.u32(origin);
+    w.u8(hops);
+  }
+  static std::optional<DistressMsg> decode(BufReader& r) {
+    auto o = r.u32();
+    auto h = r.u8();
+    if (!o || !h) return std::nullopt;
+    return DistressMsg{*o, *h};
+  }
+};
+
 inline std::optional<MsgType> peek_type(BytesView bytes) {
   if (bytes.empty()) return std::nullopt;
   auto t = bytes[0];
-  if (t < 1 || t > 5) return std::nullopt;
+  if (t < 1 || t > 6) return std::nullopt;
   return static_cast<MsgType>(t);
 }
 

@@ -74,6 +74,9 @@ void RplRouting::start() {
   is_root_ = false;
   rank_ = kInfiniteRank;
   lowest_rank_ = kInfiniteRank;
+  floor_slack_ = 0;
+  ratchet_orphans_ = 0;
+  rejoining_ = false;
   advertised_rank_ = kInfiniteRank;
   mac_.set_receive_handler([this](NodeId src, BytesView p, double rssi) {
     on_mac_receive(src, p, rssi);
@@ -118,6 +121,14 @@ void RplRouting::send_dis() {
   if (!running_ || joined()) return;
   Buffer out;
   out.push_back(static_cast<std::uint8_t>(MsgType::kDis));
+  // Distressed orphans (repeated DAGMaxRankIncrease detachments) flag the
+  // solicitation; a joined neighbor relays the flag to the root, which can
+  // answer with a global repair. The extra byte is ignored by receivers
+  // that only look at the type octet, so the wire stays compatible.
+  if (cfg_.distress_orphan_threshold > 0 &&
+      ratchet_orphans_ >= cfg_.distress_orphan_threshold) {
+    out.push_back(0x01);
+  }
   ++stats_.dis_tx;
   mac_.send(kBroadcastNode, std::move(out));
   dis_timer_ =
@@ -153,7 +164,17 @@ void RplRouting::on_mac_receive(NodeId src, BytesView payload, double rssi) {
     }
     case MsgType::kDis:
       // Someone is orphaned nearby: answer quickly.
-      if (joined()) trickle_.inconsistent();
+      if (joined()) {
+        trickle_.inconsistent();
+        // Distress flag: the orphan cannot hold a legitimate rank in this
+        // version — relay its plea toward the version authority.
+        if (payload.size() >= 2 && (payload[1] & 0x01) != 0) {
+          relay_distress(src, 0);
+        }
+      }
+      break;
+    case MsgType::kDistress:
+      if (auto d = DistressMsg::decode(r)) relay_distress(d->origin, d->hops);
       break;
     case MsgType::kDao:
       if (auto dao = DaoMsg::decode(r)) handle_dao(src, *dao);
@@ -207,6 +228,9 @@ void RplRouting::handle_dio(NodeId src, const DioMsg& dio) {
     parent_ = kInvalidNode;
     rank_ = kInfiniteRank;
     lowest_rank_ = kInfiniteRank;  // DAGMaxRankIncrease is per version
+    floor_slack_ = 0;
+    ratchet_orphans_ = 0;
+    rejoining_ = false;
     trickle_.inconsistent();
   } else if (newer != 0) {
     // Stale version: inconsistent, let our DIO correct the sender.
@@ -546,12 +570,38 @@ void RplRouting::select_parent() {
     if (rank_ < lowest_rank_) {
       lowest_rank_ = rank_;
     }
-    if (cfg_.max_rank_increase > 0 &&
+    if (cfg_.max_rank_increase > 0 && rejoining_ &&
         rank_ > static_cast<std::uint32_t>(lowest_rank_) +
                     cfg_.max_rank_increase) {
+      // Rejoin after orphaning at a legitimately worse rank (post-repair
+      // topologies really are worse): grant bounded slack instead of
+      // resetting the floor. The cap keeps the total per-version ceiling
+      // at lowest_rank_ + 2 * max_rank_increase, so repeated orphan
+      // episodes can no longer launder unbounded rank ratcheting.
+      const std::uint32_t over = rank_ -
+                                 static_cast<std::uint32_t>(lowest_rank_) -
+                                 cfg_.max_rank_increase;
+      floor_slack_ = static_cast<Rank>(std::min<std::uint32_t>(
+          std::max<std::uint32_t>(floor_slack_, over),
+          cfg_.max_rank_increase));
+    }
+    rejoining_ = false;
+    if (cfg_.max_rank_increase > 0 &&
+        rank_ <= static_cast<std::uint32_t>(lowest_rank_) +
+                     cfg_.max_rank_increase) {
+      // Back inside the original window: the earlier detachments were
+      // transients, not sustained inconsistency.
+      ratchet_orphans_ = 0;
+    }
+    if (cfg_.max_rank_increase > 0 &&
+        rank_ > static_cast<std::uint32_t>(lowest_rank_) +
+                    cfg_.max_rank_increase + floor_slack_) {
       // DAGMaxRankIncrease exceeded: two nodes holding stale ranks for
       // each other inflate one another without bound (count-to-infinity).
       // Detaching + poisoning breaks the cycle; DIS brings real routes.
+      // Counted: past distress_orphan_threshold consecutive trips the
+      // node's DIS carries a distress flag that escalates to the root.
+      ++ratchet_orphans_;
       become_orphan();
       return;
     }
@@ -563,12 +613,14 @@ void RplRouting::become_orphan() {
   const bool was_joined = rank_ < kInfiniteRank || parent_ != kInvalidNode;
   parent_ = kInvalidNode;
   rank_ = kInfiniteRank;
-  // Detaching ends the current ascent: the next join starts a fresh
-  // DAGMaxRankIncrease measurement. Keeping the old floor would make a
-  // post-repair rejoin (at ETX-inflated ranks, legitimately far above
-  // the pre-crash floor) trip the bound immediately and re-orphan the
-  // node in a permanent detach loop.
-  lowest_rank_ = kInfiniteRank;
+  // The DAGMaxRankIncrease floor deliberately SURVIVES orphaning: resetting
+  // it here let repeated local repairs launder unbounded rank ratcheting
+  // (fuzz seed 24, mine_tunnel regime). The permanent-detach livelock that
+  // reset used to paper over is handled structurally instead — rejoins get
+  // one bounded slack grant (select_parent), and a node that still cannot
+  // hold a rank escalates distress so the root's version bump resets the
+  // floor the legitimate way.
+  rejoining_ = true;
   depth_ = 0xFF;
   if (was_joined) {
     ++stats_.parent_changes;
@@ -582,6 +634,38 @@ void RplRouting::become_orphan() {
     dis_timer_ =
         sched_.schedule_after(cfg_.dis_interval, [this] { send_dis(); });
   }
+}
+
+void RplRouting::relay_distress(NodeId origin, std::uint8_t hops) {
+  if (!running_ || cfg_.distress_orphan_threshold <= 0) return;
+  if (is_root_) {
+    // Sustained DODAG inconsistency reported from the mesh: the RFC 6550
+    // remedy is a root-initiated global repair. Rate-limited so a burst
+    // of reports (every neighbor of one distressed orphan) costs one
+    // version bump, not one per report.
+    const sim::Time now = sched_.now();
+    if (last_distress_repair_ != 0 &&
+        now - last_distress_repair_ < cfg_.distress_repair_interval) {
+      return;
+    }
+    last_distress_repair_ = now;
+    ++stats_.distress_repairs;
+    global_repair();
+    return;
+  }
+  if (!joined() || parent_ == kInvalidNode) return;
+  if (hops >= cfg_.max_hops) return;
+  const sim::Time now = sched_.now();
+  if (last_distress_relay_ != 0 &&
+      now - last_distress_relay_ < cfg_.distress_relay_interval) {
+    return;
+  }
+  last_distress_relay_ = now;
+  DistressMsg msg{origin, static_cast<std::uint8_t>(hops + 1)};
+  Buffer out;
+  msg.encode(out);
+  ++stats_.distress_relayed;
+  mac_.send(parent_, std::move(out));
 }
 
 void RplRouting::global_repair() {

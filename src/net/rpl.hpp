@@ -44,6 +44,16 @@ struct RplConfig {
   int max_parent_failures = 3;
   std::uint8_t max_hops = 32;
   bool downward_routes = true;
+  /// Consecutive DAGMaxRankIncrease detachments before a node starts
+  /// flagging distress in its DIS solicitations (0 disables escalation).
+  /// The floor now *survives* orphaning (with one bounded slack grant per
+  /// rejoin), so a node that keeps tripping the bound is genuinely unable
+  /// to hold a legitimate rank — only a root version bump can help it.
+  int distress_orphan_threshold = 3;
+  /// Per-node rate limit on relaying distress toward the root.
+  sim::Duration distress_relay_interval = 10'000'000;
+  /// Root-side rate limit on distress-triggered global repairs.
+  sim::Duration distress_repair_interval = 30'000'000;
 };
 
 struct RplStats {
@@ -59,6 +69,8 @@ struct RplStats {
   std::uint64_t drops_ttl = 0;
   std::uint64_t drops_loop = 0;  // data-path loop detection (RFC 6550 §11.2)
   std::uint64_t parent_changes = 0;
+  std::uint64_t distress_relayed = 0;  // distress reports sent/forwarded up
+  std::uint64_t distress_repairs = 0;  // root: global repairs it triggered
 };
 
 class RplRouting {
@@ -160,6 +172,9 @@ class RplRouting {
   [[nodiscard]] Rank link_cost(NodeId neighbor) const;
   [[nodiscard]] Rank path_cost_via(NodeId neighbor) const;
   void become_orphan();
+  /// Forwards a distress report one hop toward the root (or, at the root,
+  /// considers a rate-limited global repair).
+  void relay_distress(NodeId origin, std::uint8_t hops);
   [[nodiscard]] bool seen_recently(NodeId origin, SeqNo seq);
   /// Records a local delivery in the observability plane: "deliver"
   /// instant plus the end-to-end hop/latency histograms.
@@ -180,6 +195,18 @@ class RplRouting {
   Rank rank_ = kInfiniteRank;
   Rank advertised_rank_ = kInfiniteRank;  // rank at last trickle reset
   Rank lowest_rank_ = kInfiniteRank;      // per DODAG version (see config)
+  /// Extra allowance above the floor, granted (bounded) when a rejoin
+  /// after orphaning lands at a legitimately worse rank. Capped at
+  /// max_rank_increase, so total rank growth per version is bounded by
+  /// lowest_rank_ + 2 * max_rank_increase — count-to-infinity cannot
+  /// ratchet past it no matter how many orphan episodes occur.
+  Rank floor_slack_ = 0;
+  /// Consecutive DAGMaxRankIncrease detachments in this version; cleared
+  /// when the node regains a rank inside the original (slack-free) window.
+  int ratchet_orphans_ = 0;
+  bool rejoining_ = false;  // orphaned since the last finite rank
+  sim::Time last_distress_relay_ = 0;
+  sim::Time last_distress_repair_ = 0;
   int loop_hits_ = 0;           // recent data-path loop detections
   sim::Time last_loop_hit_ = 0;  // for the loop-hit decay window
   std::uint8_t depth_ = 0xFF;

@@ -2,7 +2,16 @@
 
 #include <algorithm>
 
+#include "radio/island.hpp"
+
 namespace iiot::radio {
+
+void Medium::set_island_gateway(Interchange* ix, const IslandPlan* plan,
+                                std::uint32_t island) {
+  island_ix_ = ix;
+  island_plan_ = plan;
+  island_id_ = island;
+}
 
 void Medium::attach(Radio* r) {
   r->medium_index_ = radios_.size();
@@ -28,6 +37,11 @@ void Medium::detach(Radio* r) {
 
   for (ActiveTx& tx : active_) {
     std::erase(tx.receivers, r);
+  }
+  // Ghost transmissions outlive any single radio (their source lives on
+  // another island); only the departing receiver is forgotten.
+  for (RemoteActive& rt : remote_active_) {
+    std::erase(rt.receivers, r);
   }
   // Transmissions sourced by the departing radio die with it, including
   // their receptions in progress at other radios.
@@ -92,6 +106,35 @@ void Medium::begin_tx(Radio& src, Frame f) {
     if (tx.fault.delay > 0) ++stats_.fault_delays;
   }
 
+  // Island gateway: snapshot the (post-fault-hook) frame for adjacent
+  // islands, quantized to the plan's window boundaries. The fault verdict
+  // rides along so drop/dup/delay apply identically at every receiver of
+  // the transmission, local or remote.
+  if (island_ix_ != nullptr) {
+    const std::vector<std::uint32_t>& adj =
+        island_plan_->adjacency[island_id_];
+    if (!adj.empty()) {
+      const sim::Duration w = island_plan_->window;
+      CellTx cell;
+      cell.src_island = island_id_;
+      cell.src = src.id();
+      cell.src_pos = src.position();
+      cell.channel = tx.channel;
+      cell.b1 = (start / w + 1) * w;
+      cell.b2 = std::max((end / w + 1) * w, cell.b1 + w);
+      cell.air_end = end;
+      cell.frame = tx.frame;
+      cell.frame.trace = 0;  // traces are per-island; ghosts do not trace
+      cell.frame.span = 0;
+      cell.fault = tx.fault;
+      for (std::uint32_t dst : adj) {
+        cell.seq = island_seq_++;
+        ++stats_.cross_island_tx;
+        island_ix_->post(dst, cell);
+      }
+    }
+  }
+
   // Start receptions at every radio currently able to hear this frame —
   // O(neighbors), not O(all radios).
   for (const Neighbor& n : neighbors_of(src)) {
@@ -107,6 +150,7 @@ void Medium::begin_tx(Radio& src, Frame f) {
     bool corrupted = false;
     for (Reception& other : list) {
       if (other.aborted) continue;
+      if (!radiates_at(other.tx_id, start)) continue;
       const double margin = prop_.config().capture_db;
       const bool new_wins = n.signal_dbm >= other.signal_dbm + margin;
       const bool old_wins = other.signal_dbm >= n.signal_dbm + margin;
@@ -127,9 +171,110 @@ void Medium::begin_tx(Radio& src, Frame f) {
   sched_.schedule_at(end, [this, id] { finish_tx(id); });
 }
 
+void Medium::apply_remote(const CellTx& m) {
+  ++stats_.cross_island_rx;
+  RemoteActive rt{next_remote_id_++, m.src,   m.src_pos,  m.channel,
+                  m.b1,              m.b2,    m.air_end,  m.frame,
+                  m.fault,           {}};
+  // A frame whose true airtime ended before this island's boundary
+  // radiates nothing here anymore — it only delivers at b2.
+  const bool radiates = m.air_end > m.b1;
+
+  // Mirror of begin_tx's reception marking, with the signal computed from
+  // the carried source position (the source radio lives on another
+  // island). Radios are visited in attach order, same as a neighbor list.
+  for (Radio* r : radios_) {
+    if (r->channel() != m.channel) continue;
+    if (r->mode() != Mode::kListen || r->transmitting()) continue;
+    const double sig =
+        prop_.rx_dbm(m.src, m.src_pos, r->id(), r->position());
+    if (sig < prop_.config().sensitivity_dbm) continue;
+
+    auto& list = rx_at_[r->medium_index_];
+    bool corrupted = false;
+    for (Reception& other : list) {
+      if (other.aborted) continue;
+      if (!radiates || !radiates_at(other.tx_id, m.b1)) continue;
+      const double margin = prop_.config().capture_db;
+      const bool new_wins = sig >= other.signal_dbm + margin;
+      const bool old_wins = other.signal_dbm >= sig + margin;
+      if (!old_wins) {
+        if (!other.corrupted) ++stats_.collisions;
+        other.corrupted = true;
+      }
+      if (!new_wins) {
+        if (!corrupted) ++stats_.collisions;
+        corrupted = true;
+      }
+    }
+    list.push_back(Reception{rt.id, sig, corrupted, false});
+    rt.receivers.push_back(r);
+  }
+
+  const std::uint64_t id = rt.id;
+  remote_active_.push_back(std::move(rt));
+  sched_.schedule_at(m.b2, [this, id] { finish_remote(id); });
+}
+
+bool Medium::radiates_at(std::uint64_t rx_id, sim::Time t) const {
+  if ((rx_id & kRemoteIdBit) == 0) return true;
+  for (const RemoteActive& rt : remote_active_) {
+    if (rt.id == rx_id) return t >= rt.b1 && t < rt.air_end;
+  }
+  return false;  // ghost already finished; entries die with it anyway
+}
+
+void Medium::finish_remote(std::uint64_t id) {
+  auto it = std::find_if(remote_active_.begin(), remote_active_.end(),
+                         [id](const RemoteActive& t) { return t.id == id; });
+  if (it == remote_active_.end()) return;
+  RemoteActive rt = std::move(*it);
+  remote_active_.erase(it);
+
+  // Delivery loop identical to finish_tx, minus tracing (per-island),
+  // firing at the quantized b2 rather than the true airtime end.
+  for (Radio* receiver : rt.receivers) {
+    auto& list = rx_at_[receiver->medium_index_];
+    double signal_dbm = 0.0;
+    bool dead = true;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i].tx_id != rt.id) continue;
+      signal_dbm = list[i].signal_dbm;
+      dead = list[i].aborted || list[i].corrupted;
+      list[i] = list.back();
+      list.pop_back();
+      break;
+    }
+    if (dead || rt.fault.drop) continue;
+    // No receiver-state check here, unlike finish_tx: the true airtime
+    // ended at air_end, and any disturbance before that already aborted
+    // the reception. What the receiver does in the [air_end, b2) gap —
+    // pure quantization artifact — cannot un-receive the frame.
+    const double snr = signal_dbm - prop_.config().noise_floor_dbm;
+    if (!rng_.chance(Propagation::prr_from_snr(snr))) {
+      ++stats_.snr_losses;
+      continue;
+    }
+    if (rt.fault.delay > 0) {
+      sched_.schedule_after(
+          rt.fault.delay,
+          [this, to = receiver->id(), f = rt.frame, signal_dbm,
+           ch = rt.channel] { deliver_late(to, f, signal_dbm, ch); });
+      continue;
+    }
+    ++stats_.deliveries;
+    receiver->deliver(rt.frame, signal_dbm);
+    if (rt.fault.duplicate) {
+      ++stats_.deliveries;
+      receiver->deliver(rt.frame, signal_dbm);
+    }
+  }
+}
+
 void Medium::on_receiver_disturbed(Radio& r) {
+  const sim::Time now = sched_.now();
   for (Reception& rec : rx_at_[r.medium_index_]) {
-    if (!rec.aborted) {
+    if (!rec.aborted && radiates_at(rec.tx_id, now)) {
       rec.aborted = true;
       ++stats_.aborted;
     }
@@ -137,7 +282,7 @@ void Medium::on_receiver_disturbed(Radio& r) {
 }
 
 bool Medium::channel_busy(const Radio& r) const {
-  if (active_.empty()) return false;
+  if (active_.empty() && remote_active_.empty()) return false;
   const std::vector<Neighbor>& neigh = neighbors_of(r);
   for (const ActiveTx& tx : active_) {
     if (tx.channel != r.channel()) continue;
@@ -149,6 +294,19 @@ bool Medium::channel_busy(const Radio& r) const {
         if (n.signal_dbm >= prop_.config().cca_threshold_dbm) return true;
         break;
       }
+    }
+  }
+  // Ghost transmissions radiate energy only while their true airtime
+  // overlaps local visibility: [b1, air_end). No neighbor cache covers
+  // off-island sources, so the (rare) cross-island budget is computed on
+  // the fly.
+  const sim::Time now = sched_.now();
+  for (const RemoteActive& rt : remote_active_) {
+    if (rt.channel != r.channel()) continue;
+    if (now < rt.b1 || now >= rt.air_end) continue;
+    if (prop_.rx_dbm(rt.src, rt.src_pos, r.id(), r.position()) >=
+        prop_.config().cca_threshold_dbm) {
+      return true;
     }
   }
   return false;
@@ -288,19 +446,48 @@ std::string Medium::check_consistency() const {
     }
   }
 
+  for (const RemoteActive& rt : remote_active_) {
+    if (rt.b2 < rt.b1) {
+      return fail("ghost tx " + std::to_string(rt.id & ~kRemoteIdBit) +
+                  " ends before it starts");
+    }
+    if (rt.air_end > rt.b2) {
+      return fail("ghost tx " + std::to_string(rt.id & ~kRemoteIdBit) +
+                  " radiates past its delivery boundary");
+    }
+    for (const Radio* rcv : rt.receivers) {
+      if (!attached(rcv)) {
+        return fail("ghost tx " + std::to_string(rt.id & ~kRemoteIdBit) +
+                    " lists a detached receiver");
+      }
+      std::size_t hits = 0;
+      for (const Reception& rec : rx_at_[rcv->medium_index_]) {
+        if (rec.tx_id == rt.id) ++hits;
+      }
+      if (hits != 1) {
+        return fail("ghost tx " + std::to_string(rt.id & ~kRemoteIdBit) +
+                    " has " + std::to_string(hits) + " receptions at radio " +
+                    std::to_string(rcv->id()) + ", expected 1");
+      }
+    }
+  }
+
   for (std::size_t i = 0; i < rx_at_.size(); ++i) {
     for (const Reception& rec : rx_at_[i]) {
-      const ActiveTx* owner = nullptr;
+      const std::vector<Radio*>* owner_receivers = nullptr;
       for (const ActiveTx& tx : active_) {
-        if (tx.id == rec.tx_id) owner = &tx;
+        if (tx.id == rec.tx_id) owner_receivers = &tx.receivers;
       }
-      if (owner == nullptr) {
+      for (const RemoteActive& rt : remote_active_) {
+        if (rt.id == rec.tx_id) owner_receivers = &rt.receivers;
+      }
+      if (owner_receivers == nullptr) {
         return fail("radio " + std::to_string(radios_[i]->id()) +
                     " holds a reception for finished tx " +
                     std::to_string(rec.tx_id));
       }
       bool listed = false;
-      for (const Radio* rcv : owner->receivers) {
+      for (const Radio* rcv : *owner_receivers) {
         if (rcv == radios_[i]) listed = true;
       }
       if (!listed) {

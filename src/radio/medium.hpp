@@ -38,6 +38,10 @@
 
 namespace iiot::radio {
 
+struct CellTx;
+class Interchange;
+struct IslandPlan;
+
 struct MediumStats {
   std::uint64_t transmissions = 0;
   std::uint64_t deliveries = 0;
@@ -47,6 +51,8 @@ struct MediumStats {
   std::uint64_t fault_drops = 0;  // transmissions killed by fault injection
   std::uint64_t fault_dups = 0;   // deliveries duplicated by fault injection
   std::uint64_t fault_delays = 0; // deliveries delayed by fault injection
+  std::uint64_t cross_island_tx = 0;  // CellTx posted to adjacent islands
+  std::uint64_t cross_island_rx = 0;  // CellTx applied as ghost transmissions
 };
 
 /// Per-transmission verdict of an installed fault hook (see
@@ -59,8 +65,12 @@ struct FaultDecision {
 
 class Medium {
  public:
-  Medium(sim::Scheduler& sched, PropagationConfig cfg, std::uint64_t seed)
-      : sched_(sched), prop_(cfg, seed), rng_(seed ^ 0xD1CEULL, 77) {
+  /// `rng_salt` decorrelates the delivery RNG between island mediums that
+  /// must share the same propagation seed (shadowing draws are keyed off
+  /// `seed` and have to agree across islands). 0 for ordinary worlds.
+  Medium(sim::Scheduler& sched, PropagationConfig cfg, std::uint64_t seed,
+         std::uint64_t rng_salt = 0)
+      : sched_(sched), prop_(cfg, seed), rng_(seed ^ 0xD1CEULL ^ rng_salt, 77) {
     if (obs::MetricsRegistry* m = obs::metrics(sched_)) {
       using obs::kWorldNode;
       m->attach_counter("radio", "transmissions", kWorldNode,
@@ -79,6 +89,10 @@ class Medium {
                         &stats_.fault_dups, this);
       m->attach_counter("radio", "fault_delays", kWorldNode,
                         &stats_.fault_delays, this);
+      m->attach_counter("radio", "cross_island_tx", kWorldNode,
+                        &stats_.cross_island_tx, this);
+      m->attach_counter("radio", "cross_island_rx", kWorldNode,
+                        &stats_.cross_island_rx, this);
     }
   }
   ~Medium() {
@@ -106,6 +120,29 @@ class Medium {
   /// radio::FaultInjector for the standard implementation.
   using FaultHook = std::function<FaultDecision(Frame&)>;
   void set_fault_hook(FaultHook h) { fault_hook_ = std::move(h); }
+
+  /// Turns this medium into one island of a partitioned world (DESIGN.md
+  /// §4i): every local transmission is additionally posted to the plan's
+  /// adjacent islands as a CellTx snapshot, and apply_remote() replays
+  /// snapshots arriving from them. `ix` and `plan` must outlive the
+  /// medium; `island` is this medium's id in the plan.
+  void set_island_gateway(Interchange* ix, const IslandPlan* plan,
+                          std::uint32_t island);
+
+  /// Applies one cross-island transmission as a "ghost": receptions are
+  /// marked immediately (the caller invokes this at a window boundary no
+  /// later than m.b1, before any local event at that boundary) and the
+  /// delivery fires at m.b2. Ghosts compute signal strength from the
+  /// carried source position, collide with local and other ghost
+  /// receptions alike, and draw their delivery coin from this island's
+  /// RNG in application order — all island-local, hence lane-invariant.
+  /// Ghosts deliberately emit no trace events: traces are per-island.
+  void apply_remote(const CellTx& m);
+
+  /// Ghost transmissions currently registered (tests).
+  [[nodiscard]] std::size_t remote_in_flight() const {
+    return remote_active_.size();
+  }
 
   /// Cross-checks the medium's internal bookkeeping: dense index maps,
   /// reception lists vs. active transmissions, receiver liveness. Returns
@@ -148,6 +185,24 @@ class Medium {
     std::vector<Radio*> receivers;
   };
 
+  /// A cross-island transmission being replayed locally. Lives from
+  /// apply_remote() until its delivery at b2. The high id bit keeps ghost
+  /// reception entries disjoint from local tx ids in rx_at_.
+  struct RemoteActive {
+    std::uint64_t id;
+    NodeId src;
+    Position src_pos;
+    ChannelId channel;
+    sim::Time b1;
+    sim::Time b2;
+    sim::Time air_end;  // interference stops here; delivery still at b2
+    Frame frame;
+    FaultDecision fault;
+    std::vector<Radio*> receivers;
+  };
+
+  static constexpr std::uint64_t kRemoteIdBit = 1ULL << 63;
+
   /// One entry of a radio's neighbor cache: a radio in link range plus the
   /// memoized symmetric link budget between the two.
   struct Neighbor {
@@ -184,6 +239,14 @@ class Medium {
   [[nodiscard]] bool channel_busy(const Radio& r) const;
 
   void finish_tx(std::uint64_t tx_id);
+  void finish_remote(std::uint64_t id);
+
+  /// True iff the reception `rx_id` still radiates energy at `t`. Local
+  /// receptions radiate for as long as they are listed (entries die at
+  /// the exact airtime end); ghost receptions only during [b1, air_end) —
+  /// after the true airtime they merely wait for their b2 delivery and
+  /// neither corrupt other receptions nor get corrupted or aborted.
+  [[nodiscard]] bool radiates_at(std::uint64_t rx_id, sim::Time t) const;
 
   /// Fault-path delivery of a delayed frame: the receiver is looked up by
   /// id at fire time so the closure never dereferences a detached radio.
@@ -201,6 +264,12 @@ class Medium {
   std::vector<Radio*> radios_;
   std::uint64_t next_tx_id_ = 1;
   std::vector<ActiveTx> active_;
+  std::vector<RemoteActive> remote_active_;
+  std::uint64_t next_remote_id_ = kRemoteIdBit | 1;
+  Interchange* island_ix_ = nullptr;        // island gateway (nullptr = off)
+  const IslandPlan* island_plan_ = nullptr;
+  std::uint32_t island_id_ = 0;
+  std::uint64_t island_seq_ = 1;            // per-island CellTx emission seq
   std::vector<std::vector<Reception>> rx_at_;  // by medium index
   mutable std::vector<NeighborCache> neighbors_;
   std::uint64_t cache_epoch_ = 1;

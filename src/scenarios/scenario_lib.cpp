@@ -132,6 +132,7 @@ std::vector<Instance> plan(const SuiteOptions& opt) {
     for (std::uint64_t s = 0; s < opt.seeds; ++s) {
       Instance inst{&spec, spec.params_for(opt.tier, opt.seed_base + s),
                     task};
+      inst.params.islands = opt.islands;
       task += inst.params.shards;
       instances.push_back(inst);
     }
@@ -166,7 +167,8 @@ bool parse_tier(std::string_view s, Tier& out) {
 const std::vector<ScenarioSpec>& library() {
   static const std::vector<ScenarioSpec> specs = {
       detail::factory_line_spec(), detail::hvac_fleet_spec(),
-      detail::mine_tunnel_spec(), detail::mobile_yard_spec()};
+      detail::mine_tunnel_spec(), detail::mobile_yard_spec(),
+      detail::city_grid_spec()};
   return specs;
 }
 
@@ -206,8 +208,9 @@ std::string KpiReport::json_line() const {
 }
 
 KpiReport run_one(const ScenarioSpec& spec, Tier tier, std::uint64_t seed,
-                  runner::Engine& eng) {
-  const RunParams params = spec.params_for(tier, seed);
+                  runner::Engine& eng, unsigned islands) {
+  RunParams params = spec.params_for(tier, seed);
+  params.islands = islands;
   std::vector<ShardResult> shards(params.shards);
   eng.run(params.shards, [&](std::size_t i) {
     shards[i] = spec.run_shard(params, i);
@@ -276,8 +279,20 @@ SuiteResult run_suite(const SuiteOptions& opt, runner::Engine& eng) {
 std::string check_suite_determinism(const SuiteOptions& opt,
                                     runner::Engine& eng) {
   runner::Engine serial(1);
-  const SuiteResult a = run_suite(opt, serial);
-  const SuiteResult b = run_suite(opt, eng);
+  // Reference leg: serial shards, serial island lanes — the oracle.
+  SuiteOptions ser = opt;
+  ser.islands = 1;
+  // Checked leg: both determinism dimensions exercised at once — shards
+  // across `eng`, island worlds on parallel lanes (opt.islands, or all
+  // cores when the caller left it at the serial default).
+  SuiteOptions par = opt;
+  if (par.islands == 1) par.islands = 0;
+  const SuiteResult a = run_suite(ser, serial);
+  const SuiteResult b = run_suite(par, eng);
+  const std::string legs = "jobs=1/islands=1 and jobs=" +
+                           std::to_string(eng.jobs()) + "/islands=" +
+                           (par.islands == 0 ? std::string("auto")
+                                             : std::to_string(par.islands));
   if (a.artifact != b.artifact) {
     // Pinpoint the first differing line for the report.
     std::size_t pos = 0;
@@ -287,8 +302,8 @@ std::string check_suite_determinism(const SuiteOptions& opt,
       if (a.artifact[pos] == '\n') ++line;
       ++pos;
     }
-    return "KPI artifact diverges between jobs=1 and jobs=" +
-           std::to_string(eng.jobs()) + " at line " + std::to_string(line);
+    return "KPI artifact diverges between " + legs + " at line " +
+           std::to_string(line);
   }
   for (std::size_t i = 0; i < a.reports.size(); ++i) {
     if (a.reports[i].failure != b.reports[i].failure) {

@@ -2,7 +2,7 @@
 // (DESIGN.md §4h).
 //
 // Where the fuzzer (src/testing/) explores *random* worlds, this library
-// pins down four *named* IIoT deployments — the paper's recurring
+// pins down five *named* IIoT deployments — the paper's recurring
 // examples — and re-runs them continuously as the codebase grows:
 //
 //   factory_line  linear conveyor, TDMA-synced collection, a window-rule
@@ -12,7 +12,10 @@
 //   mine_tunnel   long linear multi-hop chains, RNFD root-crash
 //                 detection, a partition/repair schedule;
 //   mobile_yard   churning random-field topology, CRDT asset registry,
-//                 legacy-protocol gateway adapters.
+//                 legacy-protocol gateway adapters;
+//   city_grid     ONE city-scale world partitioned into spatial islands
+//                 (pdes::IslandWorld, DESIGN.md §4i) — the scenario runs
+//                 unsharded and scales through execution lanes instead.
 //
 // Each scenario declares its world builder, its invariants (reusing
 // src/testing/invariants.*) and a KPI vector (delivery ratio, p50/p99
@@ -92,6 +95,10 @@ struct RunParams {
   /// Trace auditing rides along below city scale (bounded ring buffers
   /// would only drop records on 5k-node worlds).
   bool tracing = true;
+  /// Execution lanes for island-partitioned scenarios (0 = all cores).
+  /// NOT part of the physics: every KPI and the whole artifact are
+  /// byte-identical at any value (sharded scenarios ignore it).
+  unsigned islands = 1;
 };
 
 /// What one shard's world produced. Merged strictly in shard order.
@@ -122,7 +129,7 @@ struct ScenarioSpec {
   testing::FuzzProfile (*fuzz_profile)();
 };
 
-/// The four scenarios, in registry (= artifact) order.
+/// The five scenarios, in registry (= artifact) order.
 [[nodiscard]] const std::vector<ScenarioSpec>& library();
 [[nodiscard]] const ScenarioSpec* find_scenario(std::string_view name);
 
@@ -143,13 +150,17 @@ struct KpiReport {
 
 /// Runs one scenario instance, sharded across `eng`. Shard results are
 /// written to pre-sized slots and merged in shard order (jobs-invariant).
+/// `islands` feeds RunParams::islands (lane selection only).
 [[nodiscard]] KpiReport run_one(const ScenarioSpec& spec, Tier tier,
-                                std::uint64_t seed, runner::Engine& eng);
+                                std::uint64_t seed, runner::Engine& eng,
+                                unsigned islands = 1);
 
 struct SuiteOptions {
   Tier tier = Tier::kSmoke;
   std::uint64_t seed_base = 1;
   std::uint64_t seeds = 1;
+  /// Execution lanes for island-partitioned scenarios (0 = all cores).
+  unsigned islands = 1;
   /// Restrict to these scenario names (empty = whole library).
   std::vector<std::string> only;
 };
@@ -170,8 +181,10 @@ struct SuiteResult {
 [[nodiscard]] SuiteResult run_suite(const SuiteOptions& opt,
                                     runner::Engine& eng);
 
-/// Determinism self-check: the suite serially vs. on `eng`, diffing the
-/// artifact and every report. Returns "" when byte-identical.
+/// Determinism self-check: the suite at jobs=1/islands=1 vs. on `eng`
+/// with the islands dimension exercised (opt.islands, or all-core lanes
+/// when opt.islands == 1), diffing the artifact and every report.
+/// Returns "" when byte-identical.
 [[nodiscard]] std::string check_suite_determinism(const SuiteOptions& opt,
                                                   runner::Engine& eng);
 

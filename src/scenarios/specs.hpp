@@ -10,6 +10,7 @@ namespace iiot::scenarios::detail {
 [[nodiscard]] ScenarioSpec hvac_fleet_spec();
 [[nodiscard]] ScenarioSpec mine_tunnel_spec();
 [[nodiscard]] ScenarioSpec mobile_yard_spec();
+[[nodiscard]] ScenarioSpec city_grid_spec();
 
 /// Per-shard world seed: decorrelates shards of one instance without
 /// touching the instance seed's meaning.

@@ -1,0 +1,125 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
+namespace iiot::sim {
+
+ParallelScheduler::ParallelScheduler(Duration window,
+                                     std::vector<ParallelIsland> islands,
+                                     unsigned lanes)
+    : window_(window),
+      islands_(std::move(islands)),
+      lanes_(std::min<unsigned>(
+          std::max(1u, lanes == 0 ? runner::hardware_jobs() : lanes),
+          static_cast<unsigned>(std::max<std::size_t>(1, islands_.size())))),
+      engine_(lanes_) {
+  if (window_ == 0) throw std::invalid_argument("parallel: window must be > 0");
+  const std::size_t n = islands_.size();
+  done_ = std::make_unique<DoneCounter[]>(n);
+  finished_.assign(n, 0);
+  // Contiguous blocks: spatially neighboring islands land on the same
+  // lane, so most dependency polls hit counters the lane itself owns.
+  lane_islands_.resize(lanes_);
+  for (std::size_t i = 0; i < n; ++i) {
+    lane_islands_[i * lanes_ / std::max<std::size_t>(1, n)].push_back(i);
+  }
+}
+
+void ParallelScheduler::run_until(Time deadline) {
+  if (islands_.empty()) return;
+  // Full windows 0..last_full fit entirely inside [0, deadline]; whatever
+  // remains of window last_full+1 is the partial tail every island runs
+  // in its finish step.
+  const std::int64_t last_full =
+      static_cast<std::int64_t>((deadline + 1) / window_) - 1;
+  const bool partial = (deadline + 1) % window_ != 0;
+  std::fill(finished_.begin(), finished_.end(), 0);
+  abort_.store(false, std::memory_order_relaxed);
+  engine_.run(lanes_, [&](std::size_t lane) {
+    lane_run(lane, last_full, deadline, partial);
+  });
+}
+
+void ParallelScheduler::lane_run(std::size_t lane, std::int64_t last_full,
+                                 Time deadline, bool partial) {
+  const std::vector<std::size_t>& mine = lane_islands_[lane];
+  try {
+    for (;;) {
+      if (abort_.load(std::memory_order_relaxed)) return;
+      bool progressed = false;
+      bool all = true;
+      for (std::size_t i : mine) {
+        progressed |= advance(i, last_full, deadline, partial);
+        all &= finished_[i] != 0;
+      }
+      if (all) return;
+      if (!progressed) std::this_thread::yield();
+    }
+  } catch (...) {
+    // Unblock the other lanes (they spin on done counters we will never
+    // advance again); the engine rethrows the lowest-lane exception.
+    abort_.store(true, std::memory_order_relaxed);
+    throw;
+  }
+}
+
+bool ParallelScheduler::advance(std::size_t i, std::int64_t last_full,
+                                Time deadline, bool partial) {
+  if (finished_[i] != 0) return false;
+  ParallelIsland& is = islands_[i];
+  std::int64_t d = done_[i].v.load(std::memory_order_relaxed);
+  bool prog = false;
+
+  auto min_dep = [&] {
+    std::int64_t m = std::numeric_limits<std::int64_t>::max();
+    for (std::size_t j : is.deps) {
+      m = std::min(m, done_[j].v.load(std::memory_order_acquire));
+    }
+    return m;
+  };
+
+  std::int64_t dep = min_dep();
+  while (d < last_full) {
+    const std::int64_t w = d + 1;
+    if (dep < w - 1) return prog;  // window w not yet safe
+    // Skip-ahead: if neither a local event nor pending input falls inside
+    // the next windows, jump the counter without running the scheduler.
+    const Time next_work =
+        std::min(is.sched->next_event_time(), is.next_input());
+    std::int64_t target = last_full;
+    if (next_work != kTimeNever) {
+      target = std::min(
+          target, static_cast<std::int64_t>(next_work / window_) - 1);
+    }
+    if (dep != std::numeric_limits<std::int64_t>::max()) {
+      target = std::min(target, dep + 1);
+    }
+    if (target > d) {
+      d = target;
+    } else {
+      is.apply(static_cast<Time>(w) * window_);
+      is.sched->run_until(static_cast<Time>(w + 1) * window_ - 1);
+      d = w;
+    }
+    done_[i].v.store(d, std::memory_order_release);
+    prog = true;
+    dep = min_dep();
+  }
+
+  // Finish step: the partial tail of the final window, plus clamping the
+  // island clock to the exact deadline (mirrors Scheduler::run_until).
+  if (d >= last_full && dep >= last_full) {
+    if (partial) {
+      is.apply(static_cast<Time>(last_full + 1) * window_);
+    }
+    is.sched->run_until(deadline);
+    finished_[i] = 1;
+    prog = true;
+  }
+  return prog;
+}
+
+}  // namespace iiot::sim

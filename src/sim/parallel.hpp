@@ -1,0 +1,107 @@
+// Conservative parallel discrete-event execution over spatial islands
+// (DESIGN.md §4i).
+//
+// One simulated world is partitioned into islands, each owning a private
+// sim::Scheduler plus an inter-island input queue managed by the caller.
+// Virtual time is cut into fixed windows of `window` microseconds; all
+// cross-island effects are quantized to window boundaries by the caller
+// (see radio::Interchange), which yields a lookahead of one full window:
+// an island executing window w can only produce input whose effect time
+// lies strictly beyond boundary (w+1)·window.
+//
+// Protocol (null-message-free conservative / BSP-with-skips):
+//   * done[i] = highest window island i has fully executed (-1 initially).
+//   * Island i may execute window w once every dependency j (an island
+//     that can send it input) has done[j] >= w-1 — at that point every
+//     input with effect time <= w·window has been posted.
+//   * Window w runs as: apply(w·window) — drain and apply pending input
+//     with effect time <= the boundary — then sched->run_until of the
+//     window end. Input application happens *between* windows, outside
+//     the scheduler, so the event loop itself needs no synchronization.
+//   * Idle islands skip ahead without executing: if the earliest local
+//     event and earliest pending input both lie beyond window t, done may
+//     jump straight to min(t, min_dep+1). The min_dep+1 bound keeps the
+//     skip race-free: any input posted concurrently by a dependency at
+//     done=d has effect time beyond (d+2)·window and thus lands in a
+//     window the skip cannot cover.
+//
+// Determinism: island membership, window size, and the per-island input
+// ordering are fixed by the world definition, never by the lane count.
+// `lanes` only chooses how many threads execute the islands; lanes == 1
+// runs the identical code path inline and is the bit-exact serial oracle
+// the scenario self-checks diff against.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "runner/engine.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace iiot::sim {
+
+/// One island as seen by the parallel engine. The callbacks are invoked
+/// only from the lane that owns the island, never concurrently.
+struct ParallelIsland {
+  Scheduler* sched = nullptr;
+  /// Applies every pending inter-island input with effect time <= the
+  /// boundary, in the canonical input order.
+  std::function<void(Time boundary)> apply;
+  /// Earliest effect time of not-yet-applied input (kTimeNever if none).
+  /// May be called while other lanes post concurrently; a late answer is
+  /// safe (see the skip-ahead rule above).
+  std::function<Time()> next_input;
+  /// Indices of islands that can post input to this one (excluding self).
+  std::vector<std::size_t> deps;
+};
+
+class ParallelScheduler {
+ public:
+  /// `lanes` = number of executing threads (0 → hardware_jobs()), clamped
+  /// to the island count. The island list and window are canonical: they
+  /// define the simulation; lanes only defines who runs it.
+  ParallelScheduler(Duration window, std::vector<ParallelIsland> islands,
+                    unsigned lanes);
+
+  ParallelScheduler(const ParallelScheduler&) = delete;
+  ParallelScheduler& operator=(const ParallelScheduler&) = delete;
+
+  /// Advances every island to exactly `deadline` (their schedulers end
+  /// with now() == deadline, all events <= deadline executed, all input
+  /// with effect time <= the last window boundary applied). Callable
+  /// repeatedly with nondecreasing deadlines, like Scheduler::run_until.
+  /// The first exception thrown by an island propagates (lowest lane
+  /// wins); the world is unusable afterwards.
+  void run_until(Time deadline);
+
+  [[nodiscard]] std::size_t islands() const { return islands_.size(); }
+  [[nodiscard]] unsigned lanes() const { return lanes_; }
+  [[nodiscard]] Duration window() const { return window_; }
+
+ private:
+  /// done counters live one per cache line: every lane polls its
+  /// dependencies' counters in a spin loop.
+  struct alignas(64) DoneCounter {
+    std::atomic<std::int64_t> v{-1};
+  };
+
+  void lane_run(std::size_t lane, std::int64_t last_full, Time deadline,
+                bool partial);
+  bool advance(std::size_t i, std::int64_t last_full, Time deadline,
+               bool partial);
+
+  Duration window_;
+  std::vector<ParallelIsland> islands_;
+  unsigned lanes_;
+  std::vector<std::vector<std::size_t>> lane_islands_;
+  std::unique_ptr<DoneCounter[]> done_;
+  std::vector<char> finished_;  // per run_until call; owning lane only
+  std::atomic<bool> abort_{false};
+  runner::Engine engine_;
+};
+
+}  // namespace iiot::sim

@@ -89,6 +89,15 @@ void Scheduler::run_until(Time deadline) {
   if (now_ < deadline) now_ = deadline;
 }
 
+Time Scheduler::next_event_time() {
+  while (!heap_.empty()) {
+    if (!stale(heap_.front())) return heap_.front().at;
+    --stale_entries_;
+    heap_pop();
+  }
+  return kTimeNever;
+}
+
 void Scheduler::run_all() {
   while (step()) {
   }

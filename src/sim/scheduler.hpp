@@ -89,6 +89,11 @@ class Scheduler {
   /// Number of live (scheduled, not fired, not cancelled) events.
   [[nodiscard]] std::size_t pending_events() const { return live_; }
 
+  /// Firing time of the earliest live event, or kTimeNever when the queue
+  /// is empty. Skims cancelled entries off the heap front as a side
+  /// effect (const-correct lazily: mutates only bookkeeping).
+  [[nodiscard]] Time next_event_time();
+
   /// Total events executed since construction (for perf accounting).
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 

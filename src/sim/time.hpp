@@ -13,6 +13,9 @@ using Time = std::uint64_t;
 /// Relative simulated duration in microseconds.
 using Duration = std::uint64_t;
 
+/// Sentinel "no event / never" timestamp (max representable Time).
+inline constexpr Time kTimeNever = ~Time{0};
+
 inline constexpr Duration operator""_us(unsigned long long v) { return v; }
 inline constexpr Duration operator""_ms(unsigned long long v) { return v * 1000ULL; }
 inline constexpr Duration operator""_s(unsigned long long v) { return v * 1000000ULL; }

@@ -1,0 +1,96 @@
+// Lane-invariance fuzzing for island-partitioned worlds (DESIGN.md §4i).
+//
+// One seed deterministically expands into a whole pdes::IslandWorld
+// configuration — city shape, quantization window, propagation,
+// frame-level fault injection, traffic pacing, an optional mid-run crash
+// of a border node — which then runs twice: once on the serial oracle
+// (lanes = 1) and once on the requested lane count. The two runs must
+// produce equal world digests; any divergence is a conservative-PDES
+// ordering bug by definition. This is the fuzzing counterpart of the
+// deterministic test_pdes suites: those pin known-sharp corners, this
+// searches the configuration space around them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "radio/fault_injector.hpp"
+#include "sim/time.hpp"
+
+namespace iiot::runner {
+class Engine;
+}
+
+namespace iiot::testing {
+
+/// One generated island-world scenario. Pure function of the seed (see
+/// generate_pdes_scenario); replayable from the seed alone.
+struct PdesScenarioConfig {
+  std::uint64_t seed = 0;
+  std::size_t islands_x = 2;
+  std::size_t islands_y = 2;
+  std::size_t island_side = 3;
+  sim::Duration window = 1000;  // cross-island quantization window, µs
+  double exponent = 3.0;
+  double sigma_db = 0.0;
+  radio::FaultInjectorConfig frame_faults;
+  sim::Duration measure = 10'000'000;
+  sim::Duration traffic_period = 2'000'000;
+  /// Crash + restart the far corner of island 0 (a border-straddling
+  /// node) mid-measure — the sharpest cross-island ordering corner.
+  bool crash = false;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Integer outcome of one run at one lane count. Equality of `digest`
+/// across lane counts IS the invariance contract; the rest is context
+/// for failure reports.
+struct PdesRunOutcome {
+  bool ok = true;
+  std::string failure;  // consistency violation or setup failure
+  std::uint64_t digest = 0;
+  std::uint64_t events = 0;
+  std::uint64_t cross_island_rx = 0;
+  std::uint64_t joined_permille = 0;
+};
+
+/// Expands a seed into an island-world scenario. Pure function.
+[[nodiscard]] PdesScenarioConfig generate_pdes_scenario(std::uint64_t seed);
+
+/// Runs the scenario at `lanes` execution lanes (0 = all cores) and
+/// digests the world. Deterministic: same (cfg, any lanes) → same digest
+/// unless the PDES engine is broken.
+[[nodiscard]] PdesRunOutcome run_pdes_scenario(const PdesScenarioConfig& cfg,
+                                               unsigned lanes);
+
+struct PdesFuzzOptions {
+  std::uint64_t runs = 40;
+  std::uint64_t seed_base = 1;
+  /// Lane count of the checked leg (0 = all cores). The reference leg is
+  /// always lanes = 1.
+  unsigned lanes = 4;
+  std::uint64_t max_reported = 5;
+};
+
+struct PdesFuzzResult {
+  /// Seeds whose serial and parallel digests diverged (or whose runs
+  /// failed outright), ascending. Jobs-invariant.
+  std::vector<std::uint64_t> failing_seeds;
+  /// Serial-leg digest per seed, in seed order. Jobs-invariant.
+  std::vector<std::uint64_t> digests;
+  /// FAIL/reproducer lines for the first `max_reported` failures.
+  std::string report;
+  std::size_t scenarios_executed = 0;
+
+  [[nodiscard]] bool ok() const { return failing_seeds.empty(); }
+};
+
+/// Runs the batch on `eng`: each seed executes both legs inside one task
+/// and compares digests. Aggregation is slot-ordered, so failing seeds,
+/// digests and the report are byte-identical at any --jobs value.
+[[nodiscard]] PdesFuzzResult run_pdes_fuzz_batch(const PdesFuzzOptions& opt,
+                                                 runner::Engine& eng);
+
+}  // namespace iiot::testing

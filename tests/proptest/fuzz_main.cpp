@@ -1,8 +1,8 @@
 // Property-based scenario fuzzer CLI (DESIGN.md §4c, §4e).
 //
 //   iiot_fuzz [--runs=N] [--seed=BASE] [--jobs=N] [--replay_seed=N]
-//             [--scenario=NAME] [--canary] [--trace] [--fail-file=PATH]
-//             [--selfcheck] [--quiet]
+//             [--scenario=NAME] [--islands=K|auto] [--canary] [--trace]
+//             [--fail-file=PATH] [--selfcheck] [--quiet]
 //
 // Default mode: expands and runs `--runs` consecutive seeds, sharded
 // across `--jobs` worker threads (each scenario owns an isolated world);
@@ -21,6 +21,14 @@
 // bug. `--selfcheck` runs the batch twice — serially and at --jobs — and
 // fails on any divergence in the jobs-invariant artifacts (the
 // determinism contract, checked in-process).
+//
+// `--islands=K` switches to the island-world lane-invariance fuzz
+// (DESIGN.md §4i): each seed expands into a pdes::IslandWorld scenario
+// that runs on the serial oracle (lanes=1) and again at K lanes ("auto"
+// = all cores); diverging world digests fail the seed. Composes with
+// batch mode (reproducer lines carry --islands along) and with
+// `--replay_seed`, which re-runs one island scenario at K lanes and
+// prints its digest.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +40,7 @@
 #include "runner/engine.hpp"
 #include "scenarios/scenario_lib.hpp"
 #include "testing/batch.hpp"
+#include "testing/pdes_fuzz.hpp"
 #include "testing/scenario.hpp"
 
 namespace {
@@ -51,6 +60,8 @@ struct Options {
   std::uint64_t replay_seed = 0;
   std::uint64_t jobs = 1;  // 0 → all cores
   bool replay = false;
+  bool pdes = false;        // --islands given: island lane-invariance fuzz
+  std::uint64_t islands = 4;  // checked-leg lane count (0 = all cores)
   bool canary = false;
   bool trace = false;
   bool quiet = false;
@@ -80,6 +91,13 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (key == "--replay_seed") {
       if (!parse_u64(val.c_str(), opt.replay_seed)) return false;
       opt.replay = true;
+    } else if (key == "--islands") {
+      opt.pdes = true;
+      if (val == "auto") {
+        opt.islands = 0;
+      } else if (!parse_u64(val.c_str(), opt.islands)) {
+        return false;
+      }
     } else if (key == "--canary") {
       opt.canary = true;
     } else if (key == "--trace") {
@@ -114,6 +132,53 @@ bool parse_args(int argc, char** argv, Options& opt) {
 int main(int argc, char** argv) {
   Options opt;
   if (!parse_args(argc, argv, opt)) return 2;
+
+  if (opt.pdes) {
+    const auto lanes = static_cast<unsigned>(opt.islands);
+    if (opt.replay) {
+      const auto cfg =
+          iiot::testing::generate_pdes_scenario(opt.replay_seed);
+      std::printf("replaying island world: %s\n", cfg.summary().c_str());
+      const auto r = iiot::testing::run_pdes_scenario(cfg, lanes);
+      if (!r.ok) {
+        std::printf("FAIL: %s\n", r.failure.c_str());
+        return 1;
+      }
+      std::printf("digest: %016llx  events=%llu xrx=%llu joined=%llu‰\n",
+                  static_cast<unsigned long long>(r.digest),
+                  static_cast<unsigned long long>(r.events),
+                  static_cast<unsigned long long>(r.cross_island_rx),
+                  static_cast<unsigned long long>(r.joined_permille));
+      return 0;
+    }
+    iiot::runner::Engine eng(static_cast<unsigned>(opt.jobs));
+    iiot::testing::PdesFuzzOptions popt;
+    popt.runs = opt.runs;
+    popt.seed_base = opt.seed_base;
+    popt.lanes = lanes;
+    const auto wall_start = std::chrono::steady_clock::now();
+    const auto res = iiot::testing::run_pdes_fuzz_batch(popt, eng);
+    const auto wall_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+    if (!res.report.empty()) std::fputs(res.report.c_str(), stdout);
+    if (!opt.quiet) {
+      const std::string lanes_str =
+          lanes == 0 ? "auto" : std::to_string(lanes);
+      std::printf("ran %llu island worlds at lanes=1 vs lanes=%s "
+                  "(jobs=%u) in %lld ms: %zu failing\n",
+                  static_cast<unsigned long long>(opt.runs),
+                  lanes_str.c_str(), eng.jobs(),
+                  static_cast<long long>(wall_ms),
+                  res.failing_seeds.size());
+    }
+    if (!opt.fail_file.empty() && !res.failing_seeds.empty()) {
+      std::ofstream out(opt.fail_file);
+      for (std::uint64_t s : res.failing_seeds) out << s << "\n";
+    }
+    return res.ok() ? 0 : 1;
+  }
 
   iiot::testing::FuzzProfile profile;
   if (!opt.scenario.empty()) {

@@ -7,6 +7,7 @@
 
 #include "energy/meter.hpp"
 #include "radio/medium.hpp"
+#include "scenarios/scenario_lib.hpp"
 #include "sim/scheduler.hpp"
 #include "testing/invariants.hpp"
 #include "testing/scenario.hpp"
@@ -63,6 +64,20 @@ TEST(Proptest, SmallBatchOfScenariosIsGreen) {
 // Harness validation: the planted bug (Medium::detach skipping reception
 // bookkeeping cleanup) must be caught by the medium-consistency invariant,
 // and the reproducer must replay and shrink deterministically.
+// Regression: `iiot_fuzz --replay_seed=24 --scenario=mine_tunnel` used to
+// fail with a transient-loop blowup — two nodes holding stale ranks for
+// each other ratcheted their ranks without bound (count-to-infinity)
+// because local repair re-entered orphan state before the poison round
+// completed. The rank ratchet cap in net::Rpl (rpl.hpp) pins the fix;
+// this replays the original reproducer bit-for-bit.
+TEST(Proptest, MineTunnelSeed24RankRatchetStaysBounded) {
+  const auto* spec = iiot::scenarios::find_scenario("mine_tunnel");
+  ASSERT_NE(spec, nullptr);
+  const ScenarioConfig cfg = generate_scenario(24, spec->fuzz_profile());
+  const ScenarioResult r = run_scenario(cfg);
+  EXPECT_TRUE(r.ok) << r.failure;
+}
+
 TEST(Proptest, CanaryDetachBugIsCaughtAndShrinks) {
   std::optional<std::uint64_t> caught;
   for (std::uint64_t seed = 1; seed <= 80 && !caught; ++seed) {

@@ -37,21 +37,22 @@ std::string read_committed_baseline() {
   return buf.str();
 }
 
-TEST(ScenarioLibrary, RegistryHasTheFourScenariosInArtifactOrder) {
+TEST(ScenarioLibrary, RegistryHasTheFiveScenariosInArtifactOrder) {
   const auto& lib = library();
-  ASSERT_EQ(lib.size(), 4u);
+  ASSERT_EQ(lib.size(), 5u);
   EXPECT_STREQ(lib[0].name, "factory_line");
   EXPECT_STREQ(lib[1].name, "hvac_fleet");
   EXPECT_STREQ(lib[2].name, "mine_tunnel");
   EXPECT_STREQ(lib[3].name, "mobile_yard");
+  EXPECT_STREQ(lib[4].name, "city_grid");
   for (const auto& spec : lib) {
     EXPECT_EQ(find_scenario(spec.name), &spec);
   }
   EXPECT_EQ(find_scenario("no_such_scenario"), nullptr);
 }
 
-TEST(ScenarioLibrary, CityTierReachesFiveThousandNodesOnMineAndYard) {
-  for (const char* name : {"mine_tunnel", "mobile_yard"}) {
+TEST(ScenarioLibrary, CityTierReachesFiveThousandNodesOnMineYardAndGrid) {
+  for (const char* name : {"mine_tunnel", "mobile_yard", "city_grid"}) {
     const auto* spec = find_scenario(name);
     ASSERT_NE(spec, nullptr);
     const RunParams p = spec->params_for(Tier::kCity, 1);
@@ -103,6 +104,19 @@ TEST(ScenarioLibrary, ArtifactIsIdenticalAtAnyJobCount) {
   EXPECT_EQ(check_suite_determinism(SuiteOptions{}, four), "");
 }
 
+TEST(ScenarioLibrary, IslandLanesAreInvisibleInTheArtifact) {
+  // The PDES lane-invariance contract surfaced at the KPI layer: the one
+  // island-partitioned scenario must emit the same report (including its
+  // world digest) at serial and parallel lane counts.
+  const auto* spec = find_scenario("city_grid");
+  ASSERT_NE(spec, nullptr);
+  iiot::runner::Engine eng(1);
+  const KpiReport a = run_one(*spec, Tier::kSmoke, 1, eng, 1);
+  ASSERT_TRUE(a.ok) << a.failure;
+  const KpiReport b = run_one(*spec, Tier::kSmoke, 1, eng, 4);
+  EXPECT_EQ(a.json_line(), b.json_line());
+}
+
 TEST(ScenarioBaseline, TamperedKpiValueIsCaught) {
   iiot::runner::Engine eng(1);
   const SuiteResult suite = run_suite(SuiteOptions{}, eng);
@@ -147,6 +161,7 @@ TEST(ScenarioFuzzProfiles, ProfilesPinTheScenarioRegime) {
       {"hvac_fleet", ScenarioMac::kLpl, ScenarioTopology::kGrid},
       {"mine_tunnel", ScenarioMac::kCsma, ScenarioTopology::kLine},
       {"mobile_yard", ScenarioMac::kCsma, ScenarioTopology::kRandomField},
+      {"city_grid", ScenarioMac::kCsma, ScenarioTopology::kGrid},
   };
   for (const auto& e : expected) {
     const auto* spec = find_scenario(e.name);

@@ -2,17 +2,20 @@
 // (DESIGN.md §4h).
 //
 //   scenario_ci [--tier=smoke|soak|city] [--scenario=NAME[,NAME...]]
-//               [--seed=BASE] [--seeds=N] [--jobs=N] [--out=PATH]
-//               [--baseline=PATH] [--selfcheck] [--list]
+//               [--seed=BASE] [--seeds=N] [--jobs=N] [--islands=N]
+//               [--out=PATH] [--baseline=PATH] [--selfcheck] [--list]
 //
 // Runs every selected scenario at the tier's scale, sharded across
 // --jobs workers (0 = all cores), prints one KPI line per run and exits
 // nonzero on any invariant violation, sanity-bound breach, or — with
-// --baseline — KPI drift beyond the committed tolerances. --out writes
-// the aggregated KPI artifact, which is byte-identical at any --jobs
-// (and is the exact format of SCENARIO_baselines.json: regenerate the
-// baseline by pointing --out at it). --selfcheck runs the suite twice,
-// serially and at --jobs, and diffs the artifacts in-process.
+// --baseline — KPI drift beyond the committed tolerances. --islands sets
+// the execution lanes of island-partitioned scenarios (city_grid;
+// 0 = all cores) — like --jobs it is pure execution policy, so the
+// artifact is byte-identical at any --jobs AND any --islands value.
+// --out writes the aggregated KPI artifact (the exact format of
+// SCENARIO_baselines.json: regenerate the baseline by pointing --out at
+// it). --selfcheck runs the suite twice — jobs=1/islands=1 vs. --jobs
+// with parallel island lanes — and diffs the artifacts in-process.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -38,7 +41,8 @@ struct Options {
   Tier tier = Tier::kSmoke;
   std::uint64_t seed_base = 1;
   std::uint64_t seeds = 1;
-  std::uint64_t jobs = 1;  // 0 → all cores
+  std::uint64_t jobs = 1;     // 0 → all cores
+  std::uint64_t islands = 1;  // island-world lanes; 0 → all cores
   std::vector<std::string> only;
   std::string out;
   std::string baseline;
@@ -92,6 +96,12 @@ bool parse_args(int argc, char** argv, Options& opt) {
       if (!parse_u64(val.c_str(), opt.seeds)) return false;
     } else if (key == "--jobs") {
       if (!parse_u64(val.c_str(), opt.jobs)) return false;
+    } else if (key == "--islands") {
+      if (val == "auto") {
+        opt.islands = 0;
+      } else if (!parse_u64(val.c_str(), opt.islands)) {
+        return false;
+      }
     } else if (key == "--out") {
       opt.out = val;
     } else if (key == "--baseline") {
@@ -128,6 +138,7 @@ int main(int argc, char** argv) {
   sopt.tier = opt.tier;
   sopt.seed_base = opt.seed_base;
   sopt.seeds = opt.seeds;
+  sopt.islands = static_cast<unsigned>(opt.islands);
   sopt.only = opt.only;
 
   const auto wall_start = std::chrono::steady_clock::now();
@@ -139,13 +150,12 @@ int main(int argc, char** argv) {
                              std::chrono::steady_clock::now() - wall_start)
                              .count();
     if (!diff.empty()) {
-      std::printf("SELFCHECK FAIL (jobs=1 vs jobs=%u): %s\n", eng.jobs(),
-                  diff.c_str());
+      std::printf("SELFCHECK FAIL: %s\n", diff.c_str());
       return 1;
     }
     std::printf(
-        "selfcheck OK: %s-tier suite byte-identical at jobs=1 and jobs=%u "
-        "(%lld ms)\n",
+        "selfcheck OK: %s-tier suite byte-identical across jobs and "
+        "island-lane counts (jobs=%u, %lld ms)\n",
         iiot::scenarios::to_string(opt.tier), eng.jobs(),
         static_cast<long long>(wall_ms));
     return 0;
